@@ -1,0 +1,57 @@
+"""Ablation: collective algorithms x interconnect (DESIGN.md section 5).
+
+Quantifies how the GE execution time responds to the broadcast/barrier
+algorithm choice on the shared bus versus a full-duplex switch.  On the
+bus the wire serializes regardless of tree shape, so flat and binomial
+broadcasts cost nearly the same; on the switch the binomial tree wins.
+"""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import marked_speed_of, run_ge
+from repro.machine.sunwulf import ge_configuration
+from repro.mpi.communicator import CollectiveConfig
+
+N = 400
+NODES = 8
+
+
+def test_ablation_collectives(benchmark, results_dir):
+    bus = ge_configuration(NODES)
+    switch = bus.with_network("switch")
+    marked = marked_speed_of(bus)
+
+    configs = {
+        "flat+linear": CollectiveConfig(bcast="flat", barrier="linear"),
+        "binomial+tree": CollectiveConfig(bcast="binomial", barrier="tree"),
+        "ethernet+linear": CollectiveConfig(bcast="ethernet", barrier="linear"),
+    }
+
+    def measure_all():
+        results = {}
+        for net_name, cluster in (("bus", bus), ("switch", switch)):
+            for cfg_name, cfg in configs.items():
+                record = run_ge(
+                    cluster, N, marked=marked, collectives=cfg
+                )
+                results[(net_name, cfg_name)] = record.measurement.time
+        return results
+
+    times = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    text = format_table(
+        ["network", "collectives", "GE time (s)"],
+        [(net, cfg, t) for (net, cfg), t in sorted(times.items())],
+        title=f"Ablation: collectives x interconnect (GE, {NODES} nodes, N={N})",
+    )
+    write_result(results_dir, "ablation_collectives", text)
+
+    # On the switch the log-depth tree beats the flat broadcast.
+    assert times[("switch", "binomial+tree")] < times[("switch", "flat+linear")]
+    # On the bus the wire serializes: flat vs binomial within ~20%.
+    bus_flat = times[("bus", "flat+linear")]
+    bus_binomial = times[("bus", "binomial+tree")]
+    assert abs(bus_flat - bus_binomial) < 0.25 * bus_flat
+    # Native Ethernet broadcast is the cheapest option on the bus.
+    assert times[("bus", "ethernet+linear")] < bus_flat

@@ -1,0 +1,76 @@
+"""Ablation: 1-D row bands vs 2-D column-based tiling for MM.
+
+The paper keeps a 1-D row-band MM and cites Beaumont et al. for the 2-D
+tiling (NP-complete to optimize; polynomial column heuristic).  This
+bench quantifies the trade-off on both interconnects:
+
+* on a *switch* (unicasts only), the 2-D tiling wins -- its traffic is
+  the sum of tile half-perimeters instead of p-1 replicas of B;
+* on the *shared bus* with native broadcast, the 1-D algorithm's single
+  B transmission is hard to beat.
+"""
+
+from conftest import write_result
+
+from repro.apps.matmul import MM_COMPUTE_EFFICIENCY, MMOptions, make_mm_program
+from repro.apps.matmul2d import MM2DOptions, make_mm2d_program
+from repro.experiments.report import format_table
+from repro.experiments.runner import marked_speed_of
+from repro.machine.sunwulf import mm_configuration
+from repro.mpi.communicator import CollectiveConfig, mpi_run
+
+N = 400
+NODES = 8
+
+
+def run(cluster, program_factory, options, config=None):
+    marked = marked_speed_of(cluster)
+    effective = [s * MM_COMPUTE_EFFICIENCY for s in marked.speeds]
+    program = program_factory(options)
+    return mpi_run(
+        cluster.nranks, cluster.build_network(), effective, program,
+        config=config,
+    ).makespan
+
+
+def test_ablation_mm_2d_tiling(benchmark, results_dir):
+    bus = mm_configuration(NODES)
+    switch = bus.with_network("switch")
+    marked = marked_speed_of(bus)
+    speeds = tuple(marked.speeds)
+
+    def measure_all():
+        times = {}
+        for net_name, cluster in (("bus", bus), ("switch", switch)):
+            times[(net_name, "1D flat replication")] = run(
+                cluster, make_mm_program, MMOptions(n=N, speeds=speeds),
+                CollectiveConfig(bcast="flat"),
+            )
+            times[(net_name, "1D ethernet broadcast")] = run(
+                cluster, make_mm_program, MMOptions(n=N, speeds=speeds),
+                CollectiveConfig(bcast="ethernet"),
+            )
+            times[(net_name, "2D column tiling")] = run(
+                cluster, make_mm2d_program, MM2DOptions(n=N, speeds=speeds)
+            )
+        return times
+
+    times = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    text = format_table(
+        ["network", "algorithm", "MM time (s)"],
+        [(net, algo, t) for (net, algo), t in sorted(times.items())],
+        title=f"Ablation: MM data layout x interconnect ({NODES} nodes, N={N})",
+    )
+    write_result(results_dir, "ablation_mm_2d_tiling", text)
+
+    # On unicast-only networks the 2-D tiling beats 1-D replication...
+    assert (
+        times[("switch", "2D column tiling")]
+        < times[("switch", "1D flat replication")]
+    )
+    # ...while the bus's native broadcast keeps the 1-D algorithm ahead.
+    assert (
+        times[("bus", "1D ethernet broadcast")]
+        < times[("bus", "2D column tiling")]
+    )

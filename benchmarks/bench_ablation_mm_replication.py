@@ -1,0 +1,50 @@
+"""Ablation: MM operand replication -- native Ethernet broadcast vs
+unicast copies (the substitution documented in DESIGN.md section 2).
+
+With unicast replication the B matrix crosses the shared bus p-1 times
+and MM's measured scalability collapses below GE's, inverting the paper's
+section-4.4.3 comparison; one native-broadcast transmission restores it.
+"""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import marked_speed_of, run_mm
+from repro.machine.sunwulf import mm_configuration
+from repro.mpi.communicator import CollectiveConfig
+
+N = 400
+NODES = 8
+
+
+def test_ablation_mm_replication(benchmark, results_dir):
+    cluster = mm_configuration(NODES)
+    marked = marked_speed_of(cluster)
+
+    def measure():
+        ethernet = run_mm(
+            cluster, N, marked=marked,
+            collectives=CollectiveConfig(bcast="ethernet"),
+        ).measurement
+        flat = run_mm(
+            cluster, N, marked=marked,
+            collectives=CollectiveConfig(bcast="flat"),
+        ).measurement
+        return ethernet, flat
+
+    ethernet, flat = benchmark.pedantic(measure, rounds=3, iterations=1)
+
+    text = format_table(
+        ["B replication", "MM time (s)", "speed-efficiency"],
+        [
+            ("native Ethernet broadcast (1 transmission)", ethernet.time,
+             ethernet.speed_efficiency),
+            ("flat unicasts (p-1 transmissions)", flat.time,
+             flat.speed_efficiency),
+        ],
+        title=f"Ablation: MM operand replication ({NODES} nodes, N={N})",
+    )
+    write_result(results_dir, "ablation_mm_replication", text)
+
+    assert ethernet.time < flat.time
+    assert ethernet.speed_efficiency > flat.speed_efficiency

@@ -1,0 +1,29 @@
+"""Section 4.4.3: quantified comparison of two algorithm-machine
+combinations -- the paper's observation that MM-Sunwulf is more scalable
+than GE-Sunwulf."""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import comparison_ge_vs_mm, scalability_from_rows
+
+
+def test_comparison_ge_vs_mm(benchmark, results_dir, ge_rows, mm_rows):
+    def regenerate():
+        ge_curve = scalability_from_rows(ge_rows, "ge")
+        mm_curve = scalability_from_rows(mm_rows, "mm")
+        return comparison_ge_vs_mm(ge_curve, mm_curve)
+
+    rows = benchmark.pedantic(regenerate, rounds=5, iterations=1)
+
+    text = format_table(
+        ["transition", "psi GE", "psi MM", "MM more scalable"],
+        [(r.transition, r.ge_psi, r.mm_psi, r.mm_more_scalable) for r in rows],
+        title="Section 4.4.3: GE vs MM scalability comparison",
+    )
+    write_result(results_dir, "comparison_ge_vs_mm", text)
+
+    # The paper's headline comparison: "the scalability of MM-Sunwulf
+    # combination is higher ... more scalable than the GE-Sunwulf
+    # combination" -- MM must win on every transition.
+    assert all(r.mm_more_scalable for r in rows)

@@ -1,0 +1,41 @@
+"""Substrate performance: event throughput of the simulation engine.
+
+Not a paper table -- this tracks the cost of the reproduction itself so
+regressions in the engine hot path are caught (the 32-node GE study
+simulates ~40M events and is directly gated by this number).
+"""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import marked_speed_of, run_ge
+from repro.machine.sunwulf import ge_configuration
+
+N = 300
+NODES = 8
+
+
+def test_engine_event_throughput(benchmark, results_dir):
+    cluster = ge_configuration(NODES)
+    marked = marked_speed_of(cluster)
+
+    def one_run():
+        return run_ge(cluster, N, marked=marked)
+
+    record = benchmark(one_run)
+
+    events = record.run.events
+    seconds = benchmark.stats.stats.mean
+    throughput = events / seconds
+    text = format_table(
+        ["metric", "value"],
+        [
+            ("simulated events per run", events),
+            ("mean wall time (s)", seconds),
+            ("events / second", throughput),
+        ],
+        title=f"Engine throughput (GE, {NODES} nodes, N={N})",
+    )
+    write_result(results_dir, "engine_throughput", text)
+
+    assert throughput > 20_000  # regression floor; typically ~200k/s

@@ -1,0 +1,72 @@
+"""Extension study: three algorithm-machine combinations under the metric.
+
+Beyond the paper's GE-vs-MM comparison, this bench adds the Jacobi
+stencil (neighbor halo exchange, O(N) bytes per sweep) and evaluates all
+three on a *switched* interconnect, where distinct communication patterns
+separate cleanly:
+
+* stencil -- halo exchanges parallelize across pairs: most scalable;
+* GE -- per-step broadcasts serialize at the root and a sequential back
+  substitution bites: middle;
+* MM -- replicating B to every process over unicasts (no native
+  broadcast on a switch): least scalable.
+
+The same metric quantifies all three without any homogeneity or
+sequential-reference assumptions -- the paper's central selling point.
+"""
+
+from conftest import write_result
+
+from repro.core.isospeed_efficiency import scalability
+from repro.experiments.report import format_table
+from repro.experiments.sweep import required_size_by_simulation
+from repro.machine.sunwulf import ge_configuration, mm_configuration
+
+NODE_COUNTS = (2, 4, 8)
+TARGETS = {"ge": 0.3, "mm": 0.2, "stencil": 0.3}
+CONFIGS = {"ge": ge_configuration, "mm": mm_configuration,
+           "stencil": ge_configuration}
+
+
+def study(app):
+    records = {}
+    for nodes in NODE_COUNTS:
+        cluster = CONFIGS[app](nodes).with_network("switch")
+        _, record = required_size_by_simulation(
+            app, cluster, TARGETS[app], lower=3
+        )
+        records[nodes] = record.measurement
+    psis = []
+    for a, b in zip(NODE_COUNTS, NODE_COUNTS[1:]):
+        m1, m2 = records[a], records[b]
+        psis.append(
+            scalability(m1.marked_speed, m1.work, m2.marked_speed, m2.work)
+        )
+    return records, psis
+
+
+def test_extension_three_apps(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: {app: study(app) for app in TARGETS}, rounds=1, iterations=1
+    )
+
+    rows = []
+    for app, (records, psis) in results.items():
+        for (a, b), psi in zip(zip(NODE_COUNTS, NODE_COUNTS[1:]), psis):
+            rows.append(
+                (app, f"{a} -> {b} nodes",
+                 records[a].problem_size, records[b].problem_size, psi)
+            )
+    text = format_table(
+        ["application", "transition", "N at E*", "N' at E*", "psi"],
+        rows,
+        title="Extension: three combinations on a switched interconnect",
+    )
+    write_result(results_dir, "extension_three_apps", text)
+
+    ge_psis = results["ge"][1]
+    mm_psis = results["mm"][1]
+    stencil_psis = results["stencil"][1]
+    # The communication-pattern ordering on a switch.
+    for s, g, m in zip(stencil_psis, ge_psis, mm_psis):
+        assert s > g > m

@@ -1,0 +1,32 @@
+"""Figure 1: speed-efficiency of GE against matrix size on two nodes,
+with the polynomial trend line and the paper's verification run (reading
+N for E_S = 0.3 off the trend and measuring it)."""
+
+from conftest import write_result
+
+from repro.experiments.figures import figure1_ge_two_nodes
+from repro.experiments.report import format_series
+
+
+def test_fig1_ge_efficiency_curve(benchmark, results_dir):
+    fig = benchmark.pedantic(figure1_ge_two_nodes, rounds=1, iterations=1)
+
+    lines = [
+        format_series(
+            "rank N", "speed-efficiency", fig.series.points,
+            title="Figure 1: speed-efficiency on two nodes (GE)",
+        ),
+        "",
+        f"trend R^2            : {fig.series.trend.r_squared:.5f}",
+        f"required N (E_S=0.3) : {fig.required_n:.0f}"
+        "   (paper reads ~310 off its trend line)",
+        f"verification run     : N={fig.verified_n} -> "
+        f"E_S={fig.verified_efficiency:.4f} (paper's check: 0.312)",
+    ]
+    write_result(results_dir, "fig1_ge_efficiency_curve", "\n".join(lines))
+
+    assert fig.series.trend.r_squared > 0.97
+    assert fig.verification_error < 0.07
+    # Shape: the curve rises monotonically toward its asymptote.
+    effs = fig.series.curve.efficiencies
+    assert effs == sorted(effs)

@@ -1,0 +1,43 @@
+"""Figure 2: speed-efficiency of MM at every system configuration, one
+polynomial trend per configuration, plus the trend read-offs feeding
+Table 5."""
+
+from conftest import node_counts, write_result
+
+from repro.experiments.figures import figure2_mm_curves
+from repro.experiments.report import format_series, format_table
+
+
+def test_fig2_mm_efficiency_curves(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        lambda: figure2_mm_curves(node_counts=node_counts(), samples=6),
+        rounds=1, iterations=1,
+    )
+
+    blocks = []
+    for series in fig.series:
+        blocks.append(
+            format_series(
+                "rank N", "speed-efficiency", series.points,
+                title=f"Figure 2 ({series.label}): MM speed-efficiency",
+            )
+        )
+        blocks.append("")
+    required = fig.required_sizes()
+    blocks.append(
+        format_table(
+            ["configuration", f"required N for E_S={fig.target}"],
+            sorted(required.items(), key=lambda kv: int(kv[0].split()[0])),
+            title="Figure 2 trend read-offs",
+        )
+    )
+    write_result(results_dir, "fig2_mm_efficiency_curves", "\n".join(blocks))
+
+    # Shape: every curve rises; curves shift right with system size
+    # (larger ensembles need larger problems for the same efficiency).
+    for series in fig.series:
+        assert series.curve.efficiencies[-1] > series.curve.efficiencies[0]
+    ordered = [
+        required[f"{n} nodes"] for n in node_counts()
+    ]
+    assert ordered == sorted(ordered)

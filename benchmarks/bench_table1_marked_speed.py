@@ -1,0 +1,32 @@
+"""Table 1: marked speed of Sunwulf node types (section 4.3).
+
+Regenerates the per-node-type marked speeds by running the benchmark
+suite on each simulated processor and averaging -- the paper's
+measurement procedure.
+"""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table1_marked_speeds
+from repro.npb.runner import clear_cache
+
+
+def test_table1_marked_speeds(benchmark, results_dir):
+    def regenerate():
+        clear_cache()  # measure, don't serve cached values
+        return table1_marked_speeds()
+
+    rows = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+
+    text = format_table(
+        ["node type", "marked speed (Mflops)"],
+        [(r.name, r.mflops) for r in rows],
+        title="Table 1: marked speed of Sunwulf nodes",
+    )
+    write_result(results_dir, "table1_marked_speed", text)
+
+    server, v210, blade = rows
+    # Shape: V210 roughly twice a SunBlade; server CPU and blade similar.
+    assert v210.mflops > 1.8 * blade.mflops
+    assert abs(server.mflops - blade.mflops) < 0.3 * blade.mflops

@@ -1,0 +1,51 @@
+"""Table 3: required rank N for 0.3 speed-efficiency at every GE system
+configuration (the paper's 2/4/8/16/32-node ensembles).
+
+This is the expensive study: the 32-node search simulates tens of
+millions of events.  The benchmark times one additional required-rank
+search on the smallest configuration (representative cost); the full
+study is computed once in the session fixture and validated here.
+"""
+
+from conftest import write_result
+
+from repro.apps.gaussian import GE_COMPUTE_EFFICIENCY
+from repro.experiments.report import format_table
+from repro.experiments.tables import (
+    GE_TARGET_EFFICIENCY,
+    _ge_model,
+    required_rank_hybrid,
+)
+from repro.machine.sunwulf import ge_configuration
+
+
+def test_table3_required_rank(benchmark, results_dir, ge_rows, machine_params):
+    def search_smallest():
+        cluster = ge_configuration(2)
+        model = _ge_model(cluster, machine_params, GE_COMPUTE_EFFICIENCY)
+        return required_rank_hybrid(
+            "ge", cluster, GE_TARGET_EFFICIENCY, model, GE_COMPUTE_EFFICIENCY
+        )
+
+    benchmark.pedantic(search_smallest, rounds=1, iterations=1)
+
+    text = format_table(
+        ["nodes", "processes", "rank N", "workload W",
+         "marked speed (Mflops)", "measured E_S"],
+        [
+            (r.nodes, r.nranks, r.rank_n, r.workload, r.marked_mflops,
+             r.efficiency)
+            for r in ge_rows
+        ],
+        title="Table 3: required rank to obtain 0.3 speed-efficiency (GE)",
+    )
+    write_result(results_dir, "table3_required_rank", text)
+
+    # Shape: required rank and marked speed both grow with system size;
+    # every row sits on the iso-efficiency condition.
+    ranks = [r.rank_n for r in ge_rows]
+    assert ranks == sorted(ranks)
+    for row in ge_rows:
+        assert abs(row.efficiency - GE_TARGET_EFFICIENCY) < 0.05 * GE_TARGET_EFFICIENCY
+    # Two-node anchor near the paper's ~310.
+    assert abs(ge_rows[0].rank_n - 344) < 0.15 * 344

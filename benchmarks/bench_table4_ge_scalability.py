@@ -1,0 +1,27 @@
+"""Table 4: measured isospeed-efficiency scalability of GE on Sunwulf --
+psi between consecutive configurations at E_S = 0.3."""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import scalability_from_rows
+
+
+def test_table4_ge_scalability(benchmark, results_dir, ge_rows):
+    curve = benchmark.pedantic(
+        lambda: scalability_from_rows(ge_rows, "isospeed-efficiency/GE"),
+        rounds=5, iterations=1,
+    )
+
+    text = format_table(
+        ["transition", "psi (measured)"],
+        [(f"{p.label_from} -> {p.label_to}", p.psi) for p in curve.points],
+        title="Table 4: measured scalability of GE on Sunwulf",
+    )
+    write_result(results_dir, "table4_ge_scalability", text)
+
+    psis = [p.psi for p in curve.points]
+    # Shape: psi < 1 everywhere (the paper: "in practice, the scalability
+    # is likely to be smaller than 1") and degrading with system size.
+    assert all(0 < psi < 1 for psi in psis)
+    assert psis[-1] < psis[0]

@@ -1,0 +1,36 @@
+"""Table 5: measured isospeed-efficiency scalability of MM on Sunwulf at
+E_S = 0.2 (companion of Figure 2)."""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import MM_TARGET_EFFICIENCY, scalability_from_rows
+
+
+def test_table5_mm_scalability(benchmark, results_dir, mm_rows):
+    curve = benchmark.pedantic(
+        lambda: scalability_from_rows(mm_rows, "isospeed-efficiency/MM"),
+        rounds=5, iterations=1,
+    )
+
+    rank_table = format_table(
+        ["nodes", "processes", "rank N", "marked speed (Mflops)",
+         "measured E_S"],
+        [
+            (r.nodes, r.nranks, r.rank_n, r.marked_mflops, r.efficiency)
+            for r in mm_rows
+        ],
+        title="Table 5 (inputs): required rank for 0.2 speed-efficiency (MM)",
+    )
+    psi_table = format_table(
+        ["transition", "psi (measured)"],
+        [(f"{p.label_from} -> {p.label_to}", p.psi) for p in curve.points],
+        title="Table 5: measured scalability of MM on Sunwulf",
+    )
+    write_result(
+        results_dir, "table5_mm_scalability", rank_table + "\n\n" + psi_table
+    )
+
+    for row in mm_rows:
+        assert abs(row.efficiency - MM_TARGET_EFFICIENCY) < 0.05 * MM_TARGET_EFFICIENCY
+    assert all(0 < p.psi < 1 for p in curve.points)

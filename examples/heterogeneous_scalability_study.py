@@ -1,0 +1,107 @@
+"""A complete heterogeneous scalability study (the paper's section 4 in
+miniature, at 2-8 nodes so it runs in seconds).
+
+For both applications -- Gaussian elimination and matrix multiplication --
+this script:
+
+* samples speed-efficiency curves across problem sizes per configuration
+  (the Figure 1 / Figure 2 workflow, including the polynomial trend line),
+* locates the iso-efficient problem sizes,
+* tabulates the measured isospeed-efficiency scalability, and
+* reproduces the paper's section-4.4.3 comparison: MM-Sunwulf is the more
+  scalable combination.
+
+Run:  python examples/heterogeneous_scalability_study.py
+"""
+
+from repro.experiments import (
+    efficiency_curve,
+    format_series,
+    format_table,
+)
+from repro.experiments.tables import (
+    comparison_ge_vs_mm,
+    scalability_from_rows,
+    table3_required_rank,
+    table5_mm_required_rank,
+)
+
+NODE_COUNTS = (2, 4, 8)
+
+
+def show_efficiency_curve() -> None:
+    """The Figure-1 workflow on the two-node GE configuration."""
+    from repro.machine import ge_configuration
+
+    curve = efficiency_curve(
+        "ge", ge_configuration(2), (100, 170, 260, 380, 520)
+    )
+    print(
+        format_series(
+            "rank N", "E_S",
+            zip(curve.sizes, (round(e, 4) for e in curve.efficiencies)),
+            title="GE speed-efficiency on two nodes (Figure 1 workflow)",
+        )
+    )
+    trend = curve.trend(degree=2)
+    n_star = trend.required_size(0.3)
+    print(
+        f"\npolynomial trend (R^2 = {trend.r_squared:.4f}) reads "
+        f"N ~ {n_star:.0f} for E_S = 0.3\n"
+    )
+
+
+def main() -> None:
+    show_efficiency_curve()
+
+    print("Running the GE study (required ranks at E_S = 0.3) ...")
+    ge_rows = table3_required_rank(node_counts=NODE_COUNTS)
+    print(
+        format_table(
+            ["nodes", "processes", "rank N", "C (Mflops)", "E_S"],
+            [
+                (r.nodes, r.nranks, r.rank_n, r.marked_mflops, r.efficiency)
+                for r in ge_rows
+            ],
+            title="GE: iso-efficient points",
+        )
+    )
+
+    print("\nRunning the MM study (required ranks at E_S = 0.2) ...")
+    mm_rows = table5_mm_required_rank(node_counts=NODE_COUNTS)
+    print(
+        format_table(
+            ["nodes", "processes", "rank N", "C (Mflops)", "E_S"],
+            [
+                (r.nodes, r.nranks, r.rank_n, r.marked_mflops, r.efficiency)
+                for r in mm_rows
+            ],
+            title="MM: iso-efficient points",
+        )
+    )
+
+    ge_curve = scalability_from_rows(ge_rows, "isospeed-efficiency/GE")
+    mm_curve = scalability_from_rows(mm_rows, "isospeed-efficiency/MM")
+    rows = comparison_ge_vs_mm(ge_curve, mm_curve)
+    print()
+    print(
+        format_table(
+            ["transition", "psi GE", "psi MM", "MM more scalable"],
+            [
+                (r.transition, round(r.ge_psi, 4), round(r.mm_psi, 4),
+                 r.mm_more_scalable)
+                for r in rows
+            ],
+            title="Scalability comparison (the paper's section 4.4.3)",
+        )
+    )
+    winner = "MM" if all(r.mm_more_scalable for r in rows) else "GE"
+    print(
+        f"\n=> the {winner}-Sunwulf combination is the more scalable one: "
+        "GE pays per-iteration broadcasts/barriers plus a sequential back "
+        "substitution, MM communicates only at distribution/collection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Why isospeed-efficiency?  The related-work metrics on the same data.
+
+The paper's section 2 argues that existing scalability metrics either
+assume homogeneity or depend on quantities that are impractical or
+non-intrinsic.  This script evaluates all of them on the *same* simulated
+executions:
+
+* isospeed-efficiency (the paper)            -- works everywhere;
+* Sun-Rover isospeed                         -- exact on the homogeneous
+  ensemble, but needs a processor count that heterogeneity ill-defines;
+* Kumar/Grama isoefficiency & Pastor-Bosque  -- need a sequential
+  execution of the *scaled* problem, which does not fit one node's memory;
+* Jogalekar-Woodside productivity            -- flips its verdict when the
+  rental price changes, with zero change to the machine.
+
+Run:  python examples/metric_comparison.py
+"""
+
+from repro.core import (
+    heterogeneous_efficiency,
+    isospeed_scalability,
+    scalability_from_measurements,
+    sequential_time_feasible,
+)
+from repro.core.productivity import (
+    CostModel,
+    productivity_of_measurement,
+    productivity_scalability,
+)
+from repro.experiments import marked_speed_of
+from repro.experiments.sweep import required_size_by_simulation
+from repro.machine import ge_configuration, mm_configuration
+from repro.machine.presets import homogeneous_blades
+from repro.machine.sunwulf import SUNBLADE_NODE
+
+TARGET = 0.25
+
+
+def homogeneous_check() -> None:
+    print("== homogeneous special case " + "=" * 34)
+    small, large = homogeneous_blades(2), homogeneous_blades(4)
+    n1, rec1 = required_size_by_simulation("ge", small, TARGET)
+    n2, rec2 = required_size_by_simulation("ge", large, TARGET)
+    psi_new = scalability_from_measurements(
+        rec1.measurement, rec2.measurement, efficiency_rtol=0.1
+    ).psi
+    psi_iso = isospeed_scalability(2, rec1.measurement.work, 4, rec2.measurement.work)
+    print(f"  isospeed-efficiency psi = {psi_new:.4f}")
+    print(f"  Sun-Rover isospeed  psi = {psi_iso:.4f}")
+    print("  -> identical: the new metric contains isospeed as a special case\n")
+
+
+def heterogeneous_case() -> None:
+    print("== heterogeneous ensembles " + "=" * 35)
+    small, large = mm_configuration(2), mm_configuration(4)
+    n1, rec1 = required_size_by_simulation("mm", small, 0.2)
+    n2, rec2 = required_size_by_simulation("mm", large, 0.2)
+    psi = scalability_from_measurements(
+        rec1.measurement, rec2.measurement, efficiency_rtol=0.1
+    ).psi
+    print(f"  isospeed-efficiency psi(C_2', C_4') = {psi:.4f}")
+    print(
+        "  Sun-Rover isospeed: undefined -- 'number of processors' cannot "
+        "rank a server CPU against a V210 CPU\n"
+    )
+
+    # Speedup-based metrics need T_seq of the SCALED problem on one node.
+    scaled_bytes = 3 * 8.0 * n2 * n2  # A, B, C resident for sequential MM
+    blade_memory = SUNBLADE_NODE.memory_mb * 2**20
+    feasible = sequential_time_feasible(scaled_bytes, blade_memory)
+    print(
+        f"  isoefficiency / Pastor-Bosque: need sequential MM at N={n2} "
+        f"on one SunBlade -> {scaled_bytes / 2**20:.0f} MB of operands vs "
+        f"{SUNBLADE_NODE.memory_mb:.0f} MB of memory: "
+        f"{'feasible' if feasible else 'NOT MEASURABLE (the paper’s critique)'}"
+    )
+    if feasible:
+        marked = marked_speed_of(small)
+        e_het = heterogeneous_efficiency(
+            rec1.measurement.work / marked.per_rank[0].flops_per_second,
+            rec1.measurement.time,
+            marked.total,
+            marked.per_rank[0].flops_per_second,
+        )
+        print(f"  (Pastor-Bosque efficiency at the small scale: {e_het:.3f})")
+    print()
+
+
+def productivity_case() -> None:
+    print("== strategy-based (productivity) metric " + "=" * 22)
+    small, large = mm_configuration(2), mm_configuration(4)
+    _, rec1 = required_size_by_simulation("mm", small, 0.2)
+    _, rec2 = required_size_by_simulation("mm", large, 0.2)
+
+    # Growing from 2 to 4 nodes adds one SunBlade and one V210; the blade
+    # is the class whose price the provider renegotiates.
+    classes_small = ["server", "v210"]
+    classes_large = ["server", "blade", "v210", "v210"]
+    for label, rates in (
+        ("cheap SunBlade rental ($0.2/s)", {"blade": 0.2}),
+        ("dear SunBlade rental ($5.0/s)", {"blade": 5.0}),
+    ):
+        model = CostModel(rates=rates, base_rate=1.0)
+        f1 = productivity_of_measurement(rec1.measurement, model, classes_small)
+        f2 = productivity_of_measurement(rec2.measurement, model, classes_large)
+        psi = productivity_scalability(f1, f2)
+        verdict = "scalable" if psi >= 0.8 else "NOT scalable"
+        print(f"  {label}: psi = {psi:.3f} -> {verdict}")
+    print(
+        "  -> same machine, same runs, opposite verdicts: pricing, not the "
+        "system, decided (the paper's critique of [5])"
+    )
+
+
+def main() -> None:
+    homogeneous_check()
+    heterogeneous_case()
+    productivity_case()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: measure the isospeed-efficiency scalability of one
+algorithm-machine combination.
+
+Walks the paper's core workflow end to end on the simulated Sunwulf
+cluster:
+
+1. build two system configurations (2 and 4 nodes),
+2. measure their marked speeds with the benchmark suite (Definitions 1-2),
+3. find, for each, the matrix size at which Gaussian elimination reaches
+   a speed-efficiency of 0.3 (the isospeed-efficiency condition),
+4. evaluate the scalability function psi(C, C') (Definition 4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import scalability_from_measurements
+from repro.experiments import marked_speed_of, run_ge
+from repro.experiments.sweep import required_size_by_simulation
+from repro.machine import ge_configuration
+
+TARGET_EFFICIENCY = 0.3
+
+
+def main() -> None:
+    # -- 1. two system configurations ---------------------------------
+    small = ge_configuration(2)  # server (2 CPUs) + 1 SunBlade
+    large = ge_configuration(4)  # server (2 CPUs) + 3 SunBlades
+
+    # -- 2. marked speeds (benchmarked once, then constants) -----------
+    for cluster in (small, large):
+        marked = marked_speed_of(cluster)
+        per_rank = ", ".join(f"{m.mflops:.0f}" for m in marked.per_rank)
+        print(
+            f"{cluster.name}: {cluster.nranks} processes, "
+            f"marked speeds [{per_rank}] Mflops, C = "
+            f"{marked.total_mflops:.0f} Mflops"
+        )
+
+    # -- 3. one measured execution, just to see the metric's inputs ----
+    record = run_ge(small, 310)
+    m = record.measurement
+    print(
+        f"\nGE at N=310 on {small.name}: W = {m.work:.3g} flops, "
+        f"T = {m.time:.3f} s, speed = {m.speed_mflops:.1f} Mflops, "
+        f"E_S = {m.speed_efficiency:.3f}"
+    )
+
+    # -- 4. the iso-efficient problem sizes and psi --------------------
+    print(f"\nSolving the isospeed-efficiency condition at E_S = {TARGET_EFFICIENCY} ...")
+    n_small, rec_small = required_size_by_simulation(
+        "ge", small, TARGET_EFFICIENCY
+    )
+    n_large, rec_large = required_size_by_simulation(
+        "ge", large, TARGET_EFFICIENCY
+    )
+    print(f"  {small.name}: required N = {n_small}")
+    print(f"  {large.name}: required N = {n_large}")
+
+    point = scalability_from_measurements(
+        rec_small.measurement, rec_large.measurement, efficiency_rtol=0.1
+    )
+    print(
+        f"\npsi(C_2, C_4) = (C' W) / (C W') = {point.psi:.3f}"
+        f"   (1 = perfectly scalable; the problem must grow "
+        f"{1 / point.psi:.1f}x faster than the ideal W C'/C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

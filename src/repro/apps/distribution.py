@@ -1,0 +1,272 @@
+"""Heterogeneous data-distribution algorithms.
+
+The paper's applications distribute matrix rows "proportionally to other
+nodes according to their marked speeds":
+
+* GE uses the *row-based heterogeneous cyclic* distribution of Kalinov &
+  Lastovetsky (reference [6]): rows are dealt in rounds; within a round
+  each process receives a group of consecutive rows sized by its speed
+  share.  Cyclic dealing keeps the load balanced as elimination shrinks
+  the active matrix.
+* MM uses a *row-based heterogeneous block* distribution: one contiguous
+  band per process, sized by its speed share.
+
+Also included is a simplified variant of Beaumont et al.'s column-based
+tiling for two-dimensional partitioning (reference [1]) -- the optimal
+problem is NP-complete; their polynomial heuristic arranges processors in
+columns and is implemented here for the 2-D extension studies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.errors import InvalidOperationError
+
+
+def _validate_speeds(speeds: Sequence[float]) -> list[float]:
+    speeds = [float(s) for s in speeds]
+    if not speeds:
+        raise InvalidOperationError("need at least one processor speed")
+    for speed in speeds:
+        if speed <= 0:
+            raise InvalidOperationError(f"speeds must be positive, got {speed}")
+    return speeds
+
+
+def proportional_counts(total: int, speeds: Sequence[float]) -> list[int]:
+    """Split ``total`` items proportionally to ``speeds`` (largest-remainder
+    rounding; deterministic, conserves the total exactly)."""
+    speeds = _validate_speeds(speeds)
+    if total < 0:
+        raise InvalidOperationError(f"total must be non-negative, got {total}")
+    weight = sum(speeds)
+    quotas = [total * s / weight for s in speeds]
+    counts = [int(q) for q in quotas]
+    remainder = total - sum(counts)
+    # Assign leftover items to the largest fractional parts (ties -> lower
+    # rank, for determinism).
+    order = sorted(
+        range(len(speeds)), key=lambda i: (-(quotas[i] - counts[i]), i)
+    )
+    for i in order[:remainder]:
+        counts[i] += 1
+    return counts
+
+
+def heterogeneous_block(n: int, speeds: Sequence[float]) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row bands proportional to speeds."""
+    counts = proportional_counts(n, speeds)
+    bands: list[tuple[int, int]] = []
+    start = 0
+    for count in counts:
+        bands.append((start, start + count))
+        start += count
+    return bands
+
+
+def cyclic_group_sizes(speeds: Sequence[float], round_scale: int = 1) -> list[int]:
+    """Per-round group sizes for the heterogeneous cyclic distribution.
+
+    Each process receives at least one row per round; group sizes are the
+    speeds normalized by the slowest process and rounded, scaled by
+    ``round_scale`` for finer-grained proportionality.
+    """
+    speeds = _validate_speeds(speeds)
+    if round_scale < 1:
+        raise InvalidOperationError("round_scale must be >= 1")
+    slowest = min(speeds)
+    return [max(1, round(round_scale * s / slowest)) for s in speeds]
+
+
+def heterogeneous_cyclic(
+    n: int, speeds: Sequence[float], round_scale: int = 1
+) -> np.ndarray:
+    """Owner array of the row-based heterogeneous cyclic distribution.
+
+    Returns ``owner[i]`` = rank owning row ``i``.  Rows are dealt in
+    rounds of ``sum(group_sizes)`` rows; within each round rank ``r``
+    takes ``group_sizes[r]`` consecutive rows.
+    """
+    if n < 0:
+        raise InvalidOperationError(f"n must be non-negative, got {n}")
+    groups = cyclic_group_sizes(speeds, round_scale)
+    pattern = np.concatenate(
+        [np.full(g, rank, dtype=np.int64) for rank, g in enumerate(groups)]
+    )
+    reps = -(-n // len(pattern))  # ceil division
+    return np.tile(pattern, reps)[:n]
+
+
+@dataclass(frozen=True)
+class RowLayout:
+    """Precomputed per-rank row ownership with fast queries.
+
+    Used by the GE program to count, per elimination step ``k``, how many
+    of a rank's rows still lie in the active trailing submatrix.
+    """
+
+    owner: np.ndarray  # owner[i] = rank of row i
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.owner.ndim != 1:
+            raise InvalidOperationError("owner array must be one-dimensional")
+        if len(self.owner) and (
+            self.owner.min() < 0 or self.owner.max() >= self.nranks
+        ):
+            raise InvalidOperationError("owner entries must be valid ranks")
+        object.__setattr__(self, "_rows_by_rank", None)
+
+    @property
+    def n(self) -> int:
+        return len(self.owner)
+
+    def rows_of(self, rank: int) -> np.ndarray:
+        """Sorted row indices owned by ``rank``."""
+        if not 0 <= rank < self.nranks:
+            raise InvalidOperationError(f"rank {rank} out of range")
+        cache = object.__getattribute__(self, "_rows_by_rank")
+        if cache is None:
+            cache = [
+                np.flatnonzero(self.owner == r) for r in range(self.nranks)
+            ]
+            object.__setattr__(self, "_rows_by_rank", cache)
+        return cache[rank]
+
+    def count_after(self, rank: int, k: int) -> int:
+        """Number of rows owned by ``rank`` with index strictly above ``k``."""
+        rows = self.rows_of(rank)
+        return len(rows) - bisect_right(rows, k)
+
+    def counts(self) -> list[int]:
+        """Rows per rank."""
+        return [len(self.rows_of(r)) for r in range(self.nranks)]
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """One processor's tile of the unit square (column-based tiling)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    rank: int
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def half_perimeter(self) -> float:
+        return self.width + self.height
+
+
+@dataclass(frozen=True)
+class Tile:
+    """An integer sub-block of an ``n x n`` matrix owned by one rank."""
+
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+    rank: int
+
+    @property
+    def rows(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def cols(self) -> int:
+        return self.col1 - self.col0
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def half_perimeter(self) -> int:
+        """Communication proxy: an MM tile needs ``rows`` of A and
+        ``cols`` of B (each times n)."""
+        return self.rows + self.cols
+
+
+def integer_column_tiling(n: int, speeds: Sequence[float]) -> list[Tile]:
+    """Integer realization of the column-based tiling for an n x n matrix.
+
+    Reuses the unit-square heuristic's column structure, then converts
+    column widths and per-column heights to integers with
+    largest-remainder rounding, so the tiles exactly partition the matrix
+    while keeping areas near the speed shares.
+    """
+    if n < 0:
+        raise InvalidOperationError(f"n must be non-negative, got {n}")
+    rects = column_based_tiling(speeds)
+    # Recover the column structure: group by x coordinate.
+    columns: dict[float, list[Rectangle]] = {}
+    for rect in rects:
+        columns.setdefault(round(rect.x, 12), []).append(rect)
+    ordered = [columns[x] for x in sorted(columns)]
+    col_weights = [sum(r.area for r in col) for col in ordered]
+    col_widths = proportional_counts(n, col_weights)
+    tiles: list[Tile] = []
+    col0 = 0
+    for col_rects, width in zip(ordered, col_widths):
+        col_rects = sorted(col_rects, key=lambda r: r.y)
+        heights = proportional_counts(n, [r.area for r in col_rects])
+        row0 = 0
+        for rect, height in zip(col_rects, heights):
+            tiles.append(
+                Tile(row0, row0 + height, col0, col0 + width, rect.rank)
+            )
+            row0 += height
+        col0 += width
+    return sorted(tiles, key=lambda t: t.rank)
+
+
+def column_based_tiling(speeds: Sequence[float]) -> list[Rectangle]:
+    """Beaumont et al.-style column tiling heuristic for 2-D partitioning.
+
+    Partitions the unit square into one rectangle per processor with area
+    equal to its speed share, arranging processors into vertical columns.
+    For each candidate column count the processors are split into
+    contiguous speed-sorted columns of near-equal cardinality; the layout
+    minimizing the total half-perimeter (proportional to MM communication
+    volume) is returned.
+    """
+    speeds = _validate_speeds(speeds)
+    p = len(speeds)
+    total = sum(speeds)
+    shares = [s / total for s in speeds]
+    order = sorted(range(p), key=lambda i: (-shares[i], i))
+
+    best: list[Rectangle] | None = None
+    best_cost = float("inf")
+    for ncols in range(1, p + 1):
+        base, extra = divmod(p, ncols)
+        layout: list[Rectangle] = []
+        x = 0.0
+        idx = 0
+        for col in range(ncols):
+            col_count = base + (1 if col < extra else 0)
+            members = order[idx: idx + col_count]
+            idx += col_count
+            col_share = sum(shares[m] for m in members)
+            width = col_share
+            y = 0.0
+            for member in members:
+                height = shares[member] / col_share
+                layout.append(Rectangle(x, y, width, height, member))
+                y += height
+            x += width
+        cost = sum(r.half_perimeter for r in layout)
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best = layout
+    assert best is not None
+    return sorted(best, key=lambda r: r.rank)

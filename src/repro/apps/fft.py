@@ -1,0 +1,190 @@
+"""Distributed 2-D FFT via transpose (an NPB-FT-style workload).
+
+A fourth algorithm-machine combination with the communication pattern
+the paper's applications lack entirely: a *personalized all-to-all*.
+The classic transpose algorithm for ``FFT2`` of an ``N x N`` complex
+field on ``p`` processes:
+
+1. each rank holds a band of rows (heterogeneous shares) and runs local
+   row FFTs,
+2. one ``alltoall`` re-partitions the field into column bands (rank ``r``
+   sends the intersection of its rows with ``d``'s columns to ``d``),
+3. each rank runs local FFTs along its (now contiguous) columns.
+
+The result is ``FFT2(x)`` stored transposed in column bands; collection
+at the root undoes the transpose.  Per-transform flop counts use the
+standard ``5 N log2 N`` radix-2 estimate, so the workload polynomial is
+``W(N) = 10 N^2 log2 N``.
+
+Numeric mode computes real FFTs (``numpy.fft``) and is validated against
+``numpy.fft.fft2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ..mpi.communicator import Comm
+from ..sim.errors import InvalidOperationError
+from ..sim.events import Compute
+from .distribution import heterogeneous_block
+
+#: Sustained fraction of marked speed for the FFT butterflies.
+FFT_COMPUTE_EFFICIENCY = 0.5
+
+_COMPLEX = 16.0  # bytes per complex double
+
+
+@dataclass(frozen=True)
+class FFTOptions:
+    """Configuration of one distributed FFT2 execution."""
+
+    n: int
+    speeds: tuple[float, ...]
+    numeric: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or (self.n & (self.n - 1)) != 0:
+            raise InvalidOperationError(
+                f"FFT size must be a power of two >= 2, got {self.n}"
+            )
+        if not self.speeds:
+            raise InvalidOperationError("need at least one processor speed")
+        object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.speeds)
+
+    def bands(self) -> list[tuple[int, int]]:
+        """Shared row/column partition (same shares along both axes)."""
+        return heterogeneous_block(self.n, self.speeds)
+
+
+def fft_transform_flops(n: int) -> float:
+    """Standard radix-2 estimate for one length-``n`` transform."""
+    return 5.0 * n * math.log2(n)
+
+
+def fft_workload(n: int) -> float:
+    """``W(N) = 2 N * 5 N log2 N``: N row transforms + N column transforms."""
+    if n < 2 or (n & (n - 1)) != 0:
+        raise InvalidOperationError(
+            f"FFT size must be a power of two >= 2, got {n}"
+        )
+    return 2.0 * n * fft_transform_flops(n)
+
+
+def generate_field(n: int, seed: int = 0) -> np.ndarray:
+    """A random complex field."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+
+
+def make_fft_program(options: FFTOptions):
+    """Build the per-rank SPMD generator for one FFT2 execution."""
+    n = options.n
+    bands = options.bands()
+    nranks = options.nranks
+
+    if options.numeric:
+        field = generate_field(n, options.seed)
+    else:
+        field = None
+
+    def program(comm: Comm) -> Generator[Any, Any, np.ndarray | None]:
+        rank = comm.rank
+        if comm.size != nranks:
+            raise InvalidOperationError(
+                f"program built for {nranks} ranks, run with {comm.size}"
+            )
+        root = 0
+        start, stop = bands[rank]
+        rows = stop - start
+
+        yield from comm.bcast(payload=n if rank == root else None,
+                              root=root, nbytes=8.0)
+
+        # Distribution of row bands.
+        if rank == root:
+            local = field[start:stop].copy() if options.numeric else None
+            for dst in range(nranks):
+                if dst == root:
+                    continue
+                d_start, d_stop = bands[dst]
+                nbytes = (d_stop - d_start) * n * _COMPLEX
+                payload = (
+                    field[d_start:d_stop].copy() if options.numeric else None
+                )
+                yield from comm.send(dst, payload=payload, nbytes=nbytes, tag=1)
+        else:
+            msg = yield from comm.recv(src=root, tag=1)
+            local = msg.payload
+
+        # Phase 1: row transforms on the owned band.
+        if rows:
+            yield Compute(flops=rows * fft_transform_flops(n))
+            if options.numeric:
+                local = np.fft.fft(local, axis=1)
+
+        # Transpose via alltoall: to rank d goes my-rows x d's-columns.
+        payloads: list[Any] = [None] * nranks
+        sizes: list[float] = [0.0] * nranks
+        for dst in range(nranks):
+            d_start, d_stop = bands[dst]
+            sizes[dst] = rows * (d_stop - d_start) * _COMPLEX
+            if options.numeric and rows:
+                payloads[dst] = local[:, d_start:d_stop].copy()
+        received = yield from comm.alltoall(
+            payloads=payloads if options.numeric else None,
+            sizes=sizes,
+        )
+        cols = stop - start  # same shares along both axes
+        if options.numeric:
+            blocks = []
+            for src in range(nranks):
+                s_start, s_stop = bands[src]
+                block = received[src]
+                if block is None:
+                    block = np.empty((s_stop - s_start, cols), dtype=complex)
+                blocks.append(block)
+            # Stack row-bands of the column slab, then transpose so the
+            # owned columns become contiguous rows.
+            slab = np.vstack(blocks) if blocks else np.empty((0, cols))
+            local = slab.T.copy()  # shape (cols, n)
+
+        # Phase 2: transforms along the original columns.
+        if cols:
+            yield Compute(flops=cols * fft_transform_flops(n))
+            if options.numeric:
+                local = np.fft.fft(local, axis=1)
+
+        # Collection: root reassembles FFT2(field) from column bands.
+        if rank == root:
+            if options.numeric:
+                spectrum = np.empty((n, n), dtype=complex)
+                if cols:
+                    spectrum[:, start:stop] = local.T
+            for src in range(nranks):
+                if src == root:
+                    continue
+                msg = yield from comm.recv(src=src, tag=2)
+                if options.numeric:
+                    s_start, s_stop = bands[src]
+                    if s_stop > s_start:
+                        spectrum[:, s_start:s_stop] = msg.payload.T
+            return spectrum if options.numeric else None
+        yield from comm.send(
+            root,
+            payload=local if options.numeric else None,
+            nbytes=cols * n * _COMPLEX,
+            tag=2,
+        )
+        return None
+
+    return program

@@ -1,0 +1,200 @@
+"""Gaussian elimination with partial pivoting (robustness extension).
+
+The paper's GE (section 4.1.1) does not pivot -- safe for the diagonally
+dominant systems used in benchmarks, unstable in general.  This variant
+adds distributed partial pivoting:
+
+* at step ``k`` every rank scans its owned rows ``j >= k`` for the
+  largest ``|a[j, k]|`` (a maxloc allreduce decides the winner),
+* the winning row and the natural pivot row are exchanged between their
+  owners (two point-to-point messages when the owners differ),
+* elimination proceeds as in the plain algorithm.
+
+The communication schedule is *data-dependent* (whether a swap crosses
+ranks depends on the matrix values), so this variant is **numeric-mode
+only**: it always carries real rows, and its timing reflects the actual
+swaps performed.  Use :mod:`repro.apps.gaussian` for modelled
+scalability sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ..mpi.communicator import Comm
+from ..sim.errors import InvalidOperationError
+from ..sim.events import Compute
+from .distribution import RowLayout, heterogeneous_cyclic
+from .gaussian import GEResult, generate_system
+from .workload import ge_back_substitution_workload
+
+_DOUBLE = 8.0
+
+
+@dataclass(frozen=True)
+class PivotedGEOptions:
+    """Configuration of one pivoted GE execution (numeric only)."""
+
+    n: int
+    speeds: tuple[float, ...]
+    seed: int = 0
+    matrix: Any = None  # optional explicit system
+    rhs: Any = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise InvalidOperationError(f"matrix rank must be >= 1, got {self.n}")
+        if not self.speeds:
+            raise InvalidOperationError("need at least one processor speed")
+        if (self.matrix is None) != (self.rhs is None):
+            raise InvalidOperationError("provide both matrix and rhs or neither")
+        object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.speeds)
+
+
+def generate_hard_system(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """A system that defeats no-pivot GE: random with tiny diagonal
+    entries, so early pivots are near zero without row exchanges."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    np.fill_diagonal(a, 1e-12 * rng.standard_normal(n))
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def make_pivoted_ge_program(options: PivotedGEOptions):
+    """Build the per-rank SPMD generator (numeric execution only)."""
+    n = options.n
+    nranks = options.nranks
+    layout = RowLayout(heterogeneous_cyclic(n, options.speeds), nranks)
+
+    if options.matrix is not None:
+        matrix = np.array(options.matrix, dtype=float)
+        rhs = np.array(options.rhs, dtype=float)
+        if matrix.shape != (n, n) or rhs.shape != (n,):
+            raise InvalidOperationError("matrix/rhs shapes do not match n")
+    else:
+        matrix, rhs = generate_system(n, options.seed)
+
+    def program(comm: Comm) -> Generator[Any, Any, GEResult | None]:
+        rank = comm.rank
+        if comm.size != nranks:
+            raise InvalidOperationError(
+                f"program built for {nranks} ranks, run with {comm.size}"
+            )
+        root = 0
+        my_rows = set(int(j) for j in layout.rows_of(rank))
+
+        yield from comm.bcast(payload=n if rank == root else None,
+                              root=root, nbytes=_DOUBLE)
+
+        # Distribution, as in the plain algorithm.
+        local: dict[int, np.ndarray] = {}
+        if rank == root:
+            augmented = np.hstack([matrix, rhs[:, None]])
+            for j in sorted(my_rows):
+                local[j] = augmented[j].copy()
+            for dst in range(nranks):
+                if dst == root:
+                    continue
+                dst_rows = sorted(int(j) for j in layout.rows_of(dst))
+                nbytes = len(dst_rows) * (n + 1) * _DOUBLE
+                payload = {j: augmented[j].copy() for j in dst_rows}
+                yield from comm.send(dst, payload=payload, nbytes=nbytes, tag=1)
+        else:
+            msg = yield from comm.recv(src=root, tag=1)
+            local = dict(msg.payload)
+
+        # ``holder[j]`` tracks which *logical* row index each rank's
+        # storage corresponds to after swaps; we swap contents, so the
+        # layout ownership stays fixed and only values move.
+        for k in range(n - 1):
+            # (1) local pivot candidate among owned rows >= k.
+            best_val = -1.0
+            best_row = -1
+            candidates = [j for j in local if j >= k]
+            if candidates:
+                yield Compute(flops=float(len(candidates)))  # the scan
+                for j in candidates:
+                    magnitude = abs(local[j][k])
+                    if magnitude > best_val:
+                        best_val = magnitude
+                        best_row = j
+
+            # (2) maxloc allreduce: (value, row, owner) with the largest
+            # value wins; ties resolve to the smallest row for determinism.
+            def maxloc(a, b):
+                if (a[0], -a[1]) >= (b[0], -b[1]):
+                    return a
+                return b
+
+            winner = yield from comm.allreduce(
+                (best_val, best_row, rank), op=maxloc, nbytes=3 * _DOUBLE
+            )
+            _, pivot_row, pivot_owner = winner
+            if pivot_row < 0:
+                raise InvalidOperationError("no pivot candidate found")
+
+            # (3) swap row contents k <-> pivot_row across their owners.
+            natural_owner = int(layout.owner[k])
+            if pivot_row != k:
+                if pivot_owner == natural_owner == rank:
+                    local[k], local[pivot_row] = local[pivot_row], local[k]
+                elif rank == pivot_owner:
+                    yield from comm.send(
+                        natural_owner, payload=local[pivot_row],
+                        nbytes=(n + 1) * _DOUBLE, tag=3,
+                    )
+                    msg = yield from comm.recv(src=natural_owner, tag=4)
+                    local[pivot_row] = msg.payload
+                elif rank == natural_owner:
+                    yield from comm.send(
+                        pivot_owner, payload=local[k],
+                        nbytes=(n + 1) * _DOUBLE, tag=4,
+                    )
+                    msg = yield from comm.recv(src=pivot_owner, tag=3)
+                    local[k] = msg.payload
+
+            # (4) broadcast the (now correct) pivot row and eliminate.
+            pivot_payload = local[k][k:].copy() if rank == natural_owner else None
+            pivot = yield from comm.bcast(
+                payload=pivot_payload, root=natural_owner,
+                nbytes=(n - k + 1) * _DOUBLE,
+            )
+            updates = [j for j in local if j > k]
+            if updates:
+                yield Compute(flops=len(updates) * (2.0 * (n - k) + 1.0))
+                piv_val = pivot[0]
+                for j in updates:
+                    row = local[j]
+                    factor = row[k] / piv_val
+                    row[k + 1:] -= factor * pivot[1:]
+                    row[k] = 0.0
+            yield from comm.barrier()
+
+        # Collection + sequential back substitution at the root.
+        if rank == root:
+            collected: dict[int, np.ndarray] = dict(local)
+            for src in range(nranks):
+                if src == root:
+                    continue
+                msg = yield from comm.recv(src=src, tag=2)
+                collected.update(msg.payload)
+            yield Compute(flops=ge_back_substitution_workload(n))
+            upper = np.vstack([collected[j] for j in range(n)])
+            x = np.zeros(n)
+            for i in range(n - 1, -1, -1):
+                x[i] = (upper[i, n] - upper[i, i + 1: n] @ x[i + 1: n]) / upper[i, i]
+            result = GEResult(solution=x, matrix=matrix, rhs=rhs)
+            return result
+        nbytes = len(local) * (n + 1) * _DOUBLE
+        yield from comm.send(root, payload=local, nbytes=nbytes, tag=2)
+        return None
+
+    return program

@@ -1,0 +1,243 @@
+"""Heterogeneous 2-D Jacobi stencil with halo exchange.
+
+A third algorithm-machine combination beyond the paper's GE and MM,
+exercising the communication pattern neither of them has: per-sweep
+*neighbor* (halo) exchanges between adjacent row bands, optionally plus a
+global residual reduction.  Its communication volume grows like ``O(N)``
+per sweep against ``O(N^2)`` compute, so the combination is markedly more
+scalable than either paper application -- a useful extreme when studying
+the isospeed-efficiency metric.
+
+The grid is an ``N x N`` field; rows are distributed in contiguous bands
+proportional to marked speeds (the same heterogeneous-block distribution
+MM uses); each sweep updates interior points with the 4-neighbor Jacobi
+average (4 flops/point) after exchanging one boundary row (``8N`` bytes)
+with each active neighbor.
+
+Numeric mode runs real NumPy sweeps and is validated against a
+sequential reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ..mpi.communicator import Comm
+from ..sim.errors import InvalidOperationError
+from ..sim.events import Compute
+from .distribution import heterogeneous_block
+
+#: Fraction of marked speed the memory-bound stencil sweep sustains.
+STENCIL_COMPUTE_EFFICIENCY = 0.45
+
+_DOUBLE = 8.0
+_FLOPS_PER_POINT = 4.0  # 3 adds + 1 multiply per Jacobi update
+_RESIDUAL_FLOPS_PER_POINT = 3.0  # subtract, square, accumulate
+
+
+@dataclass(frozen=True)
+class StencilOptions:
+    """Configuration of one Jacobi execution."""
+
+    n: int
+    sweeps: int
+    speeds: tuple[float, ...]
+    residual_every: int = 0  # 0 = no residual reductions
+    numeric: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise InvalidOperationError(
+                f"the 5-point stencil needs n >= 3, got {self.n}"
+            )
+        if self.sweeps < 1:
+            raise InvalidOperationError(f"sweeps must be >= 1, got {self.sweeps}")
+        if self.residual_every < 0:
+            raise InvalidOperationError("residual_every must be >= 0")
+        if not self.speeds:
+            raise InvalidOperationError("need at least one processor speed")
+        object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.speeds)
+
+    def bands(self) -> list[tuple[int, int]]:
+        return heterogeneous_block(self.n, self.speeds)
+
+
+def stencil_sweep_workload(n: int) -> float:
+    """Flops of one full Jacobi sweep over the interior."""
+    return _FLOPS_PER_POINT * (n - 2) * (n - 2)
+
+
+def stencil_workload(
+    n: int, sweeps: int, residual_every: int = 0
+) -> float:
+    """Total stencil workload, matching the program's flop accounting."""
+    if n < 3 or sweeps < 1:
+        raise InvalidOperationError("need n >= 3 and sweeps >= 1")
+    total = sweeps * stencil_sweep_workload(n)
+    if residual_every:
+        checks = sweeps // residual_every
+        total += checks * _RESIDUAL_FLOPS_PER_POINT * (n - 2) * (n - 2)
+    return total
+
+
+def jacobi_reference(grid: np.ndarray, sweeps: int) -> np.ndarray:
+    """Sequential ground truth: ``sweeps`` Jacobi iterations."""
+    current = grid.copy()
+    for _ in range(sweeps):
+        nxt = current.copy()
+        nxt[1:-1, 1:-1] = 0.25 * (
+            current[:-2, 1:-1] + current[2:, 1:-1]
+            + current[1:-1, :-2] + current[1:-1, 2:]
+        )
+        current = nxt
+    return current
+
+
+def generate_grid(n: int, seed: int = 0) -> np.ndarray:
+    """A random initial field with fixed (Dirichlet) boundary."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n))
+
+
+def make_stencil_program(options: StencilOptions):
+    """Build the per-rank SPMD generator for one Jacobi execution."""
+    n = options.n
+    bands = options.bands()
+    nranks = options.nranks
+    # Active ranks own at least one row; halo partners skip empty bands.
+    active = [r for r, (start, stop) in enumerate(bands) if stop > start]
+
+    def neighbor(rank: int, direction: int) -> int | None:
+        """Nearest active rank above (-1) or below (+1), if any."""
+        idx = active.index(rank)
+        j = idx + direction
+        if 0 <= j < len(active):
+            return active[j]
+        return None
+
+    if options.numeric:
+        grid0 = generate_grid(n, options.seed)
+    else:
+        grid0 = None
+
+    def program(comm: Comm) -> Generator[Any, Any, np.ndarray | None]:
+        rank = comm.rank
+        if comm.size != nranks:
+            raise InvalidOperationError(
+                f"program built for {nranks} ranks, run with {comm.size}"
+            )
+        root = 0
+        start, stop = bands[rank]
+        rows = stop - start
+
+        yield from comm.bcast(payload=n if rank == root else None,
+                              root=root, nbytes=_DOUBLE)
+
+        # Distribution: contiguous bands with one halo row on each side.
+        local: np.ndarray | None = None
+        if rank == root:
+            for dst in range(nranks):
+                if dst == root:
+                    continue
+                d_start, d_stop = bands[dst]
+                nbytes = (d_stop - d_start) * n * _DOUBLE
+                payload = (
+                    grid0[d_start:d_stop].copy() if options.numeric else None
+                )
+                yield from comm.send(dst, payload=payload, nbytes=nbytes, tag=1)
+            if options.numeric and rows:
+                local = grid0[start:stop].copy()
+        else:
+            msg = yield from comm.recv(src=root, tag=1)
+            if options.numeric:
+                local = msg.payload
+
+        up = neighbor(rank, -1) if rows else None
+        down = neighbor(rank, +1) if rows else None
+        halo_up: np.ndarray | None = None
+        halo_down: np.ndarray | None = None
+
+        for sweep in range(options.sweeps):
+            # Halo exchange (deadlock-free: sends complete on injection).
+            if rows:
+                if up is not None:
+                    payload = local[0].copy() if options.numeric else None
+                    yield from comm.send(
+                        up, payload=payload, nbytes=n * _DOUBLE, tag=10
+                    )
+                if down is not None:
+                    payload = local[-1].copy() if options.numeric else None
+                    yield from comm.send(
+                        down, payload=payload, nbytes=n * _DOUBLE, tag=11
+                    )
+                if up is not None:
+                    msg = yield from comm.recv(src=up, tag=11)
+                    halo_up = msg.payload
+                if down is not None:
+                    msg = yield from comm.recv(src=down, tag=10)
+                    halo_down = msg.payload
+
+            # Interior update for this band.
+            lo = max(start, 1)
+            hi = min(stop, n - 1)
+            interior_rows = max(0, hi - lo)
+            if interior_rows:
+                yield Compute(
+                    flops=_FLOPS_PER_POINT * interior_rows * (n - 2)
+                )
+                if options.numeric:
+                    padded = np.empty((rows + 2, n))
+                    padded[1:-1] = local
+                    padded[0] = halo_up if halo_up is not None else 0.0
+                    padded[-1] = halo_down if halo_down is not None else 0.0
+                    updated = local.copy()
+                    for i in range(rows):
+                        g = start + i
+                        if 1 <= g < n - 1:
+                            updated[i, 1:-1] = 0.25 * (
+                                padded[i, 1:-1] + padded[i + 2, 1:-1]
+                                + padded[i + 1, :-2] + padded[i + 1, 2:]
+                            )
+                    local = updated
+
+            # Optional global residual reduction.
+            if options.residual_every and (sweep + 1) % options.residual_every == 0:
+                if interior_rows:
+                    yield Compute(
+                        flops=_RESIDUAL_FLOPS_PER_POINT * interior_rows * (n - 2)
+                    )
+                local_residual = 0.0  # the timing model carries the cost
+                yield from comm.allreduce(local_residual, nbytes=_DOUBLE)
+
+        # Collection at the root.
+        if rank == root:
+            if options.numeric:
+                result = np.empty((n, n))
+                if rows:
+                    result[start:stop] = local
+            for src in range(nranks):
+                if src == root:
+                    continue
+                msg = yield from comm.recv(src=src, tag=2)
+                if options.numeric:
+                    s_start, s_stop = bands[src]
+                    if s_stop > s_start:
+                        result[s_start:s_stop] = msg.payload
+            return result if options.numeric else None
+        yield from comm.send(
+            root,
+            payload=local if options.numeric else None,
+            nbytes=rows * n * _DOUBLE,
+            tag=2,
+        )
+        return None
+
+    return program

@@ -1,0 +1,65 @@
+"""Workload polynomials ``W(N)`` of the paper's applications.
+
+The flop counts here are *exact* for the implementations in
+:mod:`repro.apps.gaussian` and :mod:`repro.apps.matmul` -- the test suite
+asserts that the flops the simulated programs account for sum to these
+polynomials, so the metric's ``W`` and the simulator's compute time are
+mutually consistent.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import InvalidOperationError
+
+
+def _validate_n(n: int) -> int:
+    if n < 1:
+        raise InvalidOperationError(f"matrix rank must be >= 1, got {n}")
+    return int(n)
+
+
+def ge_elimination_workload(n: int) -> float:
+    """Flops of the forward-elimination stage.
+
+    Step ``k`` (0-based, ``k < n-1``) updates each of the ``n-1-k`` rows
+    below the pivot: one multiplier division plus a fused multiply-subtract
+    over the ``n-k`` remaining entries (trailing columns + RHS), i.e.
+    ``1 + 2(n-k)`` flops per row.  Summing:
+
+    ``W_elim = sum_{m=1}^{n-1} m (2(m+1) + 1) = (n-1)n(2n-1)/3 + 3(n-1)n/2``
+    """
+    n = _validate_n(n)
+    return (n - 1) * n * (2 * n - 1) / 3.0 + 1.5 * (n - 1) * n
+
+
+def ge_back_substitution_workload(n: int) -> float:
+    """Flops of the sequential back-substitution stage: exactly ``n^2``
+    (``2(n-1-i)`` multiply-subtracts plus one division per unknown)."""
+    n = _validate_n(n)
+    return float(n * n)
+
+
+def ge_workload(n: int) -> float:
+    """Total GE workload ``W(N) ~ 2N^3/3``, elimination + back substitution."""
+    return ge_elimination_workload(n) + ge_back_substitution_workload(n)
+
+
+def ge_sequential_fraction(n: int) -> float:
+    """``alpha = O(1/N)``: the back-substitution share of the total work
+    (the sequential portion the paper treats as negligible for large N)."""
+    return ge_back_substitution_workload(n) / ge_workload(n)
+
+
+def mm_workload(n: int) -> float:
+    """Square matrix multiply: each of ``n^2`` outputs takes ``n``
+    multiplies and ``n-1`` adds: ``W(N) = N^2 (2N - 1) ~ 2N^3``."""
+    n = _validate_n(n)
+    return float(n) * n * (2 * n - 1)
+
+
+def mm_row_band_workload(n: int, rows: int) -> float:
+    """Flops to compute a ``rows x n`` band of the product."""
+    n = _validate_n(n)
+    if rows < 0 or rows > n:
+        raise InvalidOperationError(f"rows must be in [0, {n}], got {rows}")
+    return float(rows) * n * (2 * n - 1)

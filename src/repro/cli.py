@@ -1,0 +1,339 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    repro-scalability table1
+    repro-scalability table3 --nodes 2 4 8
+    repro-scalability fig2 --samples 5
+    repro-scalability all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .experiments import figures, tables
+from .experiments.report import format_series, format_table
+
+#: Node counts used by --quick (skips the expensive 16/32-node searches).
+QUICK_NODE_COUNTS = (2, 4, 8)
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    rows = tables.table1_marked_speeds()
+    _print(
+        format_table(
+            ["node type", "marked speed (Mflops)"],
+            [(m.name, m.mflops) for m in rows],
+            title="Table 1: marked speed of Sunwulf nodes",
+        )
+    )
+
+
+def cmd_table2(args: argparse.Namespace) -> None:
+    rows = tables.table2_ge_two_nodes()
+    _print(
+        format_table(
+            ["rank N", "workload W (flops)", "time T (s)",
+             "achieved speed (Mflops)", "speed-efficiency"],
+            [
+                (m.problem_size, m.work, m.time, m.speed_mflops,
+                 m.speed_efficiency)
+                for m in rows
+            ],
+            title="Table 2: GE on two nodes",
+        )
+    )
+
+
+def _node_counts(args: argparse.Namespace) -> tuple[int, ...]:
+    if getattr(args, "nodes", None):
+        return tuple(args.nodes)
+    if getattr(args, "quick", False):
+        return QUICK_NODE_COUNTS
+    return tables.PAPER_NODE_COUNTS
+
+
+def cmd_table3(args: argparse.Namespace) -> list[tables.RequiredRankRow]:
+    rows = tables.table3_required_rank(node_counts=_node_counts(args))
+    _print(
+        format_table(
+            ["nodes", "processes", "rank N", "workload W",
+             "marked speed (Mflops)", "measured E_S"],
+            [
+                (r.nodes, r.nranks, r.rank_n, r.workload, r.marked_mflops,
+                 r.efficiency)
+                for r in rows
+            ],
+            title="Table 3: required rank for 0.3 speed-efficiency (GE)",
+        )
+    )
+    return rows
+
+
+def cmd_table4(args: argparse.Namespace) -> None:
+    rows = cmd_table3(args)
+    curve = tables.table4_ge_scalability(rows)
+    _print(
+        format_table(
+            ["transition", "psi"],
+            [
+                (f"{p.label_from} -> {p.label_to}", p.psi)
+                for p in curve.points
+            ],
+            title="Table 4: measured scalability of GE on Sunwulf",
+        )
+    )
+
+
+def cmd_table5(args: argparse.Namespace) -> None:
+    rows = tables.table5_mm_required_rank(node_counts=_node_counts(args))
+    curve = tables.table5_mm_scalability(rows)
+    _print(
+        format_table(
+            ["transition", "psi"],
+            [
+                (f"{p.label_from} -> {p.label_to}", p.psi)
+                for p in curve.points
+            ],
+            title="Table 5: measured scalability of MM on Sunwulf",
+        )
+    )
+
+
+def cmd_table6(args: argparse.Namespace) -> list[tables.PredictedRankRow]:
+    rows = tables.table6_predicted_rank(node_counts=_node_counts(args))
+    _print(
+        format_table(
+            ["nodes", "processes", "predicted rank N"],
+            [(r.nodes, r.nranks, round(r.rank_n)) for r in rows],
+            title="Table 6: predicted required rank (GE)",
+        )
+    )
+    return rows
+
+
+def cmd_table7(args: argparse.Namespace) -> None:
+    rows = cmd_table6(args)
+    points = tables.table7_predicted_scalability(rows)
+    _print(
+        format_table(
+            ["transition", "psi (predicted)"],
+            [(f"{p.label_from} -> {p.label_to}", p.psi) for p in points],
+            title="Table 7: predicted scalability of GE on Sunwulf",
+        )
+    )
+
+
+def cmd_fig1(args: argparse.Namespace) -> None:
+    fig = figures.figure1_ge_two_nodes()
+    _print(
+        format_series(
+            "rank N", "speed-efficiency", fig.series.points,
+            title="Figure 1: speed-efficiency of GE on two nodes",
+        )
+    )
+    print(
+        f"trend R^2 = {fig.series.trend.r_squared:.4f}; required N for "
+        f"E_S={fig.target}: {fig.required_n:.0f}; verification run at "
+        f"N={fig.verified_n} measured E_S={fig.verified_efficiency:.4f}"
+    )
+    print()
+
+
+def cmd_fig2(args: argparse.Namespace) -> None:
+    fig = figures.figure2_mm_curves(
+        node_counts=_node_counts(args), samples=args.samples
+    )
+    for series in fig.series:
+        _print(
+            format_series(
+                "rank N", "speed-efficiency", series.points,
+                title=f"Figure 2 ({series.label}): MM speed-efficiency",
+            )
+        )
+    required = fig.required_sizes()
+    _print(
+        format_table(
+            ["configuration", f"required N for E_S={fig.target}"],
+            sorted(required.items()),
+            title="Figure 2 trend read-offs",
+        )
+    )
+
+
+def _app_cluster(args: argparse.Namespace, nodes: int):
+    from .machine import ge_configuration, mm_configuration
+
+    if args.app == "mm":
+        return mm_configuration(nodes)
+    return ge_configuration(nodes)
+
+
+def cmd_predict(args: argparse.Namespace) -> None:
+    """Automatic scalability prediction (AutoPredictor, future work)."""
+    from .experiments.autopredict import AutoPredictor
+
+    counts = _node_counts(args)
+    predictor = AutoPredictor(args.app, _app_cluster(args, counts[0]))
+    rows = []
+    for nodes in counts:
+        cluster = _app_cluster(args, nodes)
+        n_pred = predictor.required_size(cluster, args.target)
+        rows.append((nodes, round(n_pred)))
+    _print(
+        format_table(
+            ["nodes", f"predicted N for E_S={args.target}"],
+            rows,
+            title=f"Automatic prediction ({args.app})",
+        )
+    )
+    transitions = []
+    for a, b in zip(counts, counts[1:]):
+        point = predictor.scalability(
+            _app_cluster(args, a), _app_cluster(args, b), args.target
+        )
+        transitions.append((f"{a} -> {b} nodes", point.psi))
+    _print(
+        format_table(
+            ["transition", "psi (predicted)"],
+            transitions,
+            title="Predicted scalability",
+        )
+    )
+
+
+def cmd_breakdown(args: argparse.Namespace) -> None:
+    """Per-rank phase breakdown and utilization timeline of one run."""
+    from .experiments.analysis import render_breakdown, render_timeline
+    from .experiments.runner import run_app
+    from .sim.trace import Tracer
+
+    cluster = _app_cluster(args, (_node_counts(args))[0])
+    tracer = Tracer()
+    record = run_app(args.app, cluster, args.size, tracer=tracer)
+    m = record.measurement
+    print(
+        f"{args.app} at N={args.size} on {cluster.name}: T = {m.time:.4f} s, "
+        f"E_S = {m.speed_efficiency:.4f}"
+    )
+    _print(render_breakdown(record, title="Per-rank breakdown"))
+    print(render_timeline(tracer, cluster.nranks, m.time))
+    print()
+
+
+def cmd_memory(args: argparse.Namespace) -> None:
+    """Memory-feasibility report for one (app, configuration, N)."""
+    from .machine.memory import distributed_feasibility, sequential_reference_feasible
+
+    cluster = _app_cluster(args, (_node_counts(args))[0])
+    report = distributed_feasibility(cluster, args.app, args.size)
+    _print(
+        format_table(
+            ["node", "required (MB)", "capacity (MB)", "fits"],
+            [
+                (u.node_id, u.required_mb, u.capacity_mb, u.fits)
+                for u in report.nodes
+            ],
+            title=f"Distributed memory feasibility ({args.app}, N={args.size})",
+        )
+    )
+    seq = sequential_reference_feasible(cluster, args.app, args.size)
+    print(
+        f"distributed run fits: {report.fits}; sequential reference "
+        f"measurable on some node: {seq}"
+    )
+    print()
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "table5": cmd_table5,
+    "table6": cmd_table6,
+    "table7": cmd_table7,
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+}
+
+#: Tool commands excluded from `all` (they take app/size arguments).
+TOOL_COMMANDS = {
+    "predict": cmd_predict,
+    "breakdown": cmd_breakdown,
+    "memory": cmd_memory,
+}
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    for name, command in COMMANDS.items():
+        start = time.time()
+        command(args)
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+        print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scalability",
+        description=(
+            "Regenerate the evaluation tables/figures of 'Scalability of "
+            "Heterogeneous Computing' (Sun, Chen, Wu; ICPP 2005) on the "
+            "simulated Sunwulf cluster."
+        ),
+    )
+    parser.add_argument(
+        "what",
+        choices=[*COMMANDS, *TOOL_COMMANDS, "all"],
+        help="which table/figure to regenerate, or a tool command "
+             "(predict/breakdown/memory)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=None,
+        help="override the node counts of the study (default: paper's 2..32)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="restrict studies to 2-8 nodes (fast smoke run)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=6,
+        help="samples per efficiency curve for figures (default 6)",
+    )
+    parser.add_argument(
+        "--app", choices=["ge", "mm", "stencil"], default="ge",
+        help="application for the tool commands (default: ge)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=300,
+        help="problem size N for breakdown/memory (default 300)",
+    )
+    parser.add_argument(
+        "--target", type=float, default=0.3,
+        help="target speed-efficiency for predict (default 0.3)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.what == "all":
+        cmd_all(args)
+    elif args.what in TOOL_COMMANDS:
+        TOOL_COMMANDS[args.what](args)
+    else:
+        COMMANDS[args.what](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Solving the isospeed-efficiency condition for the required problem size.
+
+The paper's first method (section 3.5) finds, for each configuration, the
+problem size whose speed-efficiency equals a chosen constant (0.3 for GE,
+0.2 for MM).  Speed-efficiency is monotone non-decreasing in the problem
+size for the paper's applications (communication grows slower than
+computation), so the required size is well defined.
+
+Two solvers are provided:
+
+* :func:`required_problem_size` -- integer bisection against any evaluator
+  ``E(N)`` (e.g. a full simulated run), returning the smallest integer
+  ``N`` with ``E(N) >= target``.
+* :func:`required_size_continuous` -- Brent root finding against a smooth
+  model ``E(N)``, for analytic prediction (section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from scipy.optimize import brentq
+
+from .types import MetricError, _require_positive
+
+
+def required_problem_size(
+    efficiency_of: Callable[[int], float],
+    target: float,
+    lower: int = 2,
+    upper: int | None = None,
+    max_upper: int = 1 << 22,
+    rtol: float = 0.0,
+) -> int:
+    """Smallest integer ``N >= lower`` with ``efficiency_of(N) >= target``.
+
+    ``efficiency_of`` must be (approximately) non-decreasing.  When
+    ``upper`` is not given, the bracket grows geometrically from ``lower``
+    until the target is met or ``max_upper`` is exceeded.
+
+    ``rtol > 0`` stops the bisection once the bracket is relatively tight
+    (``hi - lo <= rtol * hi``), returning the satisfying endpoint -- used
+    when each evaluation is an expensive simulated run and the paper-style
+    read-off only needs a few significant digits.
+    """
+    _require_positive("target", target)
+    if lower < 1:
+        raise MetricError(f"lower bound must be >= 1, got {lower}")
+    if rtol < 0:
+        raise MetricError(f"rtol must be non-negative, got {rtol}")
+
+    if efficiency_of(lower) >= target:
+        return lower
+
+    if upper is None:
+        upper = max(2 * lower, 16)
+        while efficiency_of(upper) < target:
+            if upper >= max_upper:
+                raise MetricError(
+                    f"efficiency never reaches {target} up to N={max_upper}; "
+                    "the combination cannot attain the requested "
+                    "speed-efficiency (unscalable at this target)"
+                )
+            upper = min(2 * upper, max_upper)
+    elif efficiency_of(upper) < target:
+        raise MetricError(
+            f"efficiency at upper bound N={upper} is below target {target}"
+        )
+
+    lo, hi = lower, upper  # E(lo) < target <= E(hi)
+    while hi - lo > 1 and hi - lo > rtol * hi:
+        mid = (lo + hi) // 2
+        if efficiency_of(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def required_size_continuous(
+    efficiency_of: Callable[[float], float],
+    target: float,
+    lower: float = 2.0,
+    upper: float | None = None,
+    max_upper: float = 1e9,
+) -> float:
+    """Real-valued problem size with ``efficiency_of(N) == target``.
+
+    Used for model-based prediction where ``E(N)`` is smooth and monotone.
+    """
+    _require_positive("target", target)
+    _require_positive("lower", lower)
+
+    def residual(n: float) -> float:
+        return efficiency_of(n) - target
+
+    if residual(lower) >= 0:
+        return lower
+    if upper is None:
+        upper = max(2 * lower, 16.0)
+        while residual(upper) < 0:
+            if upper >= max_upper:
+                raise MetricError(
+                    f"model efficiency never reaches {target} up to N={max_upper}"
+                )
+            upper = min(2 * upper, max_upper)
+    elif residual(upper) < 0:
+        raise MetricError(
+            f"model efficiency at upper bound N={upper} is below target {target}"
+        )
+    return float(brentq(residual, lower, upper, xtol=1e-6, rtol=1e-12))

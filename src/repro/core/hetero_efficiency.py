@@ -1,0 +1,93 @@
+"""Baseline: Pastor & Bosque's heterogeneous efficiency model.
+
+Their model extends speedup-based isoefficiency to heterogeneous clusters:
+the heterogeneous speedup compares parallel time against sequential time
+on a *reference* node, and efficiency normalizes by the maximum attainable
+speedup -- the ratio of aggregate to reference computing power::
+
+    S_het = T_seq(reference) / T_p
+    S_max = C_system / C_reference
+    E_het = S_het / S_max
+
+Holding ``E_het`` constant as the system grows defines their scalability.
+
+The ICPP-2005 paper's critique (section 2): like homogeneous
+isoefficiency, this inherits the requirement of measuring large problems
+on a single node, which is impractical at scale.  The implementation
+makes that dependency explicit: every entry point *requires* the
+sequential reference time, and :func:`sequential_time_feasible` states
+the memory constraint that usually breaks the measurement.
+"""
+
+from __future__ import annotations
+
+from .types import MetricError, _require_positive
+
+
+def heterogeneous_speedup(sequential_time_ref: float, parallel_time: float) -> float:
+    """``S_het = T_seq(ref) / T_p``."""
+    _require_positive("sequential_time_ref", sequential_time_ref)
+    _require_positive("parallel_time", parallel_time)
+    return sequential_time_ref / parallel_time
+
+
+def maximum_speedup(c_system: float, c_reference: float) -> float:
+    """``S_max = C / C_ref``: attainable speedup over the reference node."""
+    _require_positive("c_system", c_system)
+    _require_positive("c_reference", c_reference)
+    if c_reference > c_system:
+        raise MetricError(
+            "reference node power exceeds the system total; the reference "
+            "must be a member (or subset) of the system"
+        )
+    return c_system / c_reference
+
+
+def heterogeneous_efficiency(
+    sequential_time_ref: float,
+    parallel_time: float,
+    c_system: float,
+    c_reference: float,
+) -> float:
+    """``E_het = S_het / S_max``."""
+    return heterogeneous_speedup(sequential_time_ref, parallel_time) / maximum_speedup(
+        c_system, c_reference
+    )
+
+
+def heterogeneous_scalability(
+    e_from: float,
+    work_from: float,
+    e_to: float,
+    work_to: float,
+    rtol: float = 0.05,
+) -> float:
+    """Work growth needed to hold ``E_het`` constant, expressed as the
+    iso-style ratio ``W/W'`` (1 = perfectly scalable, < 1 otherwise).
+
+    Raises unless the two efficiencies match within ``rtol`` -- the
+    iso-condition of this metric."""
+    _require_positive("e_from", e_from)
+    _require_positive("e_to", e_to)
+    _require_positive("work_from", work_from)
+    _require_positive("work_to", work_to)
+    if abs(e_to - e_from) > rtol * e_from:
+        raise MetricError(
+            f"heterogeneous-efficiency condition violated: {e_from:.4f} vs "
+            f"{e_to:.4f}"
+        )
+    return work_from / work_to
+
+
+def sequential_time_feasible(
+    problem_bytes: float, reference_memory_bytes: float
+) -> bool:
+    """Whether the sequential reference measurement fits in one node's
+    memory -- the practical obstacle the ICPP-2005 paper highlights.
+
+    Returns False when the problem state exceeds the reference node's
+    memory, i.e. when ``T_seq(ref)`` cannot be measured without paging.
+    """
+    _require_positive("problem_bytes", problem_bytes)
+    _require_positive("reference_memory_bytes", reference_memory_bytes)
+    return problem_bytes <= reference_memory_bytes

@@ -1,0 +1,105 @@
+"""Baseline: the isoefficiency scalability metric (Kumar & Grama et al.).
+
+Isoefficiency keeps the *parallel efficiency* ``E = S/p = T1/(p Tp)``
+constant, where the speedup ``S`` is relative to sequential execution
+time.  Writing the total overhead ``To(W, p) = p Tp - T1`` (all units of
+work/time consistent), constant efficiency requires::
+
+    W = K * To(W, p),   K = E / (1 - E)
+
+The isoefficiency *function* is the growth of the satisfying ``W`` with
+``p``: slower growth means a more scalable combination.
+
+The paper (section 2) adopts isoefficiency's "grow the problem" idea but
+rejects its reliance on sequential execution time -- measuring a
+large-scale problem on a single node is impractical, and the notion of
+"the" sequential time is ill-defined on a heterogeneous ensemble.  This
+implementation exists as the comparison baseline; its API makes the
+sequential-time requirement explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .types import MetricError, _require_positive
+
+
+def speedup(sequential_time: float, parallel_time: float) -> float:
+    """``S = T1 / Tp``."""
+    _require_positive("sequential_time", sequential_time)
+    _require_positive("parallel_time", parallel_time)
+    return sequential_time / parallel_time
+
+
+def parallel_efficiency(
+    sequential_time: float, parallel_time: float, processors: int
+) -> float:
+    """``E = S / p``."""
+    if processors <= 0:
+        raise MetricError(f"processors must be positive, got {processors}")
+    return speedup(sequential_time, parallel_time) / processors
+
+
+def isoefficiency_constant(efficiency: float) -> float:
+    """``K = E / (1 - E)``; diverges as E -> 1 (perfect efficiency needs
+    zero overhead)."""
+    if not 0 < efficiency < 1:
+        raise MetricError(f"efficiency must be in (0, 1), got {efficiency}")
+    return efficiency / (1.0 - efficiency)
+
+
+def isoefficiency_work(
+    overhead_work: Callable[[float, int], float],
+    efficiency: float,
+    processors: int,
+    initial_work: float = 1.0,
+    max_iterations: int = 200,
+    rtol: float = 1e-10,
+) -> float:
+    """Solve ``W = K * To(W, p)`` by fixed-point iteration.
+
+    ``overhead_work`` returns the total overhead *expressed as work* (the
+    Grama et al. convention ``To = p Tp - T1`` with unit compute speed).
+    Converges for the usual models where ``To`` is sublinear in ``W``.
+    """
+    if processors <= 0:
+        raise MetricError(f"processors must be positive, got {processors}")
+    _require_positive("initial_work", initial_work)
+    import math
+
+    k = isoefficiency_constant(efficiency)
+    work = initial_work
+    for _ in range(max_iterations):
+        new_work = k * overhead_work(work, processors)
+        if not math.isfinite(new_work):
+            raise MetricError(
+                "isoefficiency fixed point diverged (overhead grows "
+                "superlinearly with W: no finite work sustains the target "
+                "efficiency)"
+            )
+        if new_work <= 0:
+            raise MetricError(
+                "overhead model returned a non-positive overhead; a "
+                "zero-overhead machine is iso-efficient at any work"
+            )
+        if abs(new_work - work) <= rtol * max(work, new_work):
+            return new_work
+        work = new_work
+    raise MetricError(
+        f"isoefficiency fixed point did not converge in {max_iterations} "
+        "iterations (overhead likely grows superlinearly with W)"
+    )
+
+
+def isoefficiency_function(
+    overhead_work: Callable[[float, int], float],
+    efficiency: float,
+    processor_counts: list[int],
+    initial_work: float = 1.0,
+) -> list[float]:
+    """The isoefficiency function sampled at several machine sizes."""
+    return [
+        isoefficiency_work(overhead_work, efficiency, p, initial_work)
+        for p in processor_counts
+    ]

@@ -1,0 +1,58 @@
+"""The homogeneous isospeed scalability metric (Sun & Rover 1994).
+
+An algorithm-machine combination is scalable if the achieved *average unit
+speed* (speed per processor) remains constant as processors are added,
+provided the problem size grows accordingly::
+
+    psi(p, p') = (p' * W) / (p * W')
+
+The paper shows isospeed-efficiency contains this as the special case of a
+homogeneous system: with ``C = p Ci`` and ``C' = p' Ci``, the marked-speed
+ratio collapses to the processor-count ratio (section 3.3).
+"""
+
+from __future__ import annotations
+
+from .types import Measurement, MetricError, _require_positive
+
+
+def average_unit_speed(work: float, time: float, processors: int) -> float:
+    """``W / (T p)``: the quantity the isospeed condition holds constant."""
+    _require_positive("work", work)
+    _require_positive("time", time)
+    if processors <= 0:
+        raise MetricError(f"processors must be positive, got {processors}")
+    return work / (time * processors)
+
+
+def isospeed_scalability(
+    p_from: int, work_from: float, p_to: int, work_to: float
+) -> float:
+    """``psi(p, p') = (p' W) / (p W')`` from the two iso-speed works."""
+    if p_from <= 0 or p_to <= 0:
+        raise MetricError("processor counts must be positive")
+    _require_positive("work_from", work_from)
+    _require_positive("work_to", work_to)
+    return (p_to * work_from) / (p_from * work_to)
+
+
+def isospeed_condition_violation(
+    before: Measurement, after: Measurement, p_before: int, p_after: int
+) -> float:
+    """Relative deviation of the scaled run's average unit speed from the
+    base run's (0 when the isospeed condition holds exactly)."""
+    base = average_unit_speed(before.work, before.time, p_before)
+    scaled = average_unit_speed(after.work, after.time, p_after)
+    return abs(scaled - base) / base
+
+
+def matches_isospeed_efficiency(
+    per_node_speed: float, p_from: int, p_to: int
+) -> tuple[float, float]:
+    """The (C, C') pair a homogeneous ensemble presents to the
+    isospeed-efficiency metric; with these, ψ_isospeed-efficiency equals
+    ψ_isospeed for any (W, W') -- the reduction the paper proves."""
+    _require_positive("per_node_speed", per_node_speed)
+    if p_from <= 0 or p_to <= 0:
+        raise MetricError("processor counts must be positive")
+    return per_node_speed * p_from, per_node_speed * p_to

@@ -1,0 +1,128 @@
+"""The isospeed-efficiency scalability metric (section 3.3, Definition 4).
+
+An algorithm-system combination is *scalable* if the achieved
+speed-efficiency can be kept constant while the system grows, provided the
+problem grows with it.  The quantitative scalability between system sizes
+``C`` and ``C'`` is::
+
+    psi(C, C') = (C' * W) / (C * W')
+
+where ``W'`` is the scaled work satisfying the isospeed-efficiency
+condition ``W / (T C) = W' / (T' C')``.  In the ideal case
+``W' = W C'/C`` and ``psi = 1``; in practice ``W'`` grows faster and
+``psi < 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .speed import relative_efficiency_error
+from .types import Measurement, MetricError, ScalabilityCurve, ScalabilityPoint, _require_positive
+
+
+def ideal_scaled_work(work: float, c_from: float, c_to: float) -> float:
+    """The work that would hold E_S constant on a perfectly scalable
+    combination: ``W' = W * C'/C``."""
+    _require_positive("work", work)
+    _require_positive("c_from", c_from)
+    _require_positive("c_to", c_to)
+    return work * c_to / c_from
+
+
+def scalability(
+    c_from: float, work_from: float, c_to: float, work_to: float
+) -> float:
+    """``psi(C, C') = (C' W) / (C W')`` from the two iso-efficient works."""
+    _require_positive("c_from", c_from)
+    _require_positive("work_from", work_from)
+    _require_positive("c_to", c_to)
+    _require_positive("work_to", work_to)
+    return (c_to * work_from) / (c_from * work_to)
+
+
+def scalability_from_measurements(
+    before: Measurement,
+    after: Measurement,
+    efficiency_rtol: float = 0.05,
+) -> ScalabilityPoint:
+    """ψ from two measurements, validating the isospeed-efficiency condition.
+
+    Both runs must exhibit (approximately) the same speed-efficiency --
+    that is the premise of the metric.  ``efficiency_rtol`` bounds the
+    accepted relative deviation; the paper works at a nominal efficiency
+    (0.3 for GE, 0.2 for MM) read off trend lines, so small deviations are
+    expected.
+    """
+    e_before = before.speed_efficiency
+    e_after = after.speed_efficiency
+    if relative_efficiency_error(e_after, e_before) > efficiency_rtol:
+        raise MetricError(
+            "isospeed-efficiency condition violated: "
+            f"E={e_before:.4f} vs E'={e_after:.4f} "
+            f"(rtol {efficiency_rtol})"
+        )
+    psi = scalability(
+        before.marked_speed, before.work, after.marked_speed, after.work
+    )
+    return ScalabilityPoint(
+        c_from=before.marked_speed,
+        c_to=after.marked_speed,
+        work_from=before.work,
+        work_to=after.work,
+        psi=psi,
+        label_from=before.label,
+        label_to=after.label,
+    )
+
+
+@dataclass
+class ScalabilityStudy:
+    """Accumulates iso-efficient (configuration, work) observations and
+    produces the paper's consecutive-ψ tables (Tables 4, 5, 7).
+
+    Observations must be added in increasing system-size order; each entry
+    is the (marked speed, work) pair at which the target speed-efficiency
+    is attained on that configuration.
+    """
+
+    metric: str = "isospeed-efficiency"
+    target_efficiency: float | None = None
+    entries: list[Measurement] = field(default_factory=list)
+
+    def add(self, measurement: Measurement) -> None:
+        """Append one iso-efficient observation (larger system than the last)."""
+        if self.entries and measurement.marked_speed <= self.entries[-1].marked_speed:
+            raise MetricError(
+                "observations must be added in increasing marked-speed order: "
+                f"{measurement.marked_speed} after "
+                f"{self.entries[-1].marked_speed}"
+            )
+        if self.target_efficiency is not None:
+            err = relative_efficiency_error(
+                measurement.speed_efficiency, self.target_efficiency
+            )
+            if err > 0.25:
+                raise MetricError(
+                    f"observation efficiency {measurement.speed_efficiency:.4f} "
+                    f"far from study target {self.target_efficiency:.4f}"
+                )
+        self.entries.append(measurement)
+
+    def curve(self, efficiency_rtol: float = 0.2) -> ScalabilityCurve:
+        """Consecutive ψ values between each adjacent pair of entries."""
+        if len(self.entries) < 2:
+            raise MetricError("a scalability curve needs at least two entries")
+        points = tuple(
+            scalability_from_measurements(a, b, efficiency_rtol=efficiency_rtol)
+            for a, b in zip(self.entries, self.entries[1:])
+        )
+        return ScalabilityCurve(metric=self.metric, points=points)
+
+    def pairwise(self, i: int, j: int, efficiency_rtol: float = 0.2) -> ScalabilityPoint:
+        """ψ between arbitrary entries ``i`` (smaller) and ``j`` (larger)."""
+        if not (0 <= i < j < len(self.entries)):
+            raise MetricError(f"invalid entry indices ({i}, {j})")
+        return scalability_from_measurements(
+            self.entries[i], self.entries[j], efficiency_rtol=efficiency_rtol
+        )

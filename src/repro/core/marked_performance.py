@@ -1,0 +1,137 @@
+"""Future-work extension: multi-parameter *marked performance*.
+
+The paper's conclusion proposes extending the scalar marked speed to a
+"marked performance" vector "that has several parameters to describe the
+full capability of a computing system".  This module implements that
+extension: a node is characterized by several benchmarked capability
+dimensions (compute, memory bandwidth, network bandwidth, ...), and an
+application declares a demand profile over the same dimensions.  The
+*effective* marked speed of a node for that application is the
+demand-weighted harmonic combination of its capabilities -- the natural
+model when phases stress different resources serially (a generalization of
+the roofline/bottleneck view).
+
+The scalar metric is recovered exactly when the demand profile has a
+single dimension, so every isospeed-efficiency result applies unchanged
+with effective marked speeds substituted for marked speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from .marked_speed import NodeMarkedSpeed, SystemMarkedSpeed
+from .types import MetricError, _require_positive
+
+
+@dataclass(frozen=True)
+class MarkedPerformance:
+    """Benchmarked multi-dimensional capability of one node.
+
+    ``capabilities`` maps dimension name -> sustained rate in
+    *work-units/second* for that dimension (flops/s for "compute",
+    bytes/s for "memory", ...).
+    """
+
+    name: str
+    capabilities: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.capabilities:
+            raise MetricError("marked performance needs at least one dimension")
+        for dim, rate in self.capabilities.items():
+            if rate <= 0:
+                raise MetricError(
+                    f"capability {dim!r} must be positive, got {rate}"
+                )
+        object.__setattr__(
+            self, "capabilities", MappingProxyType(dict(self.capabilities))
+        )
+
+    @property
+    def dimensions(self) -> frozenset[str]:
+        return frozenset(self.capabilities)
+
+    def rate_of(self, dimension: str) -> float:
+        try:
+            return self.capabilities[dimension]
+        except KeyError:
+            raise MetricError(
+                f"node {self.name!r} has no capability {dimension!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """An application's per-work-unit demand over capability dimensions.
+
+    ``demands`` maps dimension -> units of that dimension's work generated
+    per unit of nominal application work.  E.g. a stream-like kernel doing
+    1 flop and 24 bytes of traffic per unit work: ``{"compute": 1.0,
+    "memory": 24.0}``.
+    """
+
+    demands: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.demands:
+            raise MetricError("a demand profile needs at least one dimension")
+        positive = False
+        for dim, demand in self.demands.items():
+            if demand < 0:
+                raise MetricError(f"demand {dim!r} must be non-negative")
+            positive = positive or demand > 0
+        if not positive:
+            raise MetricError("at least one demand must be positive")
+        object.__setattr__(self, "demands", MappingProxyType(dict(self.demands)))
+
+
+def effective_marked_speed(
+    node: MarkedPerformance, profile: DemandProfile
+) -> float:
+    """Demand-weighted effective speed in nominal work-units/second.
+
+    Serial-bottleneck model: one unit of nominal work takes
+    ``sum_d demand_d / rate_d`` seconds, so the effective speed is the
+    reciprocal -- a weighted harmonic mean of the per-dimension rates.
+    With a single dimension of demand 1 this is exactly the scalar marked
+    speed.
+    """
+    total_time = 0.0
+    for dim, demand in profile.demands.items():
+        if demand == 0:
+            continue
+        total_time += demand / node.rate_of(dim)
+    if total_time <= 0:
+        raise MetricError("demand profile produced zero time per work unit")
+    return 1.0 / total_time
+
+
+def effective_system_marked_speed(
+    nodes: list[MarkedPerformance], profile: DemandProfile
+) -> SystemMarkedSpeed:
+    """Definition 2 lifted to marked performance: per-node effective speeds
+    aggregated into a :class:`SystemMarkedSpeed` usable by every scalar
+    metric in this library."""
+    if not nodes:
+        raise MetricError("a system needs at least one node")
+    return SystemMarkedSpeed(
+        tuple(
+            NodeMarkedSpeed(node.name, effective_marked_speed(node, profile))
+            for node in nodes
+        )
+    )
+
+
+def bottleneck_dimension(
+    node: MarkedPerformance, profile: DemandProfile
+) -> str:
+    """The dimension consuming the most time per work unit on this node."""
+    costs = {
+        dim: demand / node.rate_of(dim)
+        for dim, demand in profile.demands.items()
+        if demand > 0
+    }
+    return max(costs, key=lambda dim: costs[dim])

@@ -1,0 +1,129 @@
+"""Marked speed (Definitions 1 and 2).
+
+*Definition 1*: the marked speed of a computing node is a (benchmarked)
+sustained speed of that node.  It is measured once -- here by the NPB-like
+suite in :mod:`repro.npb` -- and then treated as a constant parameter.
+
+*Definition 2*: the marked speed of a computing system is the sum of the
+marked speeds of the nodes composing it: ``C = sum_i C_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .types import MFLOP, MetricError, _require_positive
+
+
+@dataclass(frozen=True)
+class NodeMarkedSpeed:
+    """Measured marked speed of one processor slot (Definition 1)."""
+
+    name: str
+    flops_per_second: float
+    #: Per-kernel sustained speeds behind the average, for reporting.
+    kernel_speeds: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_positive("flops_per_second", self.flops_per_second)
+        for kernel, speed in self.kernel_speeds.items():
+            if speed <= 0:
+                raise MetricError(
+                    f"kernel speed for {kernel!r} must be positive, got {speed}"
+                )
+
+    @property
+    def mflops(self) -> float:
+        return self.flops_per_second / MFLOP
+
+    @staticmethod
+    def from_kernel_speeds(
+        name: str, kernel_speeds: Mapping[str, float]
+    ) -> "NodeMarkedSpeed":
+        """Average per-kernel sustained speeds, as the paper does with NPB
+        ("run each benchmark ... and take the average speed ... as its
+        marked speed", section 4.3)."""
+        if not kernel_speeds:
+            raise MetricError("need at least one kernel measurement")
+        mean = sum(kernel_speeds.values()) / len(kernel_speeds)
+        return NodeMarkedSpeed(name, mean, dict(kernel_speeds))
+
+
+@dataclass(frozen=True)
+class SystemMarkedSpeed:
+    """Marked speed of an ensemble (Definition 2): per-slot speeds + total."""
+
+    per_rank: tuple[NodeMarkedSpeed, ...]
+
+    def __post_init__(self) -> None:
+        if not self.per_rank:
+            raise MetricError("a system needs at least one node")
+        object.__setattr__(self, "per_rank", tuple(self.per_rank))
+
+    @property
+    def total(self) -> float:
+        """``C`` in flops/s: the sum over participating slots."""
+        return sum(node.flops_per_second for node in self.per_rank)
+
+    @property
+    def total_mflops(self) -> float:
+        return self.total / MFLOP
+
+    @property
+    def nranks(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def speeds(self) -> list[float]:
+        """Per-rank marked speeds in flops/s, rank order."""
+        return [node.flops_per_second for node in self.per_rank]
+
+    @property
+    def shares(self) -> list[float]:
+        """Each rank's fraction ``C_i / C`` of the system power (the load
+        shares used by the heterogeneous distributions)."""
+        total = self.total
+        return [node.flops_per_second / total for node in self.per_rank]
+
+    def is_homogeneous(self, rtol: float = 1e-9) -> bool:
+        """True when all slots have (numerically) equal marked speed."""
+        first = self.per_rank[0].flops_per_second
+        return all(
+            abs(node.flops_per_second - first) <= rtol * first
+            for node in self.per_rank
+        )
+
+    def subset(self, ranks: Sequence[int]) -> "SystemMarkedSpeed":
+        """Marked speed of a sub-ensemble (growing/shrinking studies)."""
+        if not ranks:
+            raise MetricError("subset needs at least one rank")
+        return SystemMarkedSpeed(tuple(self.per_rank[r] for r in ranks))
+
+    @staticmethod
+    def from_speeds(
+        speeds: Iterable[float], names: Iterable[str] | None = None
+    ) -> "SystemMarkedSpeed":
+        """Build directly from flops/s values (tests, analytic studies)."""
+        speeds = list(speeds)
+        if names is None:
+            names = [f"node-{i}" for i in range(len(speeds))]
+        return SystemMarkedSpeed(
+            tuple(
+                NodeMarkedSpeed(name, speed)
+                for name, speed in zip(names, speeds, strict=True)
+            )
+        )
+
+
+def system_marked_speed(per_node_flops: Iterable[float]) -> float:
+    """Definition 2 as a bare function: ``C = sum_i C_i``."""
+    total = 0.0
+    count = 0
+    for speed in per_node_flops:
+        _require_positive("node marked speed", speed)
+        total += speed
+        count += 1
+    if count == 0:
+        raise MetricError("a system needs at least one node")
+    return total

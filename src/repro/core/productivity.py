@@ -1,0 +1,82 @@
+"""Baseline: strategy-based (productivity) scalability, Jogalekar & Woodside.
+
+A distributed system is scalable if *productivity* -- value delivered per
+unit time divided by cost per unit time -- keeps pace as the system grows
+with a scaling strategy.  For scale factor ``k``::
+
+    F(k)  = lambda(k) * v(k) / cost(k)
+    psi(k1, k2) = F(k2) / F(k1)
+
+where ``lambda`` is throughput, ``v`` the value per response (often 1),
+and ``cost`` the money charge per unit time.
+
+The ICPP-2005 paper's critique (section 2): commercial charge varies with
+business considerations, so this metric measures the worthiness of renting
+a service rather than the inherent scalability of the computing system.
+The implementation exists as a comparison baseline; the cost model is
+explicit so experiments can show how re-pricing flips the verdict without
+any change to the underlying machine (reproduced as an example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .types import Measurement, MetricError, _require_positive
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Money charge per processor-second, by processor class."""
+
+    rates: Mapping[str, float] = field(default_factory=dict)
+    base_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_positive("base_rate", self.base_rate)
+        for name, rate in self.rates.items():
+            if rate <= 0:
+                raise MetricError(f"rate for {name!r} must be positive, got {rate}")
+
+    def rate_of(self, processor_class: str) -> float:
+        return self.rates.get(processor_class, self.base_rate)
+
+    def system_cost_per_second(self, processor_classes: list[str]) -> float:
+        """Total charge rate of an ensemble ($/s)."""
+        if not processor_classes:
+            raise MetricError("a system needs at least one processor")
+        return sum(self.rate_of(c) for c in processor_classes)
+
+
+def productivity(
+    throughput: float, value_per_unit: float, cost_per_second: float
+) -> float:
+    """``F = lambda * v / cost``."""
+    _require_positive("throughput", throughput)
+    _require_positive("value_per_unit", value_per_unit)
+    _require_positive("cost_per_second", cost_per_second)
+    return throughput * value_per_unit / cost_per_second
+
+
+def productivity_of_measurement(
+    measurement: Measurement,
+    cost_model: CostModel,
+    processor_classes: list[str],
+    value_per_flop: float = 1.0,
+) -> float:
+    """Productivity of one run: achieved speed as throughput, flops as the
+    delivered unit of value."""
+    return productivity(
+        measurement.speed,
+        value_per_flop,
+        cost_model.system_cost_per_second(processor_classes),
+    )
+
+
+def productivity_scalability(f_from: float, f_to: float) -> float:
+    """``psi = F(k2) / F(k1)``; ``>= threshold`` (conventionally 0.8) is
+    deemed scalable in the original paper."""
+    _require_positive("f_from", f_from)
+    _require_positive("f_to", f_to)
+    return f_to / f_from

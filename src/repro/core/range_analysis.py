@@ -1,0 +1,100 @@
+"""Scalability versus execution time (Sun, JPDC 2002 -- the paper's
+reference [8]).
+
+Isospeed-style metrics and execution time are two lenses on the same
+object.  Under the iso-efficiency condition the scaled run's time obeys
+
+    T' = W' / (E* C') = (W / (E* C)) * (W' C) / (W C') = T / psi
+
+so each step of a scalability curve *is* an execution-time multiplier:
+a combination with per-step scalability psi sees its iso-efficient
+execution time grow by 1/psi per system scaling step.  Reference [8]'s
+headline result follows: between two combinations solving the same
+problem class, the more scalable one eventually runs faster -- and the
+*crossing step* where it takes the lead is computable from the initial
+times and the scalability values.  This module implements those
+relations for measured or predicted scalability curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .types import MetricError, ScalabilityCurve, _require_positive
+
+
+def scaled_execution_time(initial_time: float, psis: Sequence[float]) -> float:
+    """Iso-efficient execution time after applying each scaling step:
+    ``T' = T / (psi_1 * psi_2 * ... )``."""
+    _require_positive("initial_time", initial_time)
+    time = initial_time
+    for psi in psis:
+        _require_positive("psi", psi)
+        time /= psi
+    return time
+
+
+def execution_time_series(
+    initial_time: float, curve: ScalabilityCurve
+) -> list[float]:
+    """Iso-efficient times along a scalability curve (first entry = the
+    base configuration's time)."""
+    _require_positive("initial_time", initial_time)
+    times = [initial_time]
+    for psi in (point.psi for point in curve.points):
+        times.append(times[-1] / psi)
+    return times
+
+
+def faster_at_scale(
+    time_a: float, psi_a: float, time_b: float, psi_b: float, steps: int
+) -> bool:
+    """Is combination A faster than B after ``steps`` scaling steps, given
+    constant per-step scalabilities?  (Reference [8], discretized.)"""
+    if steps < 0:
+        raise MetricError(f"steps must be >= 0, got {steps}")
+    return scaled_execution_time(time_a, [psi_a] * steps) < (
+        scaled_execution_time(time_b, [psi_b] * steps)
+    )
+
+
+def crossing_step(
+    time_a: float, psi_a: float, time_b: float, psi_b: float
+) -> float:
+    """Scaling steps after which combination A overtakes combination B.
+
+    With constant per-step scalabilities, ``T_a / psi_a^k < T_b / psi_b^k``
+    first holds at ``k > ln(T_a/T_b) / ln(psi_a/psi_b)``.  Requires A to
+    be the more scalable combination (``psi_a > psi_b``); returns 0 when A
+    is already faster, and raises when A can never catch up
+    (``psi_a <= psi_b`` while starting slower).
+    """
+    _require_positive("time_a", time_a)
+    _require_positive("time_b", time_b)
+    _require_positive("psi_a", psi_a)
+    _require_positive("psi_b", psi_b)
+    if time_a < time_b:
+        return 0.0
+    if psi_a <= psi_b:
+        if time_a == time_b and psi_a == psi_b:
+            raise MetricError("the combinations are indistinguishable")
+        raise MetricError(
+            "combination A starts no faster and scales no better; it never "
+            "overtakes B"
+        )
+    return math.log(time_a / time_b) / math.log(psi_a / psi_b)
+
+
+def ranking_is_scalability_ranking(
+    curve_a: ScalabilityCurve, curve_b: ScalabilityCurve
+) -> bool:
+    """Reference [8]'s qualitative statement on a pair of measured curves:
+    if A's cumulative scalability dominates B's at every step, A's
+    iso-efficient time grows slower at every step (for equal initial
+    times).  True when the domination holds."""
+    if len(curve_a.points) != len(curve_b.points):
+        raise MetricError("curves must cover the same transitions")
+    return all(
+        a >= b for a, b in zip(curve_a.cumulative, curve_b.cumulative)
+    )

@@ -1,0 +1,48 @@
+"""Achieved speed and speed-efficiency (section 3.2, Definition 3).
+
+The achieved speed ``S = W / T`` describes actual delivered performance;
+it varies with both system and problem size, unlike the constant marked
+speed.  The speed-efficiency ``E_S = S / C`` is the quantity the
+isospeed-efficiency metric holds constant.
+"""
+
+from __future__ import annotations
+
+from .types import MetricError, _require_positive
+
+
+def achieved_speed(work: float, time: float) -> float:
+    """``S = W / T`` in flops/s."""
+    _require_positive("work", work)
+    _require_positive("time", time)
+    return work / time
+
+
+def speed_efficiency(work: float, time: float, marked_speed: float) -> float:
+    """``E_S = W / (T * C)`` (Definition 3).
+
+    Values normally lie in ``(0, 1]``; an application cannot sustainably
+    exceed the benchmarked speed, but no upper bound is enforced because a
+    marked speed is only *a* sustained benchmark average -- cache-friendly
+    codes can exceed it slightly.
+    """
+    _require_positive("marked_speed", marked_speed)
+    return achieved_speed(work, time) / marked_speed
+
+
+def time_for_efficiency(work: float, marked_speed: float, efficiency: float) -> float:
+    """Execution time that yields a given speed-efficiency (inverse of
+    :func:`speed_efficiency`; used by analytic studies and tests)."""
+    _require_positive("work", work)
+    _require_positive("marked_speed", marked_speed)
+    _require_positive("efficiency", efficiency)
+    return work / (efficiency * marked_speed)
+
+
+def relative_efficiency_error(observed: float, target: float) -> float:
+    """|observed - target| / target -- used when checking the isospeed-
+    efficiency condition held within tolerance."""
+    _require_positive("target efficiency", target)
+    if observed <= 0:
+        raise MetricError(f"observed efficiency must be positive, got {observed}")
+    return abs(observed - target) / target

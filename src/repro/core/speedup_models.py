@@ -1,0 +1,106 @@
+"""Classic speedup models: Amdahl, Gustafson, and Sun-Ni memory-bounded.
+
+The paper's lineage runs through these models -- reference [9] is Sun &
+Ni's *Scalable Problems and Memory-Bounded Speedup*, whose "how should
+the problem grow?" question the isospeed(-efficiency) metrics answer
+operationally.  All three are special cases of one formulation: with
+sequential fraction ``alpha`` of the *original* workload and a scaled
+parallel part, the speedup on ``p`` processors of a workload scaled by
+``g(p)`` in its parallel portion is::
+
+    S(p) = (alpha + (1 - alpha) g(p)) / (alpha + (1 - alpha) g(p) / p)
+
+* ``g(p) = 1``  -> Amdahl's law (fixed size),
+* ``g(p) = p``  -> Gustafson's law (fixed time),
+* ``g(p) = G(p)`` from the memory bound -> Sun-Ni's memory-bounded
+  speedup, where ``G`` is determined by how much work fits when each
+  added node brings its memory with it.
+
+These are homogeneous-world models; the module exists as the analytic
+baseline layer under the scalability metrics and for teaching examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .types import MetricError
+
+
+def _check(alpha: float, processors: int) -> None:
+    if not 0 <= alpha <= 1:
+        raise MetricError(f"alpha must be in [0, 1], got {alpha}")
+    if processors < 1:
+        raise MetricError(f"processors must be >= 1, got {processors}")
+
+
+def scaled_speedup(
+    alpha: float, processors: int, scaling: Callable[[int], float]
+) -> float:
+    """The general fixed-alpha scaled speedup ``S(p)`` above."""
+    _check(alpha, processors)
+    g = scaling(processors)
+    if g <= 0:
+        raise MetricError(f"scaling function must be positive, got {g}")
+    parallel = (1.0 - alpha) * g
+    return (alpha + parallel) / (alpha + parallel / processors)
+
+
+def amdahl_speedup(alpha: float, processors: int) -> float:
+    """Fixed-size speedup: ``1 / (alpha + (1-alpha)/p)``."""
+    return scaled_speedup(alpha, processors, lambda p: 1.0)
+
+
+def amdahl_limit(alpha: float) -> float:
+    """``lim_{p->inf} S(p) = 1/alpha`` (infinite for alpha = 0)."""
+    if not 0 <= alpha <= 1:
+        raise MetricError(f"alpha must be in [0, 1], got {alpha}")
+    return float("inf") if alpha == 0 else 1.0 / alpha
+
+def gustafson_speedup(alpha: float, processors: int) -> float:
+    """Fixed-time (scaled) speedup: ``alpha + (1 - alpha) p``."""
+    return scaled_speedup(alpha, processors, lambda p: float(p))
+
+
+def sun_ni_speedup(
+    alpha: float,
+    processors: int,
+    memory_scaling: Callable[[int], float] | None = None,
+) -> float:
+    """Memory-bounded speedup (Sun & Ni, the paper's reference [9]).
+
+    ``memory_scaling`` is ``G(p)``: the factor by which the parallel
+    workload grows when ``p`` nodes pool their memory.  The canonical
+    example is a dense matrix computation with ``W ~ N^3`` work on
+    ``N^2`` data: memory grows ``p``-fold, so ``N^2 ~ p`` and
+    ``W ~ p^(3/2)`` -- the default ``G(p) = p**1.5``.
+
+    ``G(p) = 1`` recovers Amdahl; ``G(p) = p`` recovers Gustafson.
+    """
+    if memory_scaling is None:
+        memory_scaling = lambda p: float(p) ** 1.5  # noqa: E731
+    return scaled_speedup(alpha, processors, memory_scaling)
+
+
+def matrix_memory_scaling(work_exponent: float = 3.0, data_exponent: float = 2.0):
+    """Build ``G(p)`` for a kernel with ``W ~ N^a`` work on ``N^b`` data:
+    pooled memory gives ``N^b ~ p`` hence ``G(p) = p^(a/b)``."""
+    if work_exponent <= 0 or data_exponent <= 0:
+        raise MetricError("exponents must be positive")
+    ratio = work_exponent / data_exponent
+
+    def scaling(p: int) -> float:
+        return float(p) ** ratio
+
+    return scaling
+
+
+def speedup_ordering(alpha: float, processors: int) -> tuple[float, float, float]:
+    """(Amdahl, Gustafson, Sun-Ni) at one point -- always non-decreasing
+    in that order when ``G(p) >= p`` (more memory lets the problem grow
+    past fixed-time scaling)."""
+    return (
+        amdahl_speedup(alpha, processors),
+        gustafson_speedup(alpha, processors),
+        sun_ni_speedup(alpha, processors),
+    )

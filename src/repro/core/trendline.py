@@ -1,0 +1,129 @@
+"""Polynomial trend lines over speed-efficiency samples (Figures 1-2).
+
+The paper samples ``E_S`` at several problem sizes, fits a polynomial
+trend line, and *reads the required matrix size for a specified
+speed-efficiency off the trend line* (e.g. N ~ 310 for E=0.3 on two
+nodes).  This module reproduces that workflow: least-squares polynomial
+fit, evaluation, inversion, and fit-quality reporting.
+
+Fitting is done on a normalized abscissa (N scaled to [0, 1]) for
+numerical conditioning; coefficients are private to the fit object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .types import Measurement, MetricError
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """A fitted polynomial trend ``E_S ~ poly(N)``."""
+
+    coefficients: tuple[float, ...]  # highest degree first, normalized x
+    n_min: float
+    n_max: float
+    r_squared: float
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def _normalize(self, n: np.ndarray | float) -> np.ndarray | float:
+        return (n - self.n_min) / (self.n_max - self.n_min)
+
+    def predict(self, n: float | Sequence[float]) -> float | np.ndarray:
+        """Trend-line speed-efficiency at problem size(s) ``n``."""
+        x = self._normalize(np.asarray(n, dtype=float))
+        result = np.polyval(self.coefficients, x)
+        if np.isscalar(n) or np.ndim(n) == 0:
+            return float(result)
+        return result
+
+    def required_size(
+        self, target: float, extrapolate: float = 1.5
+    ) -> float:
+        """Smallest ``N`` with trend value ``target`` (the paper's read-off).
+
+        Searches ``[n_min, extrapolate * n_max]``; mild extrapolation is
+        allowed because the paper reads targets near the edge of the
+        sampled range.  Raises when the trend never reaches the target.
+        """
+        if target <= 0:
+            raise MetricError(f"target must be positive, got {target}")
+        lo = self.n_min
+        hi = self.n_max * extrapolate
+        # Dense scan for the first upward crossing, then bisection refine.
+        grid = np.linspace(lo, hi, 2048)
+        values = np.asarray(self.predict(grid))
+        above = values >= target
+        if not above.any():
+            raise MetricError(
+                f"trend line never reaches efficiency {target} within "
+                f"[{lo:g}, {hi:g}]"
+            )
+        first = int(np.argmax(above))
+        if first == 0:
+            return float(grid[0])
+        a, b = float(grid[first - 1]), float(grid[first])
+        for _ in range(60):
+            mid = 0.5 * (a + b)
+            if self.predict(mid) >= target:
+                b = mid
+            else:
+                a = mid
+        return b
+
+
+def fit_trend(
+    sizes: Sequence[float],
+    efficiencies: Sequence[float],
+    degree: int = 2,
+) -> TrendFit:
+    """Least-squares polynomial fit of ``E_S`` against problem size."""
+    n = np.asarray(sizes, dtype=float)
+    e = np.asarray(efficiencies, dtype=float)
+    if n.shape != e.shape or n.ndim != 1:
+        raise MetricError("sizes and efficiencies must be 1-D and equal length")
+    if len(n) < degree + 1:
+        raise MetricError(
+            f"need at least {degree + 1} samples for a degree-{degree} fit, "
+            f"got {len(n)}"
+        )
+    if (n <= 0).any():
+        raise MetricError("problem sizes must be positive")
+    if (e <= 0).any():
+        raise MetricError("efficiencies must be positive")
+    n_min, n_max = float(n.min()), float(n.max())
+    if n_max <= n_min:
+        raise MetricError("samples must span more than one problem size")
+    x = (n - n_min) / (n_max - n_min)
+    coeffs = np.polyfit(x, e, degree)
+    predicted = np.polyval(coeffs, x)
+    ss_res = float(np.sum((e - predicted) ** 2))
+    ss_tot = float(np.sum((e - np.mean(e)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return TrendFit(
+        coefficients=tuple(float(c) for c in coeffs),
+        n_min=n_min,
+        n_max=n_max,
+        r_squared=r_squared,
+    )
+
+
+def fit_trend_from_measurements(
+    measurements: Sequence[Measurement], degree: int = 2
+) -> TrendFit:
+    """Fit directly from :class:`Measurement` objects carrying sizes."""
+    sizes = []
+    effs = []
+    for m in measurements:
+        if m.problem_size is None:
+            raise MetricError("all measurements need a problem_size for trend fits")
+        sizes.append(m.problem_size)
+        effs.append(m.speed_efficiency)
+    return fit_trend(sizes, effs, degree=degree)

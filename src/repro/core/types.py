@@ -1,0 +1,139 @@
+"""Core value types shared by the scalability metrics.
+
+Unit conventions (uniform across the library):
+
+* work ``W`` -- double-precision floating-point operations (flops),
+* time ``T`` -- seconds,
+* speeds (achieved speed ``S``, marked speed ``C``) -- flops per second.
+
+The paper reports Mflops; table/figure renderers convert at the edge via
+:data:`MFLOP`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Flops in one Mflop (for rendering paper-style Mflops columns).
+MFLOP = 1.0e6
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric inputs (non-positive work/time/speed...)."""
+
+
+def _require_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0:
+        raise MetricError(f"{name} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One observed execution of an algorithm-system combination.
+
+    Attributes
+    ----------
+    work:
+        Problem workload ``W`` in flops (from the algorithm's workload
+        polynomial, e.g. ``2N^3/3 + ...`` for Gaussian elimination).
+    time:
+        Execution time ``T`` in seconds.
+    marked_speed:
+        System marked speed ``C`` in flops/s (Definition 2).
+    problem_size:
+        The algorithm's natural size parameter (matrix rank ``N`` for the
+        paper's applications); optional but used by trend fitting.
+    label:
+        Free-form configuration label for reports.
+    extra:
+        Optional auxiliary observations (per-phase times etc.).
+    """
+
+    work: float
+    time: float
+    marked_speed: float
+    problem_size: float | None = None
+    label: str = ""
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_positive("work", self.work)
+        _require_positive("time", self.time)
+        _require_positive("marked_speed", self.marked_speed)
+        if self.problem_size is not None and self.problem_size <= 0:
+            raise MetricError(
+                f"problem_size must be positive, got {self.problem_size}"
+            )
+
+    @property
+    def speed(self) -> float:
+        """Achieved speed ``S = W / T`` in flops/s (section 3.2)."""
+        return self.work / self.time
+
+    @property
+    def speed_efficiency(self) -> float:
+        """Speed-efficiency ``E_S = S / C = W / (T * C)`` (Definition 3)."""
+        return self.speed / self.marked_speed
+
+    @property
+    def speed_mflops(self) -> float:
+        return self.speed / MFLOP
+
+    @property
+    def marked_speed_mflops(self) -> float:
+        return self.marked_speed / MFLOP
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One ψ(C, C') observation between two system sizes."""
+
+    c_from: float
+    c_to: float
+    work_from: float
+    work_to: float
+    psi: float
+    label_from: str = ""
+    label_to: str = ""
+
+    def __post_init__(self) -> None:
+        _require_positive("c_from", self.c_from)
+        _require_positive("c_to", self.c_to)
+        _require_positive("work_from", self.work_from)
+        _require_positive("work_to", self.work_to)
+        _require_positive("psi", self.psi)
+
+
+@dataclass(frozen=True)
+class ScalabilityCurve:
+    """A chain of ψ observations across increasing system sizes.
+
+    ``points[i]`` is ψ between consecutive configurations, the paper's
+    Tables 4/5/7 layout.
+    """
+
+    metric: str
+    points: tuple[ScalabilityPoint, ...]
+
+    @property
+    def cumulative(self) -> list[float]:
+        """Products of consecutive ψ values: scalability relative to the
+        first configuration (useful for end-to-end comparisons)."""
+        result: list[float] = []
+        acc = 1.0
+        for point in self.points:
+            acc *= point.psi
+            result.append(acc)
+        return result
+
+    def geometric_mean(self) -> float:
+        """Geometric mean of the per-step ψ values (a one-number summary)."""
+        if not self.points:
+            raise MetricError("cannot summarize an empty scalability curve")
+        prod = 1.0
+        for point in self.points:
+            prod *= point.psi
+        return prod ** (1.0 / len(self.points))

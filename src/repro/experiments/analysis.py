@@ -1,0 +1,144 @@
+"""Post-run analysis: phase breakdowns, overhead extraction, timelines.
+
+Turns a :class:`~repro.experiments.runner.RunRecord` (and optionally its
+tracer) into the quantities the paper's theory reasons about -- notably
+the *measured* total overhead ``To = T - W/(f C)`` that Corollary 2 ties
+to ψ -- plus per-rank utilization views useful when debugging load
+balance of the heterogeneous distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import MetricError
+from ..sim.trace import Tracer
+from .report import format_table
+from .runner import RunRecord
+
+
+@dataclass(frozen=True)
+class RankBreakdown:
+    """Where one rank's virtual time went."""
+
+    rank: int
+    compute: float
+    send: float
+    recv_wait: float
+    tail_idle: float  # time between this rank's finish and the makespan
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.send + self.recv_wait + self.tail_idle
+
+    @property
+    def busy_fraction(self) -> float:
+        return 0.0 if self.total == 0 else self.compute / self.total
+
+
+def breakdown(record: RunRecord) -> list[RankBreakdown]:
+    """Per-rank decomposition of the makespan into compute / send /
+    receive-wait / tail-idle time."""
+    makespan = record.measurement.time
+    result = []
+    for stats in record.run.stats:
+        result.append(
+            RankBreakdown(
+                rank=stats.rank,
+                compute=stats.compute_time,
+                send=stats.send_time,
+                recv_wait=stats.recv_wait_time,
+                tail_idle=max(0.0, makespan - stats.finish_time),
+            )
+        )
+    return result
+
+
+def measured_overhead(record: RunRecord, compute_efficiency: float) -> float:
+    """The Theorem-1 overhead read off a run: ``To = T - W / (f C)``.
+
+    ``W/(f C)`` is the ideal balanced compute time; everything else the
+    makespan contains -- communication, synchronization waits, residual
+    imbalance -- is overhead in the theory's sense.  Non-negative by
+    construction of the simulator (compute cannot beat the ideal).
+    """
+    if not 0 < compute_efficiency <= 1:
+        raise MetricError("compute_efficiency must be in (0, 1]")
+    m = record.measurement
+    ideal = m.work / (compute_efficiency * m.marked_speed)
+    return max(0.0, m.time - ideal)
+
+
+def communication_fraction(record: RunRecord) -> float:
+    """Share of total rank-time spent in communication (send + wait)."""
+    total = sum(s.compute_time + s.send_time + s.recv_wait_time
+                for s in record.run.stats)
+    if total == 0:
+        return 0.0
+    comm = sum(s.send_time + s.recv_wait_time for s in record.run.stats)
+    return comm / total
+
+
+def load_imbalance(record: RunRecord) -> float:
+    """``max_r compute_r / mean_r compute_r - 1``: 0 for perfect balance.
+
+    The heterogeneous distributions target balance in *time* (not rows),
+    so this is the direct check of the paper's balanced-load premise.
+    """
+    times = [s.compute_time for s in record.run.stats]
+    mean = sum(times) / len(times)
+    if mean == 0:
+        return 0.0
+    return max(times) / mean - 1.0
+
+
+def utilization_timeline(
+    tracer: Tracer, nranks: int, makespan: float, bins: int = 40
+) -> np.ndarray:
+    """Fraction of ranks computing in each of ``bins`` equal time slices.
+
+    Requires a traced run.  Returns an array in [0, 1] of length ``bins``.
+    """
+    if bins < 1:
+        raise MetricError("bins must be >= 1")
+    if makespan <= 0:
+        raise MetricError("makespan must be positive")
+    busy = np.zeros(bins)
+    width = makespan / bins
+    for rec in tracer.by_kind("compute"):
+        first = min(bins - 1, int(rec.start / width))
+        last = min(bins - 1, int(max(rec.start, min(rec.end, makespan) - 1e-15) / width))
+        for b in range(first, last + 1):
+            lo = max(rec.start, b * width)
+            hi = min(rec.end, (b + 1) * width)
+            if hi > lo:
+                busy[b] += (hi - lo) / width
+    return np.clip(busy / nranks, 0.0, 1.0)
+
+
+def render_breakdown(record: RunRecord, title: str = "Run breakdown") -> str:
+    """ASCII table of the per-rank phase decomposition."""
+    rows = [
+        (
+            b.rank, b.compute, b.send, b.recv_wait, b.tail_idle,
+            f"{b.busy_fraction:.1%}",
+        )
+        for b in breakdown(record)
+    ]
+    return format_table(
+        ["rank", "compute (s)", "send (s)", "recv wait (s)", "tail idle (s)",
+         "busy"],
+        rows,
+        title=title,
+    )
+
+
+def render_timeline(
+    tracer: Tracer, nranks: int, makespan: float, bins: int = 40
+) -> str:
+    """A one-line text 'Gantt': utilization per time slice, 0-9 scale."""
+    levels = utilization_timeline(tracer, nranks, makespan, bins)
+    digits = "".join(str(min(9, int(level * 10))) for level in levels)
+    return f"utilization [{digits}] (0=idle .. 9=all ranks computing)"

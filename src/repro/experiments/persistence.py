@@ -1,0 +1,139 @@
+"""Saving and loading study results as JSON.
+
+The paper-scale GE study simulates ~40M events; persisting its
+iso-efficient points lets benches, notebooks and the CLI reuse them
+without re-simulation.  The format is a plain versioned JSON document so
+results are diffable and survive library upgrades gracefully (unknown
+fields are ignored; a major-version mismatch raises).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from ..core.types import Measurement, MetricError, ScalabilityCurve, ScalabilityPoint
+from .tables import RequiredRankRow
+
+FORMAT_VERSION = 1
+
+
+# -- encoding ---------------------------------------------------------------
+
+def measurement_to_dict(measurement: Measurement) -> dict[str, Any]:
+    data = asdict(measurement)
+    data["extra"] = dict(measurement.extra)
+    return data
+
+
+def measurement_from_dict(data: dict[str, Any]) -> Measurement:
+    return Measurement(
+        work=data["work"],
+        time=data["time"],
+        marked_speed=data["marked_speed"],
+        problem_size=data.get("problem_size"),
+        label=data.get("label", ""),
+        extra=data.get("extra", {}),
+    )
+
+
+def row_to_dict(row: RequiredRankRow) -> dict[str, Any]:
+    return {
+        "nodes": row.nodes,
+        "nranks": row.nranks,
+        "rank_n": row.rank_n,
+        "workload": row.workload,
+        "marked_speed": row.marked_speed,
+        "efficiency": row.efficiency,
+        "measurement": measurement_to_dict(row.measurement),
+    }
+
+
+def row_from_dict(data: dict[str, Any]) -> RequiredRankRow:
+    return RequiredRankRow(
+        nodes=data["nodes"],
+        nranks=data["nranks"],
+        rank_n=data["rank_n"],
+        workload=data["workload"],
+        marked_speed=data["marked_speed"],
+        efficiency=data["efficiency"],
+        measurement=measurement_from_dict(data["measurement"]),
+    )
+
+
+def curve_to_dict(curve: ScalabilityCurve) -> dict[str, Any]:
+    return {
+        "metric": curve.metric,
+        "points": [asdict(point) for point in curve.points],
+    }
+
+
+def curve_from_dict(data: dict[str, Any]) -> ScalabilityCurve:
+    return ScalabilityCurve(
+        metric=data["metric"],
+        points=tuple(ScalabilityPoint(**point) for point in data["points"]),
+    )
+
+
+# -- study documents ----------------------------------------------------------
+
+def save_study(
+    path: str | Path,
+    rows: list[RequiredRankRow],
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Write a required-rank study to a JSON document."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "kind": "required-rank-study",
+        "metadata": metadata or {},
+        "rows": [row_to_dict(row) for row in rows],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_study(path: str | Path) -> tuple[list[RequiredRankRow], dict[str, Any]]:
+    """Read a study back; returns (rows, metadata)."""
+    path = Path(path)
+    if not path.exists():
+        raise MetricError(f"no study file at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise MetricError(f"corrupt study file {path}: {err}") from err
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise MetricError(
+            f"study file {path} has format version {version}; this library "
+            f"reads version {FORMAT_VERSION}"
+        )
+    if document.get("kind") != "required-rank-study":
+        raise MetricError(f"{path} is not a required-rank study document")
+    rows = [row_from_dict(entry) for entry in document["rows"]]
+    return rows, document.get("metadata", {})
+
+
+def load_or_compute_study(
+    path: str | Path,
+    compute,
+    metadata: dict[str, Any] | None = None,
+    refresh: bool = False,
+) -> list[RequiredRankRow]:
+    """Memoize an expensive study on disk.
+
+    ``compute`` is a zero-argument callable returning the rows; it runs
+    only when the file is absent, unreadable, or ``refresh`` is set.
+    """
+    path = Path(path)
+    if not refresh and path.exists():
+        try:
+            rows, _ = load_study(path)
+            return rows
+        except MetricError:
+            pass  # fall through and recompute
+    rows = compute()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_study(path, rows, metadata=metadata)
+    return rows

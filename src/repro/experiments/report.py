@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment tables (paper-style reports)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table; floats rendered with 4 significant digits."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if 1e-3 <= magnitude < 1e7:
+                return f"{value:.4g}"
+            return f"{value:.3e}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(text.ljust(widths[i]) for i, text in enumerate(parts))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Iterable[tuple[float, float]],
+    title: str | None = None,
+) -> str:
+    """Two-column rendering of a figure's data series."""
+    return format_table([x_label, y_label], points, title=title)

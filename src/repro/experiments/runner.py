@@ -1,0 +1,231 @@
+"""Execution of algorithm-system combinations and metric bookkeeping.
+
+This is the experiment driver's lowest layer: given a cluster, it measures
+the marked speed (once), builds the application program, runs it on the
+simulation engine, and wraps the outcome in a :class:`~repro.core.types.
+Measurement` whose ``(W, T, C)`` triple feeds every scalability metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..apps.gaussian import GE_COMPUTE_EFFICIENCY, GEOptions, make_ge_program
+from ..apps.matmul import MM_COMPUTE_EFFICIENCY, MMOptions, make_mm_program
+from ..apps.fft import (
+    FFT_COMPUTE_EFFICIENCY,
+    FFTOptions,
+    fft_workload,
+    make_fft_program,
+)
+from ..apps.stencil import (
+    STENCIL_COMPUTE_EFFICIENCY,
+    StencilOptions,
+    make_stencil_program,
+    stencil_workload,
+)
+from ..apps.workload import ge_workload, mm_workload
+from ..core.marked_speed import SystemMarkedSpeed
+from ..core.types import Measurement
+from ..machine.cluster import ClusterSpec
+from ..mpi.communicator import CollectiveConfig, mpi_run
+from ..npb.runner import measure_cluster
+from ..sim.engine import RunResult
+from ..sim.trace import Tracer
+
+
+@dataclass
+class RunRecord:
+    """One application execution: the metric view plus raw simulator data."""
+
+    measurement: Measurement
+    run: RunResult
+    app_result: Any = None
+
+    @property
+    def speed_efficiency(self) -> float:
+        return self.measurement.speed_efficiency
+
+
+def marked_speed_of(cluster: ClusterSpec) -> SystemMarkedSpeed:
+    """Measured marked speed of a cluster (cached per processor type)."""
+    return measure_cluster(cluster)
+
+
+def run_ge(
+    cluster: ClusterSpec,
+    n: int,
+    numeric: bool = False,
+    compute_efficiency: float = GE_COMPUTE_EFFICIENCY,
+    collectives: CollectiveConfig | None = None,
+    marked: SystemMarkedSpeed | None = None,
+    tracer: Tracer | None = None,
+    seed: int = 0,
+) -> RunRecord:
+    """Run Gaussian elimination of rank ``n`` on a cluster configuration."""
+    marked = marked if marked is not None else marked_speed_of(cluster)
+    options = GEOptions(
+        n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
+    )
+    program = make_ge_program(options)
+    effective = [s * compute_efficiency for s in marked.speeds]
+    run = mpi_run(
+        cluster.nranks,
+        cluster.build_network(),
+        effective,
+        program,
+        config=collectives,
+        tracer=tracer,
+    )
+    measurement = Measurement(
+        work=ge_workload(n),
+        time=run.makespan,
+        marked_speed=marked.total,
+        problem_size=n,
+        label=cluster.name,
+    )
+    return RunRecord(measurement, run, run.return_values[0])
+
+
+#: Default collective algorithms for MM: the bulk B replication uses the
+#: shared medium's native broadcast (one transmission); GE keeps flat
+#: unicast broadcasts, matching the paper's measured T_bcast ~ p (see
+#: DESIGN.md section 2 and the collective-algorithm ablation bench).
+MM_COLLECTIVES = CollectiveConfig(bcast="ethernet")
+
+
+def run_mm(
+    cluster: ClusterSpec,
+    n: int,
+    numeric: bool = False,
+    compute_efficiency: float = MM_COMPUTE_EFFICIENCY,
+    collectives: CollectiveConfig | None = MM_COLLECTIVES,
+    marked: SystemMarkedSpeed | None = None,
+    tracer: Tracer | None = None,
+    seed: int = 0,
+) -> RunRecord:
+    """Run matrix multiplication of rank ``n`` on a cluster configuration."""
+    marked = marked if marked is not None else marked_speed_of(cluster)
+    options = MMOptions(
+        n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
+    )
+    program = make_mm_program(options)
+    effective = [s * compute_efficiency for s in marked.speeds]
+    run = mpi_run(
+        cluster.nranks,
+        cluster.build_network(),
+        effective,
+        program,
+        config=collectives,
+        tracer=tracer,
+    )
+    measurement = Measurement(
+        work=mm_workload(n),
+        time=run.makespan,
+        marked_speed=marked.total,
+        problem_size=n,
+        label=cluster.name,
+    )
+    return RunRecord(measurement, run, run.return_values[0])
+
+
+def run_fft(
+    cluster: ClusterSpec,
+    n: int,
+    numeric: bool = False,
+    compute_efficiency: float = FFT_COMPUTE_EFFICIENCY,
+    collectives: CollectiveConfig | None = None,
+    marked: SystemMarkedSpeed | None = None,
+    tracer: Tracer | None = None,
+    seed: int = 0,
+) -> RunRecord:
+    """Run the distributed 2-D FFT (``n`` must be a power of two)."""
+    marked = marked if marked is not None else marked_speed_of(cluster)
+    options = FFTOptions(
+        n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
+    )
+    program = make_fft_program(options)
+    effective = [s * compute_efficiency for s in marked.speeds]
+    run = mpi_run(
+        cluster.nranks,
+        cluster.build_network(),
+        effective,
+        program,
+        config=collectives,
+        tracer=tracer,
+    )
+    measurement = Measurement(
+        work=fft_workload(n),
+        time=run.makespan,
+        marked_speed=marked.total,
+        problem_size=n,
+        label=cluster.name,
+    )
+    return RunRecord(measurement, run, run.return_values[0])
+
+
+def default_stencil_sweeps(n: int) -> int:
+    """Sweep count used by scalability studies: proportional to N, so the
+    stencil workload grows like N^3 -- the same order as GE/MM, keeping
+    the three combinations comparable under the metric."""
+    return max(1, n // 4)
+
+
+def run_stencil(
+    cluster: ClusterSpec,
+    n: int,
+    sweeps: int | None = None,
+    residual_every: int = 0,
+    numeric: bool = False,
+    compute_efficiency: float = STENCIL_COMPUTE_EFFICIENCY,
+    collectives: CollectiveConfig | None = None,
+    marked: SystemMarkedSpeed | None = None,
+    tracer: Tracer | None = None,
+    seed: int = 0,
+) -> RunRecord:
+    """Run the Jacobi stencil on an ``n x n`` grid for ``sweeps`` sweeps."""
+    marked = marked if marked is not None else marked_speed_of(cluster)
+    sweeps = default_stencil_sweeps(n) if sweeps is None else sweeps
+    options = StencilOptions(
+        n=n, sweeps=sweeps, speeds=tuple(marked.speeds),
+        residual_every=residual_every, numeric=numeric, seed=seed,
+    )
+    program = make_stencil_program(options)
+    effective = [s * compute_efficiency for s in marked.speeds]
+    run = mpi_run(
+        cluster.nranks,
+        cluster.build_network(),
+        effective,
+        program,
+        config=collectives,
+        tracer=tracer,
+    )
+    measurement = Measurement(
+        work=stencil_workload(n, sweeps, residual_every),
+        time=run.makespan,
+        marked_speed=marked.total,
+        problem_size=n,
+        label=cluster.name,
+    )
+    return RunRecord(measurement, run, run.return_values[0])
+
+
+#: Application registry used by sweeps and the CLI.
+APPLICATIONS = {
+    "ge": run_ge,
+    "mm": run_mm,
+    "stencil": run_stencil,
+    "fft": run_fft,  # problem sizes must be powers of two
+}
+
+
+def run_app(app: str, cluster: ClusterSpec, n: int, **kwargs) -> RunRecord:
+    """Dispatch by application name ('ge' or 'mm')."""
+    try:
+        runner = APPLICATIONS[app]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {app!r}; available: {sorted(APPLICATIONS)}"
+        ) from None
+    return runner(cluster, n, **kwargs)

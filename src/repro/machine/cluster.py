@@ -1,0 +1,138 @@
+"""Cluster configurations: an ordered set of processor slots plus a network.
+
+A :class:`ClusterSpec` is the "machine" half of an algorithm-machine
+combination.  It is pure hardware description -- marked speeds are
+*measured* on it by :mod:`repro.npb` and carried separately (a
+:class:`~repro.core.marked_speed.SystemMarkedSpeed`), mirroring the paper's
+method where NPB runs precede the scalability study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..network.ethernet import make_network
+from ..network.model import ETHERNET_100M, SHARED_MEMORY, LinkParams, NetworkModel
+from ..network.topology import Topology
+from ..sim.errors import InvalidOperationError
+from .node import NodeType, ProcessorSlot, ProcessorType
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An ensemble of processor slots connected by a modelled network.
+
+    ``node_memory_mb`` optionally records each physical node's memory
+    (indexed by node id, as produced by :meth:`from_nodes`); an empty
+    tuple means unknown, and the feasibility checks in
+    :mod:`repro.machine.memory` will refuse to judge.
+    """
+
+    name: str
+    slots: tuple[ProcessorSlot, ...]
+    network_kind: str = "bus"
+    link: LinkParams = ETHERNET_100M
+    intranode: LinkParams = SHARED_MEMORY
+    node_memory_mb: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise InvalidOperationError("a cluster needs at least one slot")
+        object.__setattr__(self, "slots", tuple(self.slots))
+        object.__setattr__(self, "node_memory_mb", tuple(self.node_memory_mb))
+        for mb in self.node_memory_mb:
+            if mb <= 0:
+                raise InvalidOperationError("node memory must be positive")
+
+    def memory_of_node(self, node_id: int) -> float | None:
+        """Node memory in MB, or None when not recorded."""
+        if 0 <= node_id < len(self.node_memory_mb):
+            return self.node_memory_mb[node_id]
+        return None
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        """Number of processes under HoHe placement (one per CPU slot)."""
+        return len(self.slots)
+
+    @property
+    def nnodes(self) -> int:
+        return len({slot.node_id for slot in self.slots})
+
+    @property
+    def processor_types(self) -> list[ProcessorType]:
+        """Per-rank processor type, in rank order."""
+        return [slot.ptype for slot in self.slots]
+
+    def topology(self) -> Topology:
+        return Topology.from_sequence([slot.node_id for slot in self.slots])
+
+    def is_homogeneous(self) -> bool:
+        """True when every slot is the same processor type."""
+        first = self.slots[0].ptype
+        return all(slot.ptype == first for slot in self.slots)
+
+    # -- construction helpers ------------------------------------------
+    def build_network(self) -> NetworkModel:
+        """Instantiate a fresh network model for one simulated run."""
+        return make_network(
+            self.network_kind, self.topology(), self.link, self.intranode
+        )
+
+    def with_network(self, kind: str) -> "ClusterSpec":
+        """Same hardware, different interconnect model (ablations)."""
+        return replace(self, network_kind=kind, name=f"{self.name}[{kind}]")
+
+    def peak_mflops(self) -> float:
+        """Aggregate hardware peak (upper bound on any marked speed)."""
+        return sum(slot.ptype.peak_mflops for slot in self.slots)
+
+    @staticmethod
+    def from_nodes(
+        name: str,
+        nodes: Iterable[tuple[NodeType, int]],
+        network_kind: str = "bus",
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+    ) -> "ClusterSpec":
+        """Build a cluster from ``(node_type, cpus_used)`` pairs.
+
+        Each pair occupies one physical node and contributes ``cpus_used``
+        processor slots; ``cpus_used`` must not exceed the node's CPUs.
+        """
+        slots: list[ProcessorSlot] = []
+        memories: list[float] = []
+        for node_id, (node, cpus_used) in enumerate(nodes):
+            if cpus_used <= 0 or cpus_used > node.cpus:
+                raise InvalidOperationError(
+                    f"node {node.name!r} has {node.cpus} CPUs; "
+                    f"cannot use {cpus_used}"
+                )
+            slots.extend(
+                ProcessorSlot(node.processor, node_id) for _ in range(cpus_used)
+            )
+            memories.append(node.memory_mb)
+        return ClusterSpec(
+            name=name,
+            slots=tuple(slots),
+            network_kind=network_kind,
+            link=link,
+            intranode=intranode,
+            node_memory_mb=tuple(memories),
+        )
+
+
+def homogeneous_cluster(
+    name: str,
+    ptype: ProcessorType,
+    nranks: int,
+    network_kind: str = "bus",
+    link: LinkParams = ETHERNET_100M,
+) -> ClusterSpec:
+    """One single-CPU node per rank, all of the same processor type."""
+    if nranks <= 0:
+        raise InvalidOperationError("nranks must be positive")
+    slots = tuple(ProcessorSlot(ptype, node_id) for node_id in range(nranks))
+    return ClusterSpec(name=name, slots=slots, network_kind=network_kind, link=link)

@@ -1,0 +1,97 @@
+"""Processor and node hardware descriptions.
+
+The paper's metric treats a *processor* as the unit of computing power:
+marked speed is benchmarked per CPU ("Server node (1 CPU)", "SunFire V210
+(1 CPU)" in Table 1) and a node with several CPUs contributes one process
+per CPU under the HoHe placement strategy.
+
+``peak_mflops`` is hardware peak; ``kernel_efficiency`` maps benchmark
+kernel names to the sustained fraction of peak that kernel achieves on
+this processor.  The *marked speed* is then measured (not declared) by the
+:mod:`repro.npb` runner, exactly as the paper measures it with NPB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..sim.errors import InvalidOperationError
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """One CPU model (e.g. the SunBlade's 500 MHz UltraSPARC-IIe)."""
+
+    name: str
+    clock_mhz: float
+    peak_mflops: float
+    kernel_efficiency: Mapping[str, float] = field(default_factory=dict)
+    #: Sustained fraction of *marked speed* that dense-kernel application
+    #: code achieves (application codes run below benchmark speed because
+    #: marked speed is itself an average of favourable kernels).
+    app_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise InvalidOperationError("clock_mhz must be positive")
+        if self.peak_mflops <= 0:
+            raise InvalidOperationError("peak_mflops must be positive")
+        if not 0 < self.app_efficiency <= 1:
+            raise InvalidOperationError("app_efficiency must be in (0, 1]")
+        for kernel, eff in self.kernel_efficiency.items():
+            if not 0 < eff <= 1:
+                raise InvalidOperationError(
+                    f"kernel efficiency for {kernel!r} must be in (0, 1], got {eff}"
+                )
+        # Freeze the mapping so the spec is safely hashable/shareable.
+        object.__setattr__(
+            self, "kernel_efficiency", MappingProxyType(dict(self.kernel_efficiency))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.clock_mhz, self.peak_mflops))
+
+    def sustained_mflops(self, kernel: str) -> float:
+        """Sustained speed of one benchmark kernel on this CPU (Mflops)."""
+        try:
+            eff = self.kernel_efficiency[kernel]
+        except KeyError:
+            raise InvalidOperationError(
+                f"processor {self.name!r} has no efficiency entry for "
+                f"kernel {kernel!r}"
+            ) from None
+        return self.peak_mflops * eff
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A physical machine hosting one or more identical CPUs."""
+
+    name: str
+    processor: ProcessorType
+    cpus: int
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0:
+            raise InvalidOperationError("cpus must be positive")
+        if self.memory_mb <= 0:
+            raise InvalidOperationError("memory_mb must be positive")
+
+
+@dataclass(frozen=True)
+class ProcessorSlot:
+    """One schedulable CPU in a cluster configuration.
+
+    ``node_id`` identifies the physical node hosting the CPU, so the
+    network model can route intra-node traffic through shared memory.
+    """
+
+    ptype: ProcessorType
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise InvalidOperationError("node_id must be non-negative")

@@ -1,0 +1,50 @@
+"""Ready-made cluster configurations for tests, examples and ablations."""
+
+from __future__ import annotations
+
+from ..sim.errors import InvalidOperationError
+from .cluster import ClusterSpec, homogeneous_cluster
+from .node import NodeType, ProcessorType
+from .sunwulf import SUNBLADE_CPU, SUNBLADE_NODE, V210_CPU, V210_NODE
+
+#: A generic uniform CPU used by homogeneous-baseline studies.
+GENERIC_CPU = ProcessorType(
+    name="generic-100",
+    clock_mhz=800.0,
+    peak_mflops=1600.0,
+    kernel_efficiency={
+        "ep": 0.045, "mg": 0.060, "cg": 0.055,
+        "ft": 0.070, "bt": 0.072, "lu": 0.073,
+    },
+)
+
+GENERIC_NODE = NodeType("generic", GENERIC_CPU, cpus=1, memory_mb=1024.0)
+
+
+def homogeneous_blades(nranks: int, network_kind: str = "bus") -> ClusterSpec:
+    """``nranks`` identical SunBlade nodes -- the homogeneous special case
+    used to check that isospeed-efficiency reduces to isospeed."""
+    return homogeneous_cluster(
+        f"blades-{nranks}", SUNBLADE_CPU, nranks, network_kind=network_kind
+    )
+
+
+def homogeneous_generic(nranks: int, network_kind: str = "bus") -> ClusterSpec:
+    """``nranks`` identical generic nodes."""
+    return homogeneous_cluster(
+        f"generic-{nranks}", GENERIC_CPU, nranks, network_kind=network_kind
+    )
+
+
+def mixed_pairs(pairs: int, network_kind: str = "bus") -> ClusterSpec:
+    """Alternating SunBlade / V210 single-CPU nodes (a simple 2:1
+    heterogeneity ratio useful for distribution-algorithm tests)."""
+    if pairs <= 0:
+        raise InvalidOperationError("pairs must be positive")
+    members: list[tuple[NodeType, int]] = []
+    for _ in range(pairs):
+        members.append((SUNBLADE_NODE, 1))
+        members.append((V210_NODE, 1))
+    return ClusterSpec.from_nodes(
+        f"mixed-{2 * pairs}", members, network_kind=network_kind
+    )

@@ -1,0 +1,131 @@
+"""Model of the Sunwulf cluster (SCS laboratory, Illinois Tech).
+
+The paper's testbed: one SunFire server node (4x 480 MHz CPUs, 4 GB), 64
+SunBlade compute nodes (1x 500 MHz CPU, 128 MB), 20 SunFire V210 nodes
+(2x 1 GHz CPUs, 2 GB), all on 100 Mb Ethernet, running MPICH.
+
+Peak speeds follow the UltraSPARC ability to issue one FP add and one FP
+multiply per cycle (2 flops/cycle); per-kernel sustained fractions are
+calibrated so the *measured* marked speeds land near plausible era values
+(server CPU ~60, SunBlade ~55, V210 CPU ~120 Mflops) while preserving the
+paper's structure: the V210 CPU is roughly twice a SunBlade, and the
+server is a slow-CPU/high-fanout node.  The paper's own Table 1 values are
+unreadable in the available text, so shape -- not absolute Mflops -- is
+the reproduction target (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import InvalidOperationError
+from .cluster import ClusterSpec
+from .node import NodeType, ProcessorType
+
+#: Benchmark kernels used to measure marked speed (NPB-like suite, section 4.3).
+MARKED_SPEED_KERNELS = ("ep", "mg", "cg", "ft", "bt", "lu")
+
+SERVER_CPU = ProcessorType(
+    name="sunfire-server-480",
+    clock_mhz=480.0,
+    peak_mflops=960.0,
+    kernel_efficiency={
+        "ep": 0.040, "mg": 0.055, "cg": 0.050,
+        "ft": 0.070, "bt": 0.080, "lu": 0.080,
+    },
+)
+
+SUNBLADE_CPU = ProcessorType(
+    name="sunblade-500",
+    clock_mhz=500.0,
+    peak_mflops=1000.0,
+    kernel_efficiency={
+        "ep": 0.035, "mg": 0.048, "cg": 0.044,
+        "ft": 0.062, "bt": 0.070, "lu": 0.071,
+    },
+)
+
+V210_CPU = ProcessorType(
+    name="sunfire-v210-1000",
+    clock_mhz=1000.0,
+    peak_mflops=2000.0,
+    kernel_efficiency={
+        "ep": 0.038, "mg": 0.052, "cg": 0.048,
+        "ft": 0.068, "bt": 0.077, "lu": 0.077,
+    },
+)
+
+SERVER_NODE = NodeType("sunwulf", SERVER_CPU, cpus=4, memory_mb=4096.0)
+SUNBLADE_NODE = NodeType("hpc-blade", SUNBLADE_CPU, cpus=1, memory_mb=128.0)
+V210_NODE = NodeType("hpc-v210", V210_CPU, cpus=2, memory_mb=2048.0)
+
+#: Node inventory of the full cluster: name -> (node type, count).
+INVENTORY = {
+    "server": (SERVER_NODE, 1),
+    "sunblade": (SUNBLADE_NODE, 64),
+    "v210": (V210_NODE, 20),
+}
+
+
+def ge_configuration(nodes: int, network_kind: str = "bus") -> ClusterSpec:
+    """The GE experiment ensembles (section 4.4.1).
+
+    ``nodes`` physical nodes: one server node using two CPUs plus
+    ``nodes - 1`` SunBlade nodes, matching "in each case, one node is
+    server node and the rest nodes are SunBlade compute nodes" with the
+    two-node case's "server node uses two CPUs".
+    """
+    if nodes < 2:
+        raise InvalidOperationError("GE configurations need at least 2 nodes")
+    if nodes - 1 > INVENTORY["sunblade"][1]:
+        raise InvalidOperationError(
+            f"Sunwulf has only {INVENTORY['sunblade'][1]} SunBlade nodes"
+        )
+    members: list[tuple[NodeType, int]] = [(SERVER_NODE, 2)]
+    members.extend((SUNBLADE_NODE, 1) for _ in range(nodes - 1))
+    return ClusterSpec.from_nodes(
+        f"sunwulf-ge-{nodes}", members, network_kind=network_kind
+    )
+
+
+def mm_configuration(nodes: int, network_kind: str = "bus") -> ClusterSpec:
+    """The MM experiment ensembles (section 4.4.2).
+
+    "Half nodes are SunBlade compute nodes and the other half nodes are
+    SunFire V210 nodes except one node is server node": e.g. for 8 nodes,
+    one server, three SunBlades and four V210s.  Each V210 contributes one
+    CPU (Table 1 benchmarks the V210 with one CPU), as does the server.
+    """
+    if nodes < 2:
+        raise InvalidOperationError("MM configurations need at least 2 nodes")
+    if nodes % 2 != 0:
+        raise InvalidOperationError("MM configurations use an even node count")
+    n_v210 = nodes // 2
+    n_blade = nodes // 2 - 1
+    if n_v210 > INVENTORY["v210"][1]:
+        raise InvalidOperationError(
+            f"Sunwulf has only {INVENTORY['v210'][1]} V210 nodes"
+        )
+    members: list[tuple[NodeType, int]] = [(SERVER_NODE, 1)]
+    members.extend((SUNBLADE_NODE, 1) for _ in range(n_blade))
+    members.extend((V210_NODE, 1) for _ in range(n_v210))
+    return ClusterSpec.from_nodes(
+        f"sunwulf-mm-{nodes}", members, network_kind=network_kind
+    )
+
+
+def full_configuration(network_kind: str = "bus") -> ClusterSpec:
+    """The entire Sunwulf machine: 1 server node (4 CPUs), 64 SunBlades
+    and 20 dual-CPU V210s -- 108 processors on 85 physical nodes.
+
+    The paper's studies stop at 32 nodes; this configuration exists for
+    whole-machine extension studies and stress tests.
+    """
+    members: list[tuple[NodeType, int]] = [(SERVER_NODE, 4)]
+    members.extend((SUNBLADE_NODE, 1) for _ in range(INVENTORY["sunblade"][1]))
+    members.extend((V210_NODE, 2) for _ in range(INVENTORY["v210"][1]))
+    return ClusterSpec.from_nodes(
+        "sunwulf-full", members, network_kind=network_kind
+    )
+
+
+#: System sizes the paper evaluates for both studies.
+PAPER_NODE_COUNTS = (2, 4, 8, 16, 32)

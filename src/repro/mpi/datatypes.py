@@ -1,0 +1,59 @@
+"""Message-size accounting for simulated communication.
+
+Timing in the simulator depends only on byte counts.  When programs attach
+real payloads (numeric-execution mode), the size is derived from the
+payload; modelled-execution programs pass explicit ``nbytes`` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DOUBLE = 8  #: bytes per double-precision float
+INT = 4  #: bytes per 32-bit integer
+#: Bytes of envelope attached to every message (MPI header, mirrors the
+#: small constant term in the paper's T_send model).
+ENVELOPE = 64
+
+
+def nbytes_of(obj) -> float:
+    """Best-effort payload size in bytes for timing purposes.
+
+    Supports NumPy arrays/scalars, Python numbers, strings, ``None`` and
+    (nested) tuples/lists/dicts of those.  Unknown leaf objects count as
+    one pointer-sized word; timing-critical code should pass ``nbytes``
+    explicitly.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if isinstance(obj, (np.generic,)):
+        return float(obj.nbytes)
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return DOUBLE
+    if isinstance(obj, complex):
+        return 2 * DOUBLE
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, dict):
+        return sum(nbytes_of(k) + nbytes_of(v) for k, v in obj.items())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(nbytes_of(item) for item in obj)
+    return 8
+
+
+def doubles(count: float) -> float:
+    """Bytes occupied by ``count`` double-precision values."""
+    return DOUBLE * count
+
+
+def matrix_bytes(rows: float, cols: float) -> float:
+    """Bytes of a dense double-precision ``rows x cols`` matrix."""
+    return DOUBLE * rows * cols

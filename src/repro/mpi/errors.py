@@ -1,0 +1,17 @@
+"""Errors raised by the simulated message-passing layer."""
+
+from __future__ import annotations
+
+from ..sim.errors import SimulationError
+
+
+class MPIError(SimulationError):
+    """Base class for simulated-MPI usage errors."""
+
+
+class RankError(MPIError):
+    """An operation referenced a rank outside the communicator."""
+
+
+class CollectiveError(MPIError):
+    """A collective was invoked inconsistently (bad root, bad counts...)."""

@@ -1,0 +1,29 @@
+"""Network substrate: topologies and cost models for the simulated cluster."""
+
+from .ethernet import SharedBusEthernet, make_network
+from .heterogeneous import HeterogeneousSwitchedNetwork, per_rank_links
+from .model import (
+    ETHERNET_100M,
+    SHARED_MEMORY,
+    LinkParams,
+    NetworkModel,
+    SwitchedNetwork,
+    UniformCostNetwork,
+    ZeroCostNetwork,
+)
+from .topology import Topology
+
+__all__ = [
+    "ETHERNET_100M",
+    "SHARED_MEMORY",
+    "HeterogeneousSwitchedNetwork",
+    "LinkParams",
+    "NetworkModel",
+    "SharedBusEthernet",
+    "SwitchedNetwork",
+    "Topology",
+    "UniformCostNetwork",
+    "ZeroCostNetwork",
+    "make_network",
+    "per_rank_links",
+]

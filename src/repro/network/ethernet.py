@@ -1,0 +1,124 @@
+"""Shared-medium 100 Mb Ethernet model (the Sunwulf testbed LAN).
+
+A single half-duplex bus connects all nodes: only one inter-node frame
+stream can be on the wire at a time, so concurrent transfers serialize.
+This is the property that makes a flat-tree broadcast cost grow linearly
+with the number of processes (the paper measured ``T_broadcast ~ p * a``)
+even though each individual message has constant cost.
+
+Intra-node messages (ranks sharing a physical node) bypass the bus and use
+shared-memory link parameters.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import InvalidOperationError
+from .model import ETHERNET_100M, SHARED_MEMORY, LinkParams, NetworkModel, ZeroCostNetwork
+from .topology import Topology
+
+
+class SharedBusEthernet(NetworkModel):
+    """Half-duplex shared bus with FIFO acquisition.
+
+    The bus is granted in request order, which is virtual-time order thanks
+    to the engine's smallest-clock-first scheduling.  A transfer requested
+    at ``start`` begins at ``max(start + software_overhead, bus_free)``,
+    occupies the bus for ``nbytes / bandwidth`` seconds, and arrives one
+    ``latency`` after the last byte leaves the wire.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+    ):
+        self.topology = topology
+        self.link = link
+        self.intranode = intranode
+        self._bus_free = 0.0
+        self._busy_time = 0.0
+        self._transfers = 0
+        # Hot-path caches (transfer() runs once per simulated message).
+        self._node_ids = tuple(topology.node_ids)
+        self._link_overhead = link.software_overhead
+        self._link_inv_bw = 1.0 / link.bandwidth
+        self._link_latency = link.latency
+        self._intra_overhead = intranode.software_overhead
+        self._intra_inv_bw = 1.0 / intranode.bandwidth
+        self._intra_latency = intranode.latency
+
+    def reset(self) -> None:
+        self._bus_free = 0.0
+        self._busy_time = 0.0
+        self._transfers = 0
+
+    @property
+    def bus_busy_time(self) -> float:
+        """Total virtual time the bus carried traffic this run."""
+        return self._busy_time
+
+    @property
+    def transfers(self) -> int:
+        """Number of inter-node transfers carried this run."""
+        return self._transfers
+
+    def transfer(self, src, dst, nbytes, start):
+        # Engine-validated ranks and sizes; this path runs per message.
+        if src == dst:
+            return start, start
+        ids = self._node_ids
+        if ids[src] == ids[dst]:
+            injected = start + self._intra_overhead + nbytes * self._intra_inv_bw
+            return injected, injected + self._intra_latency
+        ready = start + self._link_overhead
+        bus_free = self._bus_free
+        begin = ready if ready > bus_free else bus_free
+        duration = nbytes * self._link_inv_bw
+        sender_done = begin + duration
+        self._bus_free = sender_done
+        self._busy_time += duration
+        self._transfers += 1
+        return sender_done, sender_done + self._link_latency
+
+    def multicast(self, src, dsts, nbytes, start):
+        """Native Ethernet broadcast: one bus occupation reaches every
+        station, so the cost is that of a single transmission regardless of
+        the number of destinations.
+
+        If every destination shares the sender's node the frame never hits
+        the wire (shared-memory copy); one remote destination is enough to
+        occupy the bus once.
+        """
+        ids = self._node_ids
+        src_node = ids[src]
+        if all(ids[dst] == src_node for dst in dsts):
+            injected = start + self._intra_overhead + nbytes * self._intra_inv_bw
+            return injected, injected + self._intra_latency
+        ready = start + self._link_overhead
+        bus_free = self._bus_free
+        begin = ready if ready > bus_free else bus_free
+        duration = nbytes * self._link_inv_bw
+        sender_done = begin + duration
+        self._bus_free = sender_done
+        self._busy_time += duration
+        self._transfers += 1
+        return sender_done, sender_done + self._link_latency
+
+
+def make_network(
+    kind: str,
+    topology: Topology,
+    link: LinkParams = ETHERNET_100M,
+    intranode: LinkParams = SHARED_MEMORY,
+) -> NetworkModel:
+    """Factory used by cluster presets: ``kind`` in {'bus', 'switch', 'zero'}."""
+    from .model import SwitchedNetwork
+
+    if kind == "bus":
+        return SharedBusEthernet(topology, link, intranode)
+    if kind == "switch":
+        return SwitchedNetwork(topology, link, intranode)
+    if kind == "zero":
+        return ZeroCostNetwork()
+    raise InvalidOperationError(f"unknown network kind {kind!r}")

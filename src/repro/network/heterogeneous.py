@@ -1,0 +1,91 @@
+"""Link-heterogeneous networks: per-node NIC classes on a shared switch.
+
+The paper treats network heterogeneity as part of its "general
+distributed system" scope even though Sunwulf's LAN was uniform.  This
+model lets each *node* carry its own link parameters (e.g. V210s on
+gigabit, SunBlades on 100 Mb): a transfer pays the sender's injection
+cost and is then bottlenecked by the slower of the two endpoints'
+links -- the standard store-and-forward switch abstraction.
+
+Contention model: per-endpoint serialization (a node's NIC carries one
+frame at a time in each direction) is approximated by sender-side
+serialization only, matching the base :class:`SwitchedNetwork`; the
+shared-bus variant composes the slowest-endpoint rule with the single
+global bus.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..sim.errors import InvalidOperationError
+from .model import SHARED_MEMORY, LinkParams, NetworkModel
+from .topology import Topology
+
+
+class HeterogeneousSwitchedNetwork(NetworkModel):
+    """Full-duplex switch with per-node link classes.
+
+    ``node_links`` maps node id -> :class:`LinkParams`.  Every node of
+    the topology must be covered.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        node_links: Mapping[object, LinkParams],
+        intranode: LinkParams = SHARED_MEMORY,
+    ):
+        missing = {n for n in topology.node_ids} - set(node_links)
+        if missing:
+            raise InvalidOperationError(
+                f"node_links missing entries for nodes {sorted(map(str, missing))}"
+            )
+        self.topology = topology
+        self.node_links = dict(node_links)
+        self.intranode = intranode
+        self._node_ids = tuple(topology.node_ids)
+
+    def link_between(self, src: int, dst: int) -> LinkParams:
+        """Effective link: sender's overhead, slower endpoint's bandwidth,
+        summed latencies of both NICs."""
+        a = self.node_links[self._node_ids[src]]
+        b = self.node_links[self._node_ids[dst]]
+        return LinkParams(
+            latency=a.latency + b.latency,
+            bandwidth=min(a.bandwidth, b.bandwidth),
+            software_overhead=a.software_overhead,
+        )
+
+    def transfer(self, src, dst, nbytes, start):
+        if src == dst:
+            return start, start
+        if self._node_ids[src] == self._node_ids[dst]:
+            params = self.intranode
+            injected = start + params.software_overhead + nbytes / params.bandwidth
+            return injected, injected + params.latency
+        params = self.link_between(src, dst)
+        injected = start + params.software_overhead + nbytes / params.bandwidth
+        return injected, injected + params.latency
+
+
+def per_rank_links(
+    topology: Topology, links: Sequence[LinkParams]
+) -> dict[object, LinkParams]:
+    """Build a node->link mapping from per-rank link assignments.
+
+    All ranks of one node must agree on their link class.
+    """
+    if len(links) != topology.nranks:
+        raise InvalidOperationError(
+            f"{len(links)} link entries for {topology.nranks} ranks"
+        )
+    mapping: dict[object, LinkParams] = {}
+    for rank, link in enumerate(links):
+        node = topology.node_of(rank)
+        if node in mapping and mapping[node] != link:
+            raise InvalidOperationError(
+                f"conflicting link classes for node {node!r}"
+            )
+        mapping[node] = link
+    return mapping

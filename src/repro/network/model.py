@@ -1,0 +1,150 @@
+"""Network cost models.
+
+Every model implements the engine's transfer protocol::
+
+    transfer(src, dst, nbytes, start) -> (sender_done, arrival)
+
+``sender_done`` is when the (blocking) sender may proceed; ``arrival`` is
+when the message is available in the destination mailbox.  Times are
+virtual seconds, sizes are bytes.
+
+The base point-to-point cost follows the Hockney model
+``t(m) = latency + m / bandwidth`` plus a fixed per-message software
+overhead on the sender, which is what the paper's measured machine
+parameters (``T_send = T_recv ~ b + c*N``) correspond to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim.errors import InvalidOperationError
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Hockney parameters of one class of link.
+
+    ``software_overhead`` is CPU time the sender spends per message (the
+    MPI stack cost); ``latency`` is wire/stack delay before first byte
+    arrives; ``bandwidth`` is sustained bytes/second.
+    """
+
+    latency: float
+    bandwidth: float
+    software_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise InvalidOperationError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise InvalidOperationError("bandwidth must be positive")
+        if self.software_overhead < 0:
+            raise InvalidOperationError("software_overhead must be non-negative")
+
+    def duration(self, nbytes: float) -> float:
+        """Pure transmission time of ``nbytes`` on this link."""
+        return nbytes / self.bandwidth
+
+    def point_to_point(self, nbytes: float) -> float:
+        """End-to-end one-message cost (overhead + latency + transmission)."""
+        return self.software_overhead + self.latency + self.duration(nbytes)
+
+    def scaled(self, factor: float) -> "LinkParams":
+        """A copy with bandwidth multiplied by ``factor`` (ablation helper)."""
+        return replace(self, bandwidth=self.bandwidth * factor)
+
+
+#: 100 Mbit/s Ethernet with MPICH-era software costs (paper's testbed LAN).
+ETHERNET_100M = LinkParams(
+    latency=55e-6,  # ~55 us one-way LAN + stack latency
+    bandwidth=100e6 / 8 * 0.9,  # 100 Mb/s at ~90% goodput -> 11.25 MB/s
+    software_overhead=40e-6,  # per-message MPI send cost
+)
+
+#: Shared-memory transfer between CPUs of the same node.
+SHARED_MEMORY = LinkParams(
+    latency=3e-6,
+    bandwidth=250e6,  # ~250 MB/s memcpy on the era's hardware
+    software_overhead=5e-6,
+)
+
+
+class NetworkModel:
+    """Base class; subclasses override :meth:`transfer`."""
+
+    def transfer(
+        self, src: int, dst: int, nbytes: float, start: float
+    ) -> tuple[float, float]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-run shared state (bus occupancy etc.)."""
+
+
+class ZeroCostNetwork(NetworkModel):
+    """All communication is free.  Used for unit tests and the ideal
+    (Corollary 1) ablation where overhead is constant (zero)."""
+
+    def transfer(self, src, dst, nbytes, start):
+        self._validate(src, dst, nbytes)
+        return start, start
+
+    @staticmethod
+    def _validate(src: int, dst: int, nbytes: float) -> None:
+        if src < 0 or dst < 0:
+            raise InvalidOperationError("ranks must be non-negative")
+        if nbytes < 0:
+            raise InvalidOperationError("nbytes must be non-negative")
+
+
+class UniformCostNetwork(NetworkModel):
+    """Every message costs a fixed time regardless of size or endpoints.
+
+    Useful for analytic tests: total overhead is exactly
+    ``messages * cost``.
+    """
+
+    def __init__(self, cost: float):
+        if cost < 0:
+            raise InvalidOperationError("cost must be non-negative")
+        self.cost = cost
+
+    def transfer(self, src, dst, nbytes, start):
+        ZeroCostNetwork._validate(src, dst, nbytes)
+        if src == dst:
+            return start, start
+        return start + self.cost, start + self.cost
+
+
+class SwitchedNetwork(NetworkModel):
+    """Full-duplex switched network: no shared-medium contention.
+
+    Each transfer is independent; concurrent transfers between distinct
+    pairs do not slow each other down.  Intra-node messages use the
+    shared-memory link parameters.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+    ):
+        self.topology = topology
+        self.link = link
+        self.intranode = intranode
+        self._node_ids = tuple(topology.node_ids)
+
+    def _params(self, src: int, dst: int) -> LinkParams:
+        return self.intranode if self.topology.same_node(src, dst) else self.link
+
+    def transfer(self, src, dst, nbytes, start):
+        if src == dst:
+            return start, start
+        ids = self._node_ids
+        params = self.intranode if ids[src] == ids[dst] else self.link
+        injected = start + params.software_overhead + nbytes / params.bandwidth
+        arrival = injected + params.latency
+        return injected, arrival

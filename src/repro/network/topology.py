@@ -1,0 +1,63 @@
+"""Process-to-node placement used by the network models.
+
+The paper maps one MPI process per processor (the HoHe strategy of
+Kalinov & Lastovetsky), so several ranks can share a physical node (the
+SunFire server has four CPUs, the V210 two).  Intra-node traffic goes
+through shared memory; only inter-node traffic touches the LAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..sim.errors import InvalidOperationError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Maps each rank to the physical node hosting it.
+
+    ``node_ids[rank]`` is an arbitrary hashable node identifier; ranks with
+    equal identifiers communicate via shared memory.
+    """
+
+    node_ids: tuple = field(default_factory=tuple)
+
+    @staticmethod
+    def single_node(nranks: int) -> "Topology":
+        """All ranks on one node (pure shared-memory execution)."""
+        return Topology(tuple(0 for _ in range(nranks)))
+
+    @staticmethod
+    def one_per_node(nranks: int) -> "Topology":
+        """Each rank on its own node (fully distributed execution)."""
+        return Topology(tuple(range(nranks)))
+
+    @staticmethod
+    def from_sequence(node_ids: Sequence) -> "Topology":
+        return Topology(tuple(node_ids))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def nnodes(self) -> int:
+        return len(set(self.node_ids))
+
+    def node_of(self, rank: int) -> object:
+        if not 0 <= rank < len(self.node_ids):
+            raise InvalidOperationError(
+                f"rank {rank} out of range for topology with "
+                f"{len(self.node_ids)} ranks"
+            )
+        return self.node_ids[rank]
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when both ranks are hosted on the same physical node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on(self, node_id: object) -> list[int]:
+        """All ranks placed on the given node, in rank order."""
+        return [r for r, n in enumerate(self.node_ids) if n == node_id]

@@ -1,0 +1,18 @@
+"""Benchmark substrate: NPB-like kernels and marked-speed measurement."""
+
+from .kernels import BT, CG, EP, FT, LU, MG, SUITE, Kernel
+from .runner import clear_cache, measure_cluster, measure_node
+
+__all__ = [
+    "BT",
+    "CG",
+    "EP",
+    "FT",
+    "Kernel",
+    "LU",
+    "MG",
+    "SUITE",
+    "clear_cache",
+    "measure_cluster",
+    "measure_node",
+]

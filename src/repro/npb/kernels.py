@@ -1,0 +1,160 @@
+"""NPB-like benchmark kernels used to measure marked speed (section 4.3).
+
+The paper runs NAS Parallel Benchmark programs (LU, FT, BT, ...) on each
+node and takes the average achieved speed as the node's marked speed.  We
+provide a suite of kernels in the same spirit: each kernel has
+
+* a canonical flop count as a function of its size parameter, and
+* a real (small-scale) NumPy computation used to validate that the kernel
+  is a genuine workload (numeric mode returns a checksum).
+
+Timing on a simulated node comes from the node's per-kernel sustained
+efficiency; the *measured* marked speed is then the average over the
+suite, exactly mirroring the paper's procedure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..sim.errors import InvalidOperationError
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel: canonical flop count + real computation."""
+
+    name: str
+    description: str
+    flops: Callable[[int], float]
+    compute: Callable[[int, np.random.Generator], float]
+    default_size: int
+
+    def flop_count(self, n: int | None = None) -> float:
+        size = self.default_size if n is None else n
+        if size <= 0:
+            raise InvalidOperationError(f"kernel size must be positive, got {size}")
+        count = self.flops(size)
+        if count <= 0:
+            raise InvalidOperationError(
+                f"kernel {self.name} has non-positive flop count at n={size}"
+            )
+        return count
+
+    def run(self, n: int | None = None, seed: int = 0) -> float:
+        """Execute the real computation; returns a finite checksum."""
+        size = self.default_size if n is None else n
+        rng = np.random.default_rng(seed)
+        value = self.compute(size, rng)
+        if not np.isfinite(value):
+            raise InvalidOperationError(
+                f"kernel {self.name} produced non-finite checksum {value}"
+            )
+        return float(value)
+
+
+# -- kernel computations ----------------------------------------------------
+
+def _ep_compute(n: int, rng: np.random.Generator) -> float:
+    """Embarrassingly-parallel: Marsaglia polar acceptance counting."""
+    x = rng.uniform(-1.0, 1.0, size=n)
+    y = rng.uniform(-1.0, 1.0, size=n)
+    t = x * x + y * y
+    accepted = t <= 1.0
+    return float(np.sum(np.sqrt(np.where(accepted, t, 1.0))))
+
+
+def _mg_compute(n: int, rng: np.random.Generator) -> float:
+    """Multigrid-flavoured: a few Jacobi smoothing sweeps on an n^3 grid."""
+    grid = rng.standard_normal((n, n, n))
+    for _ in range(4):
+        interior = (
+            grid[:-2, 1:-1, 1:-1] + grid[2:, 1:-1, 1:-1]
+            + grid[1:-1, :-2, 1:-1] + grid[1:-1, 2:, 1:-1]
+            + grid[1:-1, 1:-1, :-2] + grid[1:-1, 1:-1, 2:]
+        ) / 6.0
+        grid = grid.copy()
+        grid[1:-1, 1:-1, 1:-1] = interior
+    return float(np.sum(grid))
+
+
+def _cg_compute(n: int, rng: np.random.Generator) -> float:
+    """Conjugate-gradient-flavoured: sparse banded mat-vec iterations."""
+    diag = 4.0 + rng.random(n)
+    off = -1.0 + 0.1 * rng.random(n - 1)
+    x = np.ones(n)
+    for _ in range(15):
+        y = diag * x
+        y[:-1] += off * x[1:]
+        y[1:] += off * x[:-1]
+        norm = np.linalg.norm(y)
+        x = y / norm
+    return float(np.dot(x, diag * x))
+
+
+def _ft_compute(n: int, rng: np.random.Generator) -> float:
+    """FFT-flavoured: forward/inverse 2-D transforms with evolution."""
+    field = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    spectrum = np.fft.fft2(field)
+    for step in range(3):
+        spectrum *= np.exp(-1e-6 * (step + 1))
+        field = np.fft.ifft2(spectrum)
+    return float(np.abs(field).sum())
+
+
+def _bt_compute(n: int, rng: np.random.Generator) -> float:
+    """Block-tridiagonal-flavoured: solve many small dense block systems."""
+    blocks = rng.standard_normal((n, 5, 5)) + 5.0 * np.eye(5)
+    rhs = rng.standard_normal((n, 5, 1))
+    solutions = np.linalg.solve(blocks, rhs)
+    return float(np.sum(solutions))
+
+
+def _lu_compute(n: int, rng: np.random.Generator) -> float:
+    """LU-flavoured: factor a diagonally dominant dense matrix."""
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    import scipy.linalg
+
+    _, l_factor, u_factor = scipy.linalg.lu(a)
+    return float(np.trace(l_factor) + np.trace(u_factor))
+
+
+# -- canonical flop counts ---------------------------------------------------
+
+EP = Kernel(
+    "ep", "embarrassingly parallel random-number kernel",
+    flops=lambda n: 10.0 * n,
+    compute=_ep_compute, default_size=1 << 16,
+)
+MG = Kernel(
+    "mg", "multigrid smoothing sweeps on an n^3 grid",
+    flops=lambda n: 4 * 7.0 * n**3,
+    compute=_mg_compute, default_size=24,
+)
+CG = Kernel(
+    "cg", "banded conjugate-gradient-style iterations",
+    flops=lambda n: 15 * 8.0 * n,
+    compute=_cg_compute, default_size=1 << 14,
+)
+FT = Kernel(
+    "ft", "2-D FFT evolution steps",
+    flops=lambda n: 4 * 5.0 * n * n * math.log2(max(n * n, 2)),
+    compute=_ft_compute, default_size=64,
+)
+BT = Kernel(
+    "bt", "batched 5x5 block solves",
+    flops=lambda n: n * (2.0 / 3.0 * 5**3 + 2.0 * 5**2),
+    compute=_bt_compute, default_size=1 << 12,
+)
+LU = Kernel(
+    "lu", "dense LU factorization",
+    flops=lambda n: 2.0 / 3.0 * n**3,
+    compute=_lu_compute, default_size=96,
+)
+
+#: The measurement suite, keyed by kernel name.
+SUITE: dict[str, Kernel] = {k.name: k for k in (EP, MG, CG, FT, BT, LU)}

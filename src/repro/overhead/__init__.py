@@ -1,0 +1,29 @@
+"""Machine-parameter measurement and overhead models (section 4.5)."""
+
+from .fit import (
+    fit_machine_parameters,
+    fit_point_to_point,
+    measure_barrier_time,
+    measure_bcast_time,
+    measure_unit_compute_time,
+)
+from .model import (
+    FFTOverheadModel,
+    GEOverheadModel,
+    MachineParameters,
+    MMOverheadModel,
+    StencilOverheadModel,
+)
+
+__all__ = [
+    "FFTOverheadModel",
+    "GEOverheadModel",
+    "MMOverheadModel",
+    "MachineParameters",
+    "StencilOverheadModel",
+    "fit_machine_parameters",
+    "fit_point_to_point",
+    "measure_barrier_time",
+    "measure_bcast_time",
+    "measure_unit_compute_time",
+]

@@ -1,0 +1,278 @@
+"""Parametric communication-overhead models (section 4.5).
+
+The paper measures machine parameters on Sunwulf::
+
+    T_broadcast ~ p * a          (flat broadcast, shared Ethernet)
+    T_send = T_recv ~ b + c * m  (m message bytes)
+    T_barrier ~ p * d
+
+and writes GE's total overhead as::
+
+    To = T_bcast + 2 (p-1) (T_send + T_recv) + N (2 T_bcast + T_barrier)
+
+We parameterize one level lower -- a fixed per-message cost and a
+per-byte cost -- from which all three collective costs follow for the
+flat algorithms (a flat broadcast is ``p-1`` serialized sends; the linear
+barrier is ``2(p-1)`` empty sends).  :class:`MachineParameters` holds the
+fitted values; :class:`GEOverheadModel` / :class:`MMOverheadModel` build
+the closed-form ``To(N)`` for a configuration, feeding
+:class:`repro.core.prediction.PerformanceModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..apps.distribution import proportional_counts
+from ..core.types import MetricError, _require_positive
+
+_DOUBLE = 8.0
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """Fitted point-to-point cost ``t(m) = per_message + per_byte * m``
+    plus the unit computation time of the studied application."""
+
+    per_message: float  # seconds per message (b)
+    per_byte: float  # seconds per byte (c)
+    unit_compute_time: float  # seconds per flop of application work (t_c)
+
+    def __post_init__(self) -> None:
+        _require_positive("per_message", self.per_message)
+        if self.per_byte < 0:
+            raise MetricError("per_byte must be non-negative")
+        _require_positive("unit_compute_time", self.unit_compute_time)
+
+    # -- collective costs under the flat algorithms ---------------------
+    def send_time(self, nbytes: float) -> float:
+        """``T_send(m) = b + c m``."""
+        if nbytes < 0:
+            raise MetricError("nbytes must be non-negative")
+        return self.per_message + self.per_byte * nbytes
+
+    def bcast_time(self, p: int, nbytes: float) -> float:
+        """Flat broadcast: ``(p-1)`` serialized sends."""
+        if p < 1:
+            raise MetricError("p must be >= 1")
+        return (p - 1) * self.send_time(nbytes)
+
+    def barrier_time(self, p: int) -> float:
+        """Linear barrier, ``~ p * b`` (the paper's ``T_barrier ~ p d``).
+
+        The gather phase's zero-byte tokens overlap across senders on the
+        bus (no wire time), so the serialized flat release dominates:
+        ``(p-1) b`` for the release plus ``~ b`` for the gather.
+        """
+        if p < 1:
+            raise MetricError("p must be >= 1")
+        return p * self.per_message if p > 1 else 0.0
+
+
+class GEOverheadModel:
+    """Closed-form ``To(N)`` of the paper's GE implementation.
+
+    Terms (flat collectives on a shared bus):
+
+    * metadata broadcast: ``(p-1)(b + 8c)``
+    * distribution + collection: each remote rank exchanges its
+      ``rows_r (N+1)`` doubles twice
+    * per elimination step ``k``: pivot-row broadcast of ``N-k+1``
+      doubles, a one-double bookkeeping broadcast, and a barrier.
+    """
+
+    def __init__(self, params: MachineParameters, speeds: Sequence[float]):
+        if len(speeds) < 1:
+            raise MetricError("need at least one processor")
+        self.params = params
+        self.speeds = tuple(float(s) for s in speeds)
+        self.p = len(self.speeds)
+
+    def distribution_overhead(self, n: float) -> float:
+        """Distribution + collection point-to-point cost."""
+        p = self.p
+        if p == 1:
+            return 0.0
+        counts = proportional_counts(int(round(n)), self.speeds)
+        total = 0.0
+        for rank, rows in enumerate(counts):
+            if rank == 0:
+                continue
+            nbytes = rows * (n + 1) * _DOUBLE
+            total += 2 * self.params.send_time(nbytes)
+        return total
+
+    def loop_overhead(self, n: float) -> float:
+        """Per-step broadcasts and barriers summed over the N-1 steps.
+
+        ``sum_{k=0}^{N-2} (N-k+1) = (N+1)(N+2)/2 - 3`` gives the pivot
+        byte volume in closed form.
+        """
+        p = self.p
+        if n < 2 or p == 1:
+            return 0.0
+        steps = n - 1
+        pivot_doubles = (n + 1) * (n + 2) / 2.0 - 3.0
+        pivot_bcasts = (p - 1) * (
+            steps * self.params.per_message
+            + self.params.per_byte * _DOUBLE * pivot_doubles
+        )
+        bookkeeping = steps * self.params.bcast_time(p, _DOUBLE)
+        barriers = steps * self.params.barrier_time(p)
+        return pivot_bcasts + bookkeeping + barriers
+
+    def total(self, n: float) -> float:
+        """``To(N)``: all communication/synchronization overhead."""
+        if n < 1:
+            raise MetricError(f"N must be >= 1, got {n}")
+        metadata = self.params.bcast_time(self.p, _DOUBLE)
+        return metadata + self.distribution_overhead(n) + self.loop_overhead(n)
+
+    __call__ = total
+
+
+class StencilOverheadModel:
+    """Closed-form ``To(N)`` of the Jacobi stencil (extension app).
+
+    Per sweep: two halo rows of ``8N`` bytes per internal band boundary
+    (serialized on the bus), plus an optional residual allreduce
+    (linear reduce + flat broadcast).  Sweeps follow the study default
+    ``N // 4`` unless a fixed count is given.
+    """
+
+    def __init__(
+        self,
+        params: MachineParameters,
+        speeds: Sequence[float],
+        sweeps: int | None = None,
+        residual_every: int = 0,
+    ):
+        if len(speeds) < 1:
+            raise MetricError("need at least one processor")
+        if residual_every < 0:
+            raise MetricError("residual_every must be >= 0")
+        self.params = params
+        self.speeds = tuple(float(s) for s in speeds)
+        self.p = len(self.speeds)
+        self.sweeps = sweeps
+        self.residual_every = residual_every
+
+    def _sweeps(self, n: float) -> int:
+        return self.sweeps if self.sweeps is not None else max(1, int(n) // 4)
+
+    def total(self, n: float) -> float:
+        if n < 3:
+            raise MetricError(f"stencil needs N >= 3, got {n}")
+        p = self.p
+        if p == 1:
+            return 0.0
+        counts = proportional_counts(int(round(n)), self.speeds)
+        active = sum(1 for c in counts if c > 0)
+        boundaries = max(0, active - 1)
+        sweeps = self._sweeps(n)
+
+        total = self.params.bcast_time(p, _DOUBLE)  # metadata
+        for rank, rows in enumerate(counts):  # distribution + collection
+            if rank == 0:
+                continue
+            band = rows * n * _DOUBLE
+            total += 2 * self.params.send_time(band)
+        total += sweeps * 2 * boundaries * self.params.send_time(n * _DOUBLE)
+        if self.residual_every:
+            checks = sweeps // self.residual_every
+            per_allreduce = 2 * (p - 1) * self.params.send_time(_DOUBLE)
+            total += checks * per_allreduce
+        return total
+
+    __call__ = total
+
+
+class FFTOverheadModel:
+    """Closed-form ``To(N)`` of the distributed 2-D FFT (extension app).
+
+    Distribution and collection each move the remote rows' complex field;
+    the transpose's all-to-all moves every off-diagonal block once.  The
+    analytic form treats ``N`` continuously (the runtime restricts real
+    executions to powers of two).
+    """
+
+    def __init__(self, params: MachineParameters, speeds: Sequence[float]):
+        if len(speeds) < 1:
+            raise MetricError("need at least one processor")
+        self.params = params
+        self.speeds = tuple(float(s) for s in speeds)
+        self.p = len(self.speeds)
+
+    def total(self, n: float) -> float:
+        if n < 2:
+            raise MetricError(f"FFT needs N >= 2, got {n}")
+        p = self.p
+        if p == 1:
+            return 0.0
+        complex_bytes = 16.0
+        counts = proportional_counts(int(round(n)), self.speeds)
+        total = self.params.bcast_time(p, _DOUBLE)  # metadata
+        for rank, rows in enumerate(counts):  # distribution + collection
+            if rank == 0:
+                continue
+            band = rows * n * complex_bytes
+            total += 2 * self.params.send_time(band)
+        # Transpose: p(p-1) messages carrying all off-diagonal blocks.
+        diag = sum(rows * rows for rows in counts)
+        transpose_bytes = (n * n - diag) * complex_bytes
+        total += p * (p - 1) * self.params.per_message
+        total += self.params.per_byte * transpose_bytes
+        return total
+
+    __call__ = total
+
+
+class MMOverheadModel:
+    """Closed-form ``To(N)`` of the paper's MM implementation: metadata
+    broadcast, A bands out, B replicated, C bands back; no loop terms.
+
+    ``bcast`` selects the B-replication cost model: 'ethernet' (default,
+    one native-broadcast transmission on the shared medium, matching the
+    MM runtime default) or 'flat' (``p-1`` unicast copies -- the ablation
+    configuration).
+    """
+
+    def __init__(
+        self,
+        params: MachineParameters,
+        speeds: Sequence[float],
+        bcast: str = "ethernet",
+    ):
+        if len(speeds) < 1:
+            raise MetricError("need at least one processor")
+        if bcast not in ("ethernet", "flat"):
+            raise MetricError(f"unknown bcast model {bcast!r}")
+        self.params = params
+        self.speeds = tuple(float(s) for s in speeds)
+        self.p = len(self.speeds)
+        self.bcast = bcast
+
+    def _bcast_time(self, nbytes: float) -> float:
+        if self.bcast == "ethernet":
+            return self.params.send_time(nbytes)
+        return self.params.bcast_time(self.p, nbytes)
+
+    def total(self, n: float) -> float:
+        if n < 1:
+            raise MetricError(f"N must be >= 1, got {n}")
+        p = self.p
+        if p == 1:
+            return 0.0
+        counts = proportional_counts(int(round(n)), self.speeds)
+        total = self._bcast_time(_DOUBLE)  # metadata
+        total += self._bcast_time(n * n * _DOUBLE)  # B replication
+        for rank, rows in enumerate(counts):
+            if rank == 0:
+                continue
+            band = rows * n * _DOUBLE
+            total += self.params.send_time(band)  # A band out
+            total += self.params.send_time(band)  # C band back
+        return total
+
+    __call__ = total

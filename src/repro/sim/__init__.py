@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate.
+
+This package provides the conservative virtual-time engine that every
+simulated "execution" in the reproduction runs on: processes are Python
+generators yielding :class:`~repro.sim.events.Compute`,
+:class:`~repro.sim.events.Send`, :class:`~repro.sim.events.Recv` and friends,
+and :class:`~repro.sim.engine.Engine` coordinates their virtual clocks over a
+pluggable network model.
+"""
+
+from .engine import Engine, Program, ProgramFactory, RunResult
+from .errors import (
+    DeadlockError,
+    EventLimitExceeded,
+    InvalidOperationError,
+    ProtocolError,
+    SimulationError,
+)
+from .events import ANY_SOURCE, ANY_TAG, Compute, Log, Message, Multicast, Now, Recv, Send, SimOp
+from .trace import RankStats, Tracer, TraceRecord
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Compute",
+    "DeadlockError",
+    "Engine",
+    "EventLimitExceeded",
+    "InvalidOperationError",
+    "Log",
+    "Message",
+    "Multicast",
+    "Now",
+    "Program",
+    "ProgramFactory",
+    "ProtocolError",
+    "RankStats",
+    "Recv",
+    "RunResult",
+    "Send",
+    "SimOp",
+    "SimulationError",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,370 @@
+"""Conservative discrete-event engine for simulated message-passing programs.
+
+Processes are Python generators yielding the primitives in
+:mod:`repro.sim.events`.  The engine always advances the runnable process
+with the *smallest local virtual clock*, which keeps shared-resource network
+models (e.g. the shared-bus Ethernet) causal: when a transfer is requested at
+local time ``t``, every other live process has already progressed to a clock
+``>= t`` or is blocked waiting on a message, so no transfer with an earlier
+start time can be requested afterwards.
+
+Timing semantics:
+
+* ``Compute(flops=f)`` advances the clock by ``f / flops_per_second[rank]``.
+* ``Send`` asks the network model for ``(sender_done, arrival)`` and advances
+  the sender's clock to ``sender_done``; the message is deposited in the
+  destination mailbox with the given arrival time.
+* ``Recv`` completes at ``max(post_time, arrival)`` of the first matching
+  message (smallest arrival, ties broken by deposit sequence); if no match
+  exists, the process blocks until a matching send occurs.
+
+The run is fully deterministic for a fixed program and network model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from .errors import (
+    DeadlockError,
+    EventLimitExceeded,
+    InvalidOperationError,
+    ProtocolError,
+)
+from .events import Compute, Log, Message, Multicast, Now, Recv, Send
+from .trace import RankStats, Tracer
+
+#: A simulated process: a generator yielding SimOp objects, receiving results.
+Program = Generator[Any, Any, Any]
+#: A factory building the per-rank process generator.
+ProgramFactory = Callable[[int], Program]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    finish_times: list[float]
+    stats: list[RankStats]
+    events: int
+    tracer: Tracer | None = None
+    return_values: list[Any] = field(default_factory=list)
+    undelivered_messages: int = 0
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last process finished (the run time T)."""
+        return max(self.finish_times) if self.finish_times else 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes injected into the network across all ranks."""
+        return sum(s.bytes_sent for s in self.stats)
+
+
+class _Proc:
+    """Book-keeping for one simulated process."""
+
+    __slots__ = ("rank", "gen", "time", "done", "waiting", "block_start",
+                 "pending", "value")
+
+    def __init__(self, rank: int, gen: Program):
+        self.rank = rank
+        self.gen = gen
+        self.time = 0.0
+        self.done = False
+        self.waiting: Recv | None = None  # blocked receive, if any
+        self.block_start = 0.0
+        self.pending: Any = None  # value to feed the generator on next resume
+        self.value: Any = None  # generator return value
+
+
+class Engine:
+    """Runs a set of per-rank generator programs over a network model.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated processes (ranks ``0 .. nranks-1``).
+    network:
+        Object with ``transfer(src, dst, nbytes, start) -> (sender_done,
+        arrival)`` and optionally ``reset()``.
+    flops_per_second:
+        Effective compute speed of each rank for this program, in flops/s.
+    tracer:
+        Optional :class:`Tracer` collecting full event records.
+    max_events:
+        Safety limit on primitive operations processed.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        network: Any,
+        flops_per_second: Sequence[float],
+        tracer: Tracer | None = None,
+        max_events: int = 50_000_000,
+    ):
+        if nranks <= 0:
+            raise InvalidOperationError(f"nranks must be positive, got {nranks}")
+        if len(flops_per_second) != nranks:
+            raise InvalidOperationError(
+                f"flops_per_second has {len(flops_per_second)} entries "
+                f"for {nranks} ranks"
+            )
+        for rank, speed in enumerate(flops_per_second):
+            if speed <= 0:
+                raise InvalidOperationError(
+                    f"flops_per_second[{rank}] must be positive, got {speed}"
+                )
+        self.nranks = nranks
+        self.network = network
+        self.flops_per_second = [float(s) for s in flops_per_second]
+        self.tracer = tracer
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+    def run(self, programs: ProgramFactory | Iterable[Program]) -> RunResult:
+        """Execute the programs to completion and return timing results."""
+        if callable(programs):
+            gens = [programs(rank) for rank in range(self.nranks)]
+        else:
+            gens = list(programs)
+            if len(gens) != self.nranks:
+                raise InvalidOperationError(
+                    f"expected {self.nranks} programs, got {len(gens)}"
+                )
+        if hasattr(self.network, "reset"):
+            self.network.reset()
+
+        procs = [_Proc(rank, gen) for rank, gen in enumerate(gens)]
+        stats = [RankStats(rank) for rank in range(self.nranks)]
+        mailboxes: list[list[Message]] = [[] for _ in range(self.nranks)]
+        live = self.nranks
+        seq = 0
+        events = 0
+        heap: list[tuple[float, int, int]] = []
+
+        def push(proc: _Proc) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (proc.time, seq, proc.rank))
+            seq += 1
+
+        for proc in procs:
+            push(proc)
+
+        def pop_match(rank: int, src: int, tag: int) -> Message | None:
+            """Remove and return the matching message with smallest arrival."""
+            box = mailboxes[rank]
+            best_idx = -1
+            best_key: tuple[float, int] | None = None
+            for idx, msg in enumerate(box):
+                if msg.matches(src, tag):
+                    key = (msg.arrival, msg.seq)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_idx = idx
+            if best_idx < 0:
+                return None
+            return box.pop(best_idx)
+
+        def complete_recv(proc: _Proc, msg: Message, posted_at: float) -> None:
+            """Account for a matched receive and queue the process to resume."""
+            proc.time = max(proc.time, msg.arrival)
+            stats[proc.rank].recv_wait_time += proc.time - posted_at
+            stats[proc.rank].bytes_received += msg.nbytes
+            stats[proc.rank].messages_received += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    proc.rank, "recv", posted_at, proc.time,
+                    f"src={msg.src} tag={msg.tag} nbytes={msg.nbytes:g}",
+                )
+            proc.waiting = None
+            proc.pending = msg
+            push(proc)
+
+        # Hot-loop local bindings (this loop runs once per primitive event).
+        tracer = self.tracer
+        fps = self.flops_per_second
+        transfer = self.network.transfer
+        nranks = self.nranks
+        max_events = self.max_events
+        heappop = heapq.heappop
+
+        while live > 0:
+            if not heap:
+                raise DeadlockError(
+                    {
+                        p.rank: f"Recv(src={p.waiting.src}, tag={p.waiting.tag})"
+                        for p in procs
+                        if p.waiting is not None and not p.done
+                    }
+                )
+            rank = heappop(heap)[2]
+            proc = procs[rank]
+            if proc.done or proc.waiting is not None:
+                continue  # stale heap entry
+
+            send_back, proc.pending = proc.pending, None
+            try:
+                op = proc.gen.send(send_back)
+            except StopIteration as stop:
+                proc.done = True
+                proc.value = stop.value
+                stats[rank].finish_time = proc.time
+                live -= 1
+                continue
+
+            events += 1
+            if events > max_events:
+                raise EventLimitExceeded(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely an unbounded program"
+                )
+
+            cls = type(op)
+            if cls is Send:
+                dst = op.dst
+                if dst >= nranks:
+                    raise InvalidOperationError(
+                        f"rank {rank} sent to invalid rank {dst} "
+                        f"(nranks={nranks})"
+                    )
+                start = proc.time
+                nbytes = op.nbytes
+                sender_done, arrival = transfer(rank, dst, nbytes, start)
+                if sender_done < start or arrival < start:
+                    raise ProtocolError(
+                        "network model returned a time before the send start "
+                        f"(start={start}, done={sender_done}, arrival={arrival})"
+                    )
+                proc.time = sender_done
+                st = stats[rank]
+                st.send_time += sender_done - start
+                st.bytes_sent += nbytes
+                st.messages_sent += 1
+                if tracer is not None:
+                    tracer.record(
+                        rank, "send", start, proc.time,
+                        f"dst={dst} tag={op.tag} nbytes={nbytes:g}",
+                    )
+                msg = Message(
+                    src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
+                    payload=op.payload, arrival=arrival, seq=seq,
+                )
+                seq += 1
+                dst_proc = procs[dst]
+                waiting = dst_proc.waiting
+                if waiting is not None and msg.matches(waiting.src, waiting.tag):
+                    complete_recv(dst_proc, msg, dst_proc.block_start)
+                else:
+                    mailboxes[dst].append(msg)
+                push(proc)
+            elif cls is Recv:
+                msg = pop_match(rank, op.src, op.tag)
+                if msg is not None:
+                    complete_recv(proc, msg, proc.time)
+                else:
+                    proc.waiting = op
+                    proc.block_start = proc.time
+            elif cls is Compute:
+                start = proc.time
+                flops = op.flops
+                if flops is None:
+                    duration = op.seconds
+                else:
+                    duration = flops / fps[rank]
+                    stats[rank].flops += flops
+                proc.time = start + duration
+                stats[rank].compute_time += duration
+                if tracer is not None:
+                    tracer.record(rank, "compute", start, proc.time)
+                push(proc)
+            elif cls is Multicast:
+                start = proc.time
+                nbytes = op.nbytes
+                deliveries: list[tuple[int, float]] = []
+                native = getattr(self.network, "multicast", None)
+                remote = [d for d in op.dsts if d != rank]
+                for dst in remote:
+                    if dst >= nranks:
+                        raise InvalidOperationError(
+                            f"rank {rank} multicast to invalid rank {dst} "
+                            f"(nranks={nranks})"
+                        )
+                if not remote:
+                    push(proc)
+                else:
+                    if native is not None:
+                        sender_done, arrival = native(
+                            rank, tuple(remote), nbytes, start
+                        )
+                        deliveries = [(dst, arrival) for dst in remote]
+                    else:
+                        # Fallback: serialized unicasts (switched network).
+                        sender_done = start
+                        for dst in remote:
+                            sender_done, arrival = transfer(
+                                rank, dst, nbytes, sender_done
+                            )
+                            deliveries.append((dst, arrival))
+                    if sender_done < start:
+                        raise ProtocolError(
+                            "network model returned a time before the "
+                            f"multicast start (start={start}, done={sender_done})"
+                        )
+                    proc.time = sender_done
+                    st = stats[rank]
+                    st.send_time += sender_done - start
+                    st.bytes_sent += nbytes  # one physical transmission
+                    st.messages_sent += 1
+                    if tracer is not None:
+                        tracer.record(
+                            rank, "multicast", start, proc.time,
+                            f"dsts={len(remote)} tag={op.tag} nbytes={nbytes:g}",
+                        )
+                    for dst, arrival in deliveries:
+                        msg = Message(
+                            src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
+                            payload=op.payload, arrival=arrival, seq=seq,
+                        )
+                        seq += 1
+                        dst_proc = procs[dst]
+                        waiting = dst_proc.waiting
+                        if waiting is not None and msg.matches(
+                            waiting.src, waiting.tag
+                        ):
+                            complete_recv(dst_proc, msg, dst_proc.block_start)
+                        else:
+                            mailboxes[dst].append(msg)
+                    push(proc)
+            elif cls is Now:
+                proc.pending = proc.time
+                push(proc)
+            elif cls is Log:
+                if tracer is not None:
+                    tracer.record(rank, "log", proc.time, proc.time, op.message)
+                push(proc)
+            elif isinstance(op, (Send, Recv, Compute, Multicast, Now, Log)):
+                # Subclassed primitives take the slow path: re-dispatch via
+                # the exact base type semantics.
+                raise ProtocolError(
+                    f"rank {rank} yielded a subclass of a primitive ({op!r}); "
+                    "yield the primitive types directly"
+                )
+            else:
+                raise ProtocolError(
+                    f"rank {rank} yielded unsupported object {op!r}"
+                )
+
+        undelivered = sum(len(box) for box in mailboxes)
+        return RunResult(
+            finish_times=[p.time for p in procs],
+            stats=stats,
+            events=events,
+            tracer=self.tracer,
+            return_values=[p.value for p in procs],
+            undelivered_messages=undelivered,
+        )

@@ -1,0 +1,37 @@
+"""Exception types raised by the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every live process is blocked and no message can arrive.
+
+    The ``blocked`` attribute maps rank -> a human-readable description of
+    the operation each process is blocked on, which makes test failures and
+    user bug reports actionable.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"rank {r}: {what}" for r, what in sorted(blocked.items()))
+        super().__init__(f"simulation deadlock; all live processes blocked ({detail})")
+
+
+class ProtocolError(SimulationError):
+    """Raised when a program yields an object the engine does not understand."""
+
+
+class EventLimitExceeded(SimulationError):
+    """Raised when a run exceeds the configured maximum number of events.
+
+    This is a safety net against accidentally unbounded programs; raise the
+    limit via ``Engine(max_events=...)`` for very large experiments.
+    """
+
+
+class InvalidOperationError(SimulationError):
+    """Raised for structurally invalid operations (bad rank, negative size...)."""

@@ -1,0 +1,221 @@
+"""Primitive operations that simulated processes yield to the engine.
+
+A simulated process is a Python generator.  It communicates with the engine
+by yielding instances of the operation classes below; the engine resumes the
+generator with the operation's result (``None`` for most, a :class:`Message`
+for :class:`Recv`).  Composite operations (collectives, application phases)
+are ordinary sub-generators used with ``yield from``.
+
+All sizes are bytes, all work is double-precision floating-point operations
+(flops), and all times are seconds of *virtual* time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .errors import InvalidOperationError
+
+#: Wildcard rank for :class:`Recv` meaning "any sender".
+ANY_SOURCE: int = -1
+#: Wildcard tag for :class:`Recv` meaning "any tag".
+ANY_TAG: int = -1
+
+
+class SimOp:
+    """Marker base class for primitive simulation operations."""
+
+    __slots__ = ()
+
+
+class Compute(SimOp):
+    """Advance the local clock by a computation.
+
+    Exactly one of ``flops`` (converted to time through the per-rank compute
+    speed) or ``seconds`` (a fixed duration, used for modelling constant
+    software overheads) must be given.
+
+    Implemented as a plain slotted class (not a dataclass): these objects
+    are created once per simulated event and constructor cost dominates the
+    engine's hot path.
+    """
+
+    __slots__ = ("flops", "seconds")
+
+    def __init__(self, flops: float | None = None, seconds: float | None = None):
+        if (flops is None) == (seconds is None):
+            raise InvalidOperationError(
+                "Compute requires exactly one of flops= or seconds="
+            )
+        value = flops if flops is not None else seconds
+        if value is None or value < 0:
+            raise InvalidOperationError("Compute amount must be non-negative")
+        self.flops = flops
+        self.seconds = seconds
+
+    def __repr__(self) -> str:
+        if self.seconds is not None:
+            return f"Compute(seconds={self.seconds!r})"
+        return f"Compute(flops={self.flops!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Compute)
+            and self.flops == other.flops
+            and self.seconds == other.seconds
+        )
+
+
+class Send(SimOp):
+    """Blocking send of ``nbytes`` to ``dst`` with a message ``tag``.
+
+    The send completes (locally) once the message has been injected into the
+    network; delivery time at the destination is decided by the network
+    model.  ``payload`` carries optional real data (NumPy arrays, tuples...)
+    for numeric-execution mode and does not affect timing -- timing depends
+    only on ``nbytes``.
+    """
+
+    __slots__ = ("dst", "nbytes", "tag", "payload")
+
+    def __init__(self, dst: int, nbytes: float, tag: int = 0, payload: Any = None):
+        if dst < 0:
+            raise InvalidOperationError(f"Send dst must be >= 0, got {dst}")
+        if nbytes < 0:
+            raise InvalidOperationError("Send nbytes must be non-negative")
+        if tag < 0:
+            raise InvalidOperationError("Send tag must be non-negative")
+        self.dst = dst
+        self.nbytes = nbytes
+        self.tag = tag
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Send(dst={self.dst}, nbytes={self.nbytes!r}, tag={self.tag})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Send)
+            and self.dst == other.dst
+            and self.nbytes == other.nbytes
+            and self.tag == other.tag
+        )
+
+
+class Multicast(SimOp):
+    """One transmission delivered to several destinations.
+
+    On a shared-medium network (Ethernet bus) this costs a *single* bus
+    occupation -- the physical medium is inherently broadcast -- and every
+    destination receives the same arrival time.  Network models without
+    native multicast (switches) fall back to serialized unicasts.  Each
+    destination receives an ordinary :class:`Message` matched by normal
+    receives.
+    """
+
+    __slots__ = ("dsts", "nbytes", "tag", "payload")
+
+    def __init__(
+        self, dsts: tuple[int, ...], nbytes: float, tag: int = 0, payload: Any = None
+    ):
+        dsts = tuple(dsts)
+        for dst in dsts:
+            if dst < 0:
+                raise InvalidOperationError(
+                    f"Multicast dst must be >= 0, got {dst}"
+                )
+        if len(set(dsts)) != len(dsts):
+            raise InvalidOperationError("Multicast dsts must be distinct")
+        if nbytes < 0:
+            raise InvalidOperationError("Multicast nbytes must be non-negative")
+        if tag < 0:
+            raise InvalidOperationError("Multicast tag must be non-negative")
+        self.dsts = dsts
+        self.nbytes = nbytes
+        self.tag = tag
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Multicast(dsts={self.dsts}, nbytes={self.nbytes!r}, "
+            f"tag={self.tag})"
+        )
+
+
+class Recv(SimOp):
+    """Blocking receive matching ``src`` and ``tag`` (wildcards allowed)."""
+
+    __slots__ = ("src", "tag")
+
+    def __init__(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        if src < ANY_SOURCE:
+            raise InvalidOperationError(f"Recv src must be >= -1, got {src}")
+        if tag < ANY_TAG:
+            raise InvalidOperationError(f"Recv tag must be >= -1, got {tag}")
+        self.src = src
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Recv(src={self.src}, tag={self.tag})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Recv)
+            and self.src == other.src
+            and self.tag == other.tag
+        )
+
+
+@dataclass(frozen=True)
+class Now(SimOp):
+    """Query the local virtual clock; resumes with the current time."""
+
+
+@dataclass(frozen=True)
+class Log(SimOp):
+    """Emit a trace annotation (no time cost)."""
+
+    message: str = ""
+
+
+class Message:
+    """A delivered message, returned by :class:`Recv`.
+
+    ``arrival`` is the virtual time the message reached the destination's
+    mailbox; the receive itself completes at ``max(arrival, recv post time)``.
+    """
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "payload", "arrival", "seq")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: float,
+        payload: Any = None,
+        arrival: float = 0.0,
+        seq: int = 0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.arrival = arrival
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src}, dst={self.dst}, tag={self.tag}, "
+            f"nbytes={self.nbytes!r}, arrival={self.arrival!r})"
+        )
+
+    def matches(self, src: int, tag: int) -> bool:
+        """True when this message satisfies a receive for (src, tag)."""
+        return (src == ANY_SOURCE or src == self.src) and (
+            tag == ANY_TAG or tag == self.tag
+        )

@@ -1,0 +1,75 @@
+"""Execution tracing and per-rank accounting for simulation runs.
+
+The engine always keeps cheap aggregate counters (:class:`RankStats`); full
+event records (:class:`TraceRecord`) are collected only when a
+:class:`Tracer` is attached, because large experiments generate millions of
+events and record objects would dominate memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RankStats:
+    """Aggregate virtual-time accounting for one simulated process."""
+
+    rank: int
+    compute_time: float = 0.0
+    send_time: float = 0.0
+    recv_wait_time: float = 0.0
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    flops: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def comm_time(self) -> float:
+        """Total time attributed to communication (send busy + recv wait)."""
+        return self.send_time + self.recv_wait_time
+
+    @property
+    def busy_time(self) -> float:
+        """Compute plus communication time (excludes pure idling)."""
+        return self.compute_time + self.comm_time
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One engine event, recorded only when tracing is enabled."""
+
+    rank: int
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` objects during a run.
+
+    ``limit`` bounds memory use; once reached, further records are counted in
+    ``dropped`` instead of stored.
+    """
+
+    limit: int = 1_000_000
+    records: list[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, rank: int, kind: str, start: float, end: float, detail: str = "") -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(rank, kind, start, end, detail))
+
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind ('compute', 'send', 'recv', 'log')."""
+        return [r for r in self.records if r.kind == kind]
+
+    def for_rank(self, rank: int) -> list[TraceRecord]:
+        """All records emitted by one rank, in engine order."""
+        return [r for r in self.records if r.rank == rank]

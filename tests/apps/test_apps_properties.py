@@ -1,0 +1,136 @@
+"""Property-based invariants common to all three applications.
+
+Two load-bearing contracts:
+
+1. **Mode equivalence** -- numeric execution (real linear algebra riding
+   along as payloads) must produce *identical virtual timing* to the
+   modelled run: payloads never affect the cost model.
+2. **Work conservation** -- the flops the simulator accounts across all
+   ranks equal the workload polynomial `W(N)` the metric uses, for any
+   processor count and speed mix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gaussian import GEOptions, make_ge_program
+from repro.apps.matmul import MMOptions, make_mm_program
+from repro.apps.matmul2d import MM2DOptions, make_mm2d_program
+from repro.apps.stencil import StencilOptions, make_stencil_program, stencil_workload
+from repro.apps.workload import ge_workload, mm_workload
+from repro.mpi.communicator import mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.topology import Topology
+
+speeds_strategy = st.lists(
+    st.floats(min_value=3e7, max_value=3e8, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+def execute(program_factory, options, nranks):
+    topo = Topology.one_per_node(nranks)
+    return mpi_run(
+        nranks, SharedBusEthernet(topo), [1e8] * nranks,
+        program_factory(options),
+    )
+
+
+@given(n=st.integers(min_value=2, max_value=40), speeds=speeds_strategy)
+@settings(max_examples=40, deadline=None)
+def test_ge_flop_conservation(n, speeds):
+    result = execute(
+        make_ge_program, GEOptions(n=n, speeds=tuple(speeds)), len(speeds)
+    )
+    assert sum(s.flops for s in result.stats) == pytest.approx(ge_workload(n))
+
+
+@given(n=st.integers(min_value=1, max_value=40), speeds=speeds_strategy)
+@settings(max_examples=40, deadline=None)
+def test_mm_flop_conservation(n, speeds):
+    result = execute(
+        make_mm_program, MMOptions(n=n, speeds=tuple(speeds)), len(speeds)
+    )
+    assert sum(s.flops for s in result.stats) == pytest.approx(mm_workload(n))
+
+
+@given(n=st.integers(min_value=1, max_value=40), speeds=speeds_strategy)
+@settings(max_examples=40, deadline=None)
+def test_mm2d_flop_conservation(n, speeds):
+    result = execute(
+        make_mm2d_program, MM2DOptions(n=n, speeds=tuple(speeds)), len(speeds)
+    )
+    assert sum(s.flops for s in result.stats) == pytest.approx(mm_workload(n))
+
+
+@given(
+    n=st.integers(min_value=3, max_value=32),
+    sweeps=st.integers(min_value=1, max_value=6),
+    check=st.integers(min_value=0, max_value=3),
+    speeds=speeds_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_stencil_flop_conservation(n, sweeps, check, speeds):
+    options = StencilOptions(
+        n=n, sweeps=sweeps, speeds=tuple(speeds), residual_every=check
+    )
+    result = execute(make_stencil_program, options, len(speeds))
+    assert sum(s.flops for s in result.stats) == pytest.approx(
+        stencil_workload(n, sweeps, check)
+    )
+
+
+@given(n=st.integers(min_value=2, max_value=24), speeds=speeds_strategy)
+@settings(max_examples=25, deadline=None)
+def test_ge_mode_equivalence(n, speeds):
+    speeds = tuple(speeds)
+    modelled = execute(make_ge_program, GEOptions(n=n, speeds=speeds), len(speeds))
+    numeric = execute(
+        make_ge_program, GEOptions(n=n, speeds=speeds, numeric=True), len(speeds)
+    )
+    assert numeric.makespan == pytest.approx(modelled.makespan, rel=1e-12)
+    assert numeric.events == modelled.events
+
+
+@given(n=st.integers(min_value=1, max_value=24), speeds=speeds_strategy)
+@settings(max_examples=25, deadline=None)
+def test_mm_mode_equivalence(n, speeds):
+    speeds = tuple(speeds)
+    modelled = execute(make_mm_program, MMOptions(n=n, speeds=speeds), len(speeds))
+    numeric = execute(
+        make_mm_program, MMOptions(n=n, speeds=speeds, numeric=True), len(speeds)
+    )
+    assert numeric.makespan == pytest.approx(modelled.makespan, rel=1e-12)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=20),
+    sweeps=st.integers(min_value=1, max_value=4),
+    speeds=speeds_strategy,
+)
+@settings(max_examples=25, deadline=None)
+def test_stencil_mode_equivalence_and_correctness(n, sweeps, speeds):
+    from repro.apps.stencil import generate_grid, jacobi_reference
+
+    speeds = tuple(speeds)
+    base = dict(n=n, sweeps=sweeps, speeds=speeds)
+    modelled = execute(make_stencil_program, StencilOptions(**base), len(speeds))
+    numeric = execute(
+        make_stencil_program, StencilOptions(**base, numeric=True), len(speeds)
+    )
+    assert numeric.makespan == pytest.approx(modelled.makespan, rel=1e-12)
+    reference = jacobi_reference(generate_grid(n, 0), sweeps)
+    np.testing.assert_allclose(
+        numeric.return_values[0], reference, rtol=1e-12, atol=1e-12
+    )
+
+
+@given(n=st.integers(min_value=1, max_value=24), speeds=speeds_strategy)
+@settings(max_examples=25, deadline=None)
+def test_mm2d_numeric_correct_for_random_configs(n, speeds):
+    options = MM2DOptions(n=n, speeds=tuple(speeds), numeric=True, seed=1)
+    result = execute(make_mm2d_program, options, len(speeds))
+    assert result.return_values[0].max_error() < 1e-9

@@ -1,0 +1,145 @@
+"""Unit tests for heterogeneous data-distribution algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.apps.distribution import (
+    RowLayout,
+    column_based_tiling,
+    cyclic_group_sizes,
+    heterogeneous_block,
+    heterogeneous_cyclic,
+    proportional_counts,
+)
+from repro.sim.errors import InvalidOperationError
+
+
+class TestProportionalCounts:
+    def test_exact_division(self):
+        assert proportional_counts(100, [1.0, 1.0]) == [50, 50]
+
+    def test_heterogeneous_shares(self):
+        counts = proportional_counts(90, [1.0, 2.0])
+        assert counts == [30, 60]
+
+    def test_conserves_total_with_rounding(self):
+        counts = proportional_counts(10, [1.0, 1.0, 1.0])
+        assert sum(counts) == 10
+        assert sorted(counts) == [3, 3, 4]
+
+    def test_zero_total(self):
+        assert proportional_counts(0, [1.0, 2.0]) == [0, 0]
+
+    def test_deterministic_tie_break(self):
+        assert proportional_counts(1, [1.0, 1.0]) == [1, 0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            proportional_counts(10, [])
+        with pytest.raises(InvalidOperationError):
+            proportional_counts(10, [1.0, -1.0])
+        with pytest.raises(InvalidOperationError):
+            proportional_counts(-1, [1.0])
+
+
+class TestHeterogeneousBlock:
+    def test_contiguous_cover(self):
+        bands = heterogeneous_block(100, [55.0, 120.0])
+        assert bands[0][0] == 0
+        assert bands[-1][1] == 100
+        assert bands[0][1] == bands[1][0]
+
+    def test_faster_gets_more_rows(self):
+        bands = heterogeneous_block(100, [55.0, 120.0])
+        rows = [stop - start for start, stop in bands]
+        assert rows[1] > rows[0]
+        assert rows[1] / rows[0] == pytest.approx(120 / 55, rel=0.15)
+
+
+class TestHeterogeneousCyclic:
+    def test_group_sizes_normalized_by_slowest(self):
+        assert cyclic_group_sizes([55.0, 110.0]) == [1, 2]
+        assert cyclic_group_sizes([60.0, 60.0, 55.0]) == [1, 1, 1]
+
+    def test_round_scale_refines(self):
+        assert cyclic_group_sizes([55.0, 120.0], round_scale=4) == [4, 9]
+
+    def test_owner_array_covers_all_rows(self):
+        owner = heterogeneous_cyclic(10, [1.0, 2.0])
+        assert len(owner) == 10
+        # Pattern per round: [0, 1, 1].
+        assert list(owner[:6]) == [0, 1, 1, 0, 1, 1]
+
+    def test_proportionality_over_many_rows(self):
+        owner = heterogeneous_cyclic(3000, [55.0, 120.0], round_scale=8)
+        counts = np.bincount(owner, minlength=2)
+        assert counts[1] / counts[0] == pytest.approx(120 / 55, rel=0.1)
+
+    def test_zero_rows(self):
+        assert len(heterogeneous_cyclic(0, [1.0, 1.0])) == 0
+
+    def test_round_scale_validation(self):
+        with pytest.raises(InvalidOperationError):
+            heterogeneous_cyclic(10, [1.0], round_scale=0)
+
+
+class TestRowLayout:
+    def test_rows_of_partition(self):
+        layout = RowLayout(heterogeneous_cyclic(10, [1.0, 1.0]), 2)
+        all_rows = np.concatenate([layout.rows_of(0), layout.rows_of(1)])
+        assert sorted(all_rows) == list(range(10))
+
+    def test_count_after(self):
+        owner = np.array([0, 1, 0, 1, 0])
+        layout = RowLayout(owner, 2)
+        assert layout.count_after(0, 0) == 2  # rows 2 and 4
+        assert layout.count_after(0, 2) == 1  # row 4
+        assert layout.count_after(0, 4) == 0
+        assert layout.count_after(1, -1) == 2
+
+    def test_counts(self):
+        layout = RowLayout(np.array([0, 1, 1]), 2)
+        assert layout.counts() == [1, 2]
+
+    def test_invalid_rank(self):
+        layout = RowLayout(np.array([0]), 1)
+        with pytest.raises(InvalidOperationError):
+            layout.rows_of(3)
+
+    def test_invalid_owner_entries(self):
+        with pytest.raises(InvalidOperationError):
+            RowLayout(np.array([0, 5]), 2)
+
+
+class TestColumnBasedTiling:
+    def test_areas_equal_speed_shares(self):
+        speeds = [55.0, 120.0, 60.0]
+        tiles = column_based_tiling(speeds)
+        total = sum(speeds)
+        for tile, speed in zip(tiles, speeds):
+            assert tile.area == pytest.approx(speed / total, rel=1e-9)
+
+    def test_tiles_cover_unit_square(self):
+        tiles = column_based_tiling([1.0, 2.0, 3.0, 4.0])
+        assert sum(t.area for t in tiles) == pytest.approx(1.0)
+        for t in tiles:
+            assert 0 <= t.x < 1 and 0 <= t.y < 1
+            assert t.x + t.width <= 1 + 1e-9
+            assert t.y + t.height <= 1 + 1e-9
+
+    def test_single_processor_gets_everything(self):
+        (tile,) = column_based_tiling([42.0])
+        assert tile.area == pytest.approx(1.0)
+        assert tile.half_perimeter == pytest.approx(2.0)
+
+    def test_homogeneous_four_prefers_square_grid(self):
+        """For equal speeds, the 2x2 layout beats 1x4/4x1 on perimeter."""
+        tiles = column_based_tiling([1.0, 1.0, 1.0, 1.0])
+        cost = sum(t.half_perimeter for t in tiles)
+        # 2x2 grid: each tile 0.5x0.5 -> half perimeter 1.0, total 4.0;
+        # the 1x4 strip would cost 4 * (0.25 + 1.0) = 5.0.
+        assert cost == pytest.approx(4.0)
+
+    def test_ranks_preserved(self):
+        tiles = column_based_tiling([3.0, 1.0, 2.0])
+        assert [t.rank for t in tiles] == [0, 1, 2]

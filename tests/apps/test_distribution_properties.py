@@ -1,0 +1,96 @@
+"""Property-based tests for the distribution algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.distribution import (
+    RowLayout,
+    column_based_tiling,
+    heterogeneous_block,
+    heterogeneous_cyclic,
+    proportional_counts,
+)
+
+speeds_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(total=st.integers(min_value=0, max_value=10_000), speeds=speeds_strategy)
+@settings(max_examples=200, deadline=None)
+def test_proportional_counts_conserve_and_bound_error(total, speeds):
+    counts = proportional_counts(total, speeds)
+    assert sum(counts) == total
+    assert all(c >= 0 for c in counts)
+    weight = sum(speeds)
+    for count, speed in zip(counts, speeds):
+        # Largest-remainder rounding is within one item of the exact quota.
+        assert abs(count - total * speed / weight) < 1.0 + 1e-9
+
+
+@given(n=st.integers(min_value=0, max_value=500), speeds=speeds_strategy)
+@settings(max_examples=100, deadline=None)
+def test_block_bands_partition_rows(n, speeds):
+    bands = heterogeneous_block(n, speeds)
+    assert bands[0][0] == 0
+    assert bands[-1][1] == n
+    for (a_start, a_stop), (b_start, b_stop) in zip(bands, bands[1:]):
+        assert a_stop == b_start
+        assert a_start <= a_stop
+
+
+@given(
+    n=st.integers(min_value=1, max_value=2000),
+    speeds=speeds_strategy,
+    scale=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_cyclic_owner_valid_and_roughly_proportional(n, speeds, scale):
+    owner = heterogeneous_cyclic(n, speeds, round_scale=scale)
+    p = len(speeds)
+    assert len(owner) == n
+    assert owner.min() >= 0 and owner.max() < p
+    layout = RowLayout(owner, p)
+    assert sum(layout.counts()) == n
+
+
+@given(speeds=speeds_strategy)
+@settings(max_examples=100, deadline=None)
+def test_cyclic_round_pattern_is_periodic(speeds):
+    from repro.apps.distribution import cyclic_group_sizes
+
+    groups = cyclic_group_sizes(speeds)
+    period = sum(groups)
+    owner = heterogeneous_cyclic(3 * period, speeds)
+    assert np.array_equal(owner[:period], owner[period: 2 * period])
+
+
+@given(speeds=speeds_strategy)
+@settings(max_examples=100, deadline=None)
+def test_tiling_partitions_unit_square(speeds):
+    tiles = column_based_tiling(speeds)
+    total = sum(speeds)
+    assert sum(t.area for t in tiles) <= 1.0 + 1e-9
+    for tile, speed in zip(tiles, speeds):
+        assert tile.area == np.float64(speed / total) or abs(
+            tile.area - speed / total
+        ) < 1e-9
+        assert tile.width > 0 and tile.height > 0
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    speeds=speeds_strategy,
+    k=st.integers(min_value=0, max_value=299),
+)
+@settings(max_examples=150, deadline=None)
+def test_count_after_matches_bruteforce(n, speeds, k):
+    owner = heterogeneous_cyclic(n, speeds)
+    layout = RowLayout(owner, len(speeds))
+    k = min(k, n - 1)
+    for rank in range(len(speeds)):
+        expected = int(np.sum(owner[k + 1:] == rank))
+        assert layout.count_after(rank, k) == expected

@@ -1,0 +1,124 @@
+"""Tests for the distributed 2-D FFT application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import (
+    FFTOptions,
+    fft_transform_flops,
+    fft_workload,
+    generate_field,
+    make_fft_program,
+)
+from repro.mpi.communicator import mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.model import SwitchedNetwork
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+
+def run_fft_program(options: FFTOptions, speeds=None, network=None):
+    speeds = speeds if speeds is not None else [1e8] * options.nranks
+    topo = Topology.one_per_node(options.nranks)
+    net = network if network is not None else SharedBusEthernet(topo)
+    return mpi_run(options.nranks, net, speeds, make_fft_program(options))
+
+
+class TestOptions:
+    @pytest.mark.parametrize("bad", [0, 1, 3, 12, 100])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(InvalidOperationError):
+            FFTOptions(n=bad, speeds=(1e8,))
+
+    def test_workload_polynomial(self):
+        assert fft_workload(8) == pytest.approx(2 * 8 * fft_transform_flops(8))
+        assert fft_transform_flops(1024) == pytest.approx(5 * 1024 * 10)
+        with pytest.raises(InvalidOperationError):
+            fft_workload(10)
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("speeds", [
+        (1e8,),
+        (1e8, 1e8),
+        (5.5e7, 1.2e8, 6e7),
+        (1e8,) * 4,
+        (5.5e7, 1.2e8, 6e7, 1.2e8, 5.5e7, 9e7),
+    ])
+    def test_matches_numpy_fft2(self, speeds):
+        options = FFTOptions(n=32, speeds=speeds, numeric=True, seed=9)
+        result = run_fft_program(options).return_values[0]
+        reference = np.fft.fft2(generate_field(32, 9))
+        np.testing.assert_allclose(result, reference, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64])
+    def test_power_of_two_sizes(self, n):
+        options = FFTOptions(n=n, speeds=(1e8, 9e7), numeric=True)
+        result = run_fft_program(options).return_values[0]
+        reference = np.fft.fft2(generate_field(n, 0))
+        np.testing.assert_allclose(result, reference, rtol=1e-10, atol=1e-10)
+
+    def test_more_ranks_than_rows(self):
+        options = FFTOptions(n=4, speeds=(1e8,) * 6, numeric=True)
+        result = run_fft_program(options).return_values[0]
+        reference = np.fft.fft2(generate_field(4, 0))
+        np.testing.assert_allclose(result, reference, rtol=1e-10, atol=1e-10)
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("n,p", [(8, 1), (32, 3), (64, 5)])
+    def test_flops_sum_to_workload(self, n, p):
+        options = FFTOptions(n=n, speeds=tuple([1e8] * p))
+        result = run_fft_program(options)
+        counted = sum(s.flops for s in result.stats)
+        assert counted == pytest.approx(fft_workload(n))
+
+    def test_mode_equivalence(self):
+        speeds = (6e7, 1.2e8, 9e7)
+        modelled = run_fft_program(FFTOptions(n=32, speeds=speeds))
+        numeric = run_fft_program(FFTOptions(n=32, speeds=speeds, numeric=True))
+        assert numeric.makespan == pytest.approx(modelled.makespan)
+        assert numeric.events == modelled.events
+
+    def test_transpose_bytes(self):
+        """The alltoall moves each off-diagonal block exactly once:
+        total = (N^2 - sum_r rows_r^2) complex values."""
+        n, p = 64, 4
+        options = FFTOptions(n=n, speeds=tuple([1e8] * p))
+        result = run_fft_program(options)
+        bands = options.bands()
+        diag = sum((stop - start) ** 2 for start, stop in bands)
+        transpose_bytes = (n * n - diag) * 16.0
+        # Distribution + collection move n^2 complex values each way.
+        remote_rows = sum(
+            stop - start for r, (start, stop) in enumerate(bands) if r != 0
+        )
+        expected = (
+            (p - 1) * 8.0  # metadata
+            + remote_rows * n * 16.0 * 2  # distribution + collection
+            + transpose_bytes
+        )
+        assert sum(s.bytes_sent for s in result.stats) == pytest.approx(expected)
+
+
+class TestRunner:
+    def test_run_fft_through_registry(self, mm4_cluster):
+        from repro.experiments.runner import run_app
+
+        record = run_app("fft", mm4_cluster, 128)
+        assert 0 < record.speed_efficiency < 1
+        assert record.measurement.work == pytest.approx(fft_workload(128))
+
+    def test_efficiency_rises_with_size(self, mm4_cluster):
+        from repro.experiments.runner import run_fft
+
+        small = run_fft(mm4_cluster, 64)
+        large = run_fft(mm4_cluster, 512)
+        assert large.speed_efficiency > small.speed_efficiency
+
+    def test_switch_beats_bus_for_transpose(self):
+        options = FFTOptions(n=256, speeds=tuple([1e8] * 8))
+        topo = Topology.one_per_node(8)
+        bus = run_fft_program(options, network=SharedBusEthernet(topo))
+        switch = run_fft_program(options, network=SwitchedNetwork(topo))
+        assert switch.makespan < bus.makespan

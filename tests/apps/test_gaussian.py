@@ -1,0 +1,153 @@
+"""Unit and integration tests for the parallel Gaussian elimination app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gaussian import (
+    GEOptions,
+    GEResult,
+    ge_message_count,
+    generate_system,
+    make_ge_program,
+)
+from repro.apps.workload import ge_workload
+from repro.mpi.communicator import mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+
+def run_ge_program(options: GEOptions, speeds=None):
+    speeds = speeds if speeds is not None else [1e8] * options.nranks
+    topo = Topology.one_per_node(options.nranks)
+    program = make_ge_program(options)
+    return mpi_run(options.nranks, SharedBusEthernet(topo), speeds, program)
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            GEOptions(n=0, speeds=(1.0,))
+        with pytest.raises(InvalidOperationError):
+            GEOptions(n=5, speeds=())
+
+    def test_layout_matches_speeds(self):
+        options = GEOptions(n=30, speeds=(1.0, 2.0))
+        layout = options.layout()
+        assert layout.n == 30
+        assert layout.nranks == 2
+
+
+class TestGenerateSystem:
+    def test_diagonally_dominant(self):
+        a, b = generate_system(20, seed=3)
+        diag = np.abs(np.diag(a))
+        off = np.abs(a).sum(axis=1) - diag
+        assert (diag > off).all()
+        assert b.shape == (20,)
+
+    def test_seed_determinism(self):
+        a1, b1 = generate_system(10, seed=5)
+        a2, b2 = generate_system(10, seed=5)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("speeds", [
+        (1e8,),
+        (1e8, 1e8),
+        (6e7, 6e7, 5.5e7),
+        (5.5e7, 1.2e8, 6e7, 1.2e8),
+    ])
+    def test_solution_matches_numpy(self, speeds):
+        options = GEOptions(n=30, speeds=speeds, numeric=True, seed=11)
+        result = run_ge_program(options)
+        ge_result = result.return_values[0]
+        assert isinstance(ge_result, GEResult)
+        expected = np.linalg.solve(ge_result.matrix, ge_result.rhs)
+        np.testing.assert_allclose(ge_result.solution, expected, rtol=1e-8)
+        assert ge_result.residual() < 1e-9
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 17])
+    def test_small_sizes(self, n):
+        options = GEOptions(n=n, speeds=(1e8, 7e7), numeric=True, seed=2)
+        ge_result = run_ge_program(options).return_values[0]
+        assert ge_result.residual() < 1e-9
+
+    def test_non_root_returns_none(self):
+        options = GEOptions(n=12, speeds=(1e8, 1e8), numeric=True)
+        values = run_ge_program(options).return_values
+        assert values[0] is not None
+        assert values[1] is None
+
+    def test_residual_requires_numeric(self):
+        with pytest.raises(InvalidOperationError):
+            GEResult().residual()
+
+
+class TestFlopAccounting:
+    @pytest.mark.parametrize("n,nranks", [(1, 2), (2, 2), (25, 1), (40, 3), (64, 5)])
+    def test_counted_flops_equal_workload_polynomial(self, n, nranks):
+        """The simulator's per-rank flop accounting must sum to W(N): the
+        metric's W and the simulated T are then mutually consistent."""
+        options = GEOptions(n=n, speeds=tuple([1e8] * nranks))
+        result = run_ge_program(options)
+        counted = sum(s.flops for s in result.stats)
+        assert counted == pytest.approx(ge_workload(n))
+
+    def test_modelled_equals_numeric_timing(self):
+        """Numeric execution must not change virtual timing (payloads do
+        not affect the cost model)."""
+        speeds = (6e7, 5.5e7)
+        modelled = run_ge_program(GEOptions(n=24, speeds=speeds), speeds=[1e8, 9e7])
+        numeric = run_ge_program(
+            GEOptions(n=24, speeds=speeds, numeric=True), speeds=[1e8, 9e7]
+        )
+        assert numeric.makespan == pytest.approx(modelled.makespan)
+        assert numeric.events == modelled.events
+
+
+class TestCommunicationStructure:
+    @pytest.mark.parametrize("n,nranks", [(10, 2), (10, 4), (25, 3)])
+    def test_message_count_matches_formula(self, n, nranks):
+        options = GEOptions(n=n, speeds=tuple([1e8] * nranks))
+        result = run_ge_program(options)
+        total_messages = sum(s.messages_sent for s in result.stats)
+        assert total_messages == ge_message_count(n, nranks)
+
+    def test_single_rank_runs_without_communication(self):
+        options = GEOptions(n=20, speeds=(1e8,))
+        result = run_ge_program(options)
+        assert sum(s.messages_sent for s in result.stats) == 0
+        assert result.makespan > 0
+
+    def test_pivot_broadcast_bytes_shrink_with_step(self):
+        """Later pivots broadcast shorter rows: total bytes are well below
+        N messages of full N-length rows."""
+        n, nranks = 32, 2
+        options = GEOptions(n=n, speeds=(1e8, 1e8))
+        result = run_ge_program(options)
+        full_row_upper_bound = (n - 1) * (n + 1) * 8.0 * (nranks - 1)
+        pivot_bytes = sum(s.bytes_sent for s in result.stats)
+        assert pivot_bytes < full_row_upper_bound + 3 * n * (n + 1) * 8.0
+
+    def test_wrong_comm_size_rejected(self):
+        options = GEOptions(n=10, speeds=(1e8, 1e8))
+        program = make_ge_program(options)
+        topo = Topology.one_per_node(3)
+        with pytest.raises(InvalidOperationError):
+            mpi_run(3, SharedBusEthernet(topo), [1e8] * 3, program)
+
+
+class TestHeterogeneousBalance:
+    def test_compute_time_roughly_balanced_when_proportional(self):
+        """With load shares proportional to speeds, per-rank compute time
+        should be roughly equal (the paper's balanced-workload premise)."""
+        speeds = (6e7, 6e7, 5.5e7)
+        options = GEOptions(n=240, speeds=speeds)
+        result = run_ge_program(options, speeds=list(speeds))
+        compute_times = [s.compute_time for s in result.stats]
+        # Exclude the root's sequential back-substitution from the spread
+        # by subtracting it.
+        compute_times[0] -= 240 * 240 / speeds[0]
+        assert max(compute_times) / min(compute_times) < 1.25

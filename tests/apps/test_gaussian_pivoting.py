@@ -1,0 +1,125 @@
+"""Tests for the partial-pivoting GE extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gaussian import GEOptions, make_ge_program
+from repro.apps.gaussian_pivoting import (
+    PivotedGEOptions,
+    generate_hard_system,
+    make_pivoted_ge_program,
+)
+from repro.mpi.communicator import mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+
+def run_pivoted(options: PivotedGEOptions):
+    topo = Topology.one_per_node(options.nranks)
+    program = make_pivoted_ge_program(options)
+    return mpi_run(
+        options.nranks, SharedBusEthernet(topo), [1e8] * options.nranks, program
+    )
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            PivotedGEOptions(n=0, speeds=(1.0,))
+        with pytest.raises(InvalidOperationError):
+            PivotedGEOptions(n=4, speeds=(1.0,), matrix=np.eye(4))
+
+    def test_explicit_system_shape_checked(self):
+        with pytest.raises(InvalidOperationError):
+            options = PivotedGEOptions(
+                n=4, speeds=(1e8,), matrix=np.eye(3), rhs=np.ones(3)
+            )
+            make_pivoted_ge_program(options)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("speeds", [
+        (1e8,),
+        (1e8, 1e8),
+        (5.5e7, 1.2e8, 6e7),
+        (1e8,) * 5,
+    ])
+    def test_solves_well_conditioned_systems(self, speeds):
+        options = PivotedGEOptions(n=24, speeds=speeds, seed=7)
+        result = run_pivoted(options).return_values[0]
+        expected = np.linalg.solve(result.matrix, result.rhs)
+        np.testing.assert_allclose(result.solution, expected, rtol=1e-8)
+
+    @pytest.mark.parametrize("speeds", [
+        (1e8, 1e8),
+        (5.5e7, 1.2e8, 6e7),
+    ])
+    def test_solves_systems_that_defeat_plain_ge(self, speeds):
+        """Near-zero diagonals: plain GE loses all accuracy; the pivoted
+        variant matches NumPy."""
+        n = 20
+        a, b = generate_hard_system(n, seed=5)
+        options = PivotedGEOptions(
+            n=n, speeds=speeds, matrix=a, rhs=b
+        )
+        result = run_pivoted(options).return_values[0]
+        expected = np.linalg.solve(a, b)
+        np.testing.assert_allclose(result.solution, expected, rtol=1e-6)
+        assert result.residual() < 1e-7
+
+    def test_plain_ge_actually_fails_on_the_hard_system(self):
+        """The control: without pivoting the same system yields garbage
+        (validates that the pivoting test is meaningful)."""
+        n = 20
+        a, b = generate_hard_system(n, seed=5)
+        # Run the plain algorithm on the same matrix via its numeric path:
+        # monkeypatch-free approach -- plain GE generates its own system,
+        # so solve the hard system with the plain *update rule* directly.
+        aug = np.hstack([a, b[:, None]])
+        for k in range(n - 1):
+            piv = aug[k, k]
+            for j in range(k + 1, n):
+                factor = aug[j, k] / piv
+                aug[j, k:] -= factor * aug[k, k:]
+        x = np.zeros(n)
+        for i in range(n - 1, -1, -1):
+            x[i] = (aug[i, n] - aug[i, i + 1: n] @ x[i + 1: n]) / aug[i, i]
+        residual = np.max(np.abs(a @ x - b))
+        # Stable elimination of a system this size leaves ~1e-12 residual;
+        # the no-pivot rule loses at least six orders of magnitude (it may
+        # also overflow outright, depending on the seed).
+        assert not np.isfinite(residual) or residual > 1e-6
+
+    def test_deterministic_across_runs(self):
+        options = PivotedGEOptions(n=16, speeds=(1e8, 9e7), seed=2)
+        first = run_pivoted(options)
+        second = run_pivoted(options)
+        assert first.makespan == second.makespan
+        np.testing.assert_array_equal(
+            first.return_values[0].solution, second.return_values[0].solution
+        )
+
+
+class TestCost:
+    def test_pivoting_costs_more_than_plain(self):
+        """Maxloc reductions and row swaps are not free: the pivoted run
+        must take longer in virtual time than the plain one."""
+        n, speeds = 40, (1e8, 9e7, 8e7)
+        topo = Topology.one_per_node(3)
+        plain = mpi_run(
+            3, SharedBusEthernet(topo), [1e8] * 3,
+            make_ge_program(GEOptions(n=n, speeds=speeds, numeric=True)),
+        )
+        pivoted = run_pivoted(PivotedGEOptions(n=n, speeds=speeds))
+        assert pivoted.makespan > plain.makespan
+
+    def test_flops_include_scans(self):
+        n = 12
+        options = PivotedGEOptions(n=n, speeds=(1e8,))
+        result = run_pivoted(options)
+        from repro.apps.workload import ge_workload
+
+        counted = sum(s.flops for s in result.stats)
+        scan_flops = sum(n - k for k in range(n - 1))
+        assert counted == pytest.approx(ge_workload(n) + scan_flops)

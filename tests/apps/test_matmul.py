@@ -1,0 +1,144 @@
+"""Unit and integration tests for the parallel matrix-multiplication app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import (
+    MMOptions,
+    MMResult,
+    generate_operands,
+    make_mm_program,
+    mm_communication_bytes,
+)
+from repro.apps.workload import mm_workload
+from repro.mpi.communicator import CollectiveConfig, mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+ETHERNET = CollectiveConfig(bcast="ethernet")
+
+
+def run_mm_program(options: MMOptions, speeds=None, config=ETHERNET):
+    speeds = speeds if speeds is not None else [1e8] * options.nranks
+    topo = Topology.one_per_node(options.nranks)
+    program = make_mm_program(options)
+    return mpi_run(
+        options.nranks, SharedBusEthernet(topo), speeds, program, config=config
+    )
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            MMOptions(n=0, speeds=(1.0,))
+        with pytest.raises(InvalidOperationError):
+            MMOptions(n=5, speeds=())
+
+    def test_bands_cover_matrix(self):
+        options = MMOptions(n=50, speeds=(1.0, 2.0, 1.0))
+        bands = options.bands()
+        assert bands[0][0] == 0 and bands[-1][1] == 50
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("speeds", [
+        (1e8,),
+        (1e8, 1e8),
+        (6e7, 1.2e8),
+        (5.5e7, 1.2e8, 6e7, 1.2e8),
+    ])
+    def test_product_matches_numpy(self, speeds):
+        options = MMOptions(n=24, speeds=speeds, numeric=True, seed=4)
+        result = run_mm_program(options)
+        mm_result = result.return_values[0]
+        assert isinstance(mm_result, MMResult)
+        assert mm_result.max_error() < 1e-10
+        np.testing.assert_allclose(
+            mm_result.product, mm_result.a @ mm_result.b
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_small_sizes(self, n):
+        options = MMOptions(n=n, speeds=(1e8, 7e7), numeric=True)
+        assert run_mm_program(options).return_values[0].max_error() < 1e-10
+
+    @pytest.mark.parametrize("config", [None, ETHERNET,
+                                        CollectiveConfig(bcast="binomial")])
+    def test_correct_under_every_bcast_algorithm(self, config):
+        options = MMOptions(n=16, speeds=(1e8, 8e7, 9e7), numeric=True)
+        result = run_mm_program(options, config=config)
+        assert result.return_values[0].max_error() < 1e-10
+
+    def test_more_ranks_than_rows(self):
+        """Some ranks own zero rows; the run must still complete correctly."""
+        options = MMOptions(n=2, speeds=(1e8, 1e8, 1e8, 1e8), numeric=True)
+        assert run_mm_program(options).return_values[0].max_error() < 1e-10
+
+    def test_max_error_requires_numeric(self):
+        with pytest.raises(InvalidOperationError):
+            MMResult().max_error()
+
+    def test_operands_seeded(self):
+        a1, b1 = generate_operands(8, seed=9)
+        a2, b2 = generate_operands(8, seed=9)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+
+class TestFlopAccounting:
+    @pytest.mark.parametrize("n,nranks", [(1, 1), (10, 2), (33, 3), (50, 5)])
+    def test_counted_flops_equal_workload(self, n, nranks):
+        options = MMOptions(n=n, speeds=tuple([1e8] * nranks))
+        result = run_mm_program(options)
+        counted = sum(s.flops for s in result.stats)
+        assert counted == pytest.approx(mm_workload(n))
+
+    def test_numeric_and_modelled_timing_agree(self):
+        speeds = (6e7, 1.2e8)
+        modelled = run_mm_program(MMOptions(n=20, speeds=speeds))
+        numeric = run_mm_program(MMOptions(n=20, speeds=speeds, numeric=True))
+        assert numeric.makespan == pytest.approx(modelled.makespan)
+
+
+class TestCommunicationStructure:
+    def test_total_bytes_match_ethernet_accounting(self):
+        n, speeds = 40, (1e8, 1e8, 1e8)
+        options = MMOptions(n=n, speeds=speeds)
+        result = run_mm_program(options)
+        expected = mm_communication_bytes(n, options.bands(), bcast="ethernet")
+        assert sum(s.bytes_sent for s in result.stats) == pytest.approx(expected)
+
+    def test_total_bytes_match_flat_accounting(self):
+        n, speeds = 40, (1e8, 1e8, 1e8)
+        options = MMOptions(n=n, speeds=speeds)
+        result = run_mm_program(options, config=CollectiveConfig(bcast="flat"))
+        expected = mm_communication_bytes(n, options.bands(), bcast="flat")
+        assert sum(s.bytes_sent for s in result.stats) == pytest.approx(expected)
+
+    def test_ethernet_replication_cheaper_than_flat(self):
+        """The B broadcast on the shared medium costs one transmission; the
+        flat unicast replication pays p-1 -- the ablation of DESIGN.md."""
+        options = MMOptions(n=120, speeds=tuple([1e8] * 6))
+        ethernet = run_mm_program(options, config=ETHERNET)
+        flat = run_mm_program(options, config=CollectiveConfig(bcast="flat"))
+        assert ethernet.makespan < flat.makespan
+
+    def test_single_rank_no_communication(self):
+        options = MMOptions(n=16, speeds=(1e8,))
+        result = run_mm_program(options)
+        assert sum(s.messages_sent for s in result.stats) == 0
+
+
+class TestHeterogeneousBalance:
+    def test_band_sizes_proportional_to_speed(self):
+        options = MMOptions(n=350, speeds=(5.5e7, 1.2e8))
+        bands = options.bands()
+        rows = [stop - start for start, stop in bands]
+        assert rows[1] / rows[0] == pytest.approx(120 / 55, rel=0.05)
+
+    def test_compute_time_balanced(self):
+        speeds = (5.5e7, 1.2e8, 6e7)
+        options = MMOptions(n=300, speeds=speeds)
+        result = run_mm_program(options, speeds=list(speeds))
+        times = [s.compute_time for s in result.stats]
+        assert max(times) / min(times) < 1.1

@@ -1,0 +1,120 @@
+"""Tests for the 2-D tiled matrix multiplication extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.distribution import integer_column_tiling
+from repro.apps.matmul2d import (
+    MM2DOptions,
+    make_mm2d_program,
+    mm2d_communication_bytes,
+    mm2d_tile_workload,
+)
+from repro.apps.workload import mm_workload
+from repro.mpi.communicator import mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+speeds_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=9,
+)
+
+
+def run_mm2d(options: MM2DOptions, speeds=None):
+    speeds = speeds if speeds is not None else [1e8] * options.nranks
+    topo = Topology.one_per_node(options.nranks)
+    program = make_mm2d_program(options)
+    return mpi_run(options.nranks, SharedBusEthernet(topo), speeds, program)
+
+
+class TestIntegerTiling:
+    @given(n=st.integers(min_value=0, max_value=200), speeds=speeds_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_tiles_partition_matrix(self, n, speeds):
+        tiles = integer_column_tiling(n, speeds)
+        assert len(tiles) == len(speeds)
+        coverage = np.zeros((n, n), dtype=np.int32)
+        for tile in tiles:
+            assert 0 <= tile.row0 <= tile.row1 <= n
+            assert 0 <= tile.col0 <= tile.col1 <= n
+            coverage[tile.row0: tile.row1, tile.col0: tile.col1] += 1
+        assert (coverage == 1).all()
+
+    def test_areas_near_speed_shares(self):
+        n = 120
+        speeds = [55.0, 120.0, 60.0, 120.0]
+        tiles = integer_column_tiling(n, speeds)
+        total = sum(speeds)
+        for tile, speed in zip(tiles, speeds):
+            assert tile.cells / n**2 == pytest.approx(speed / total, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            integer_column_tiling(-1, [1.0])
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("speeds", [
+        (1e8,),
+        (1e8, 1e8),
+        (5.5e7, 1.2e8, 6e7),
+        (1e8, 1e8, 1e8, 1e8),
+        (5.5e7, 1.2e8, 6e7, 1.2e8, 5.5e7),
+    ])
+    def test_product_matches_numpy(self, speeds):
+        options = MM2DOptions(n=24, speeds=speeds, numeric=True, seed=6)
+        result = run_mm2d(options).return_values[0]
+        assert result.max_error() < 1e-10
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 11])
+    def test_small_sizes(self, n):
+        options = MM2DOptions(n=n, speeds=(1e8, 9e7), numeric=True)
+        assert run_mm2d(options).return_values[0].max_error() < 1e-10
+
+    def test_empty_tiles_tolerated(self):
+        """More processors than the matrix can feed: zero-cell tiles."""
+        options = MM2DOptions(n=2, speeds=(1e8,) * 5, numeric=True)
+        assert run_mm2d(options).return_values[0].max_error() < 1e-10
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("n,p", [(10, 2), (30, 4), (48, 7)])
+    def test_flops_sum_to_workload(self, n, p):
+        options = MM2DOptions(n=n, speeds=tuple([1e8] * p))
+        result = run_mm2d(options)
+        counted = sum(s.flops for s in result.stats)
+        assert counted == pytest.approx(mm_workload(n))
+
+    def test_tile_workloads_partition_total(self):
+        n = 50
+        tiles = integer_column_tiling(n, [1.0, 2.0, 3.0])
+        assert sum(mm2d_tile_workload(n, t) for t in tiles) == pytest.approx(
+            mm_workload(n)
+        )
+
+    def test_bytes_match_accounting(self):
+        n, p = 40, 4
+        options = MM2DOptions(n=n, speeds=tuple([1e8] * p))
+        result = run_mm2d(options)
+        expected = mm2d_communication_bytes(n, options.tiles())
+        assert sum(s.bytes_sent for s in result.stats) == pytest.approx(expected)
+
+    def test_2d_moves_fewer_bytes_than_1d_unicast(self):
+        """The extension's point: tile traffic ~ sum of half-perimeters
+        beats replicating B to every process over unicasts."""
+        from repro.apps.matmul import MMOptions, mm_communication_bytes
+
+        n, p = 200, 8
+        speeds = tuple([1e8] * p)
+        bytes_2d = mm2d_communication_bytes(
+            n, MM2DOptions(n=n, speeds=speeds).tiles()
+        )
+        bytes_1d_flat = mm_communication_bytes(
+            n, MMOptions(n=n, speeds=speeds).bands(), bcast="flat"
+        )
+        assert bytes_2d < 0.75 * bytes_1d_flat

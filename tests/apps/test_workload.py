@@ -1,0 +1,70 @@
+"""Unit tests for the workload polynomials."""
+
+import pytest
+
+from repro.apps.workload import (
+    ge_back_substitution_workload,
+    ge_elimination_workload,
+    ge_sequential_fraction,
+    ge_workload,
+    mm_row_band_workload,
+    mm_workload,
+)
+from repro.sim.errors import InvalidOperationError
+
+
+class TestGEWorkload:
+    def test_trivial_sizes(self):
+        assert ge_elimination_workload(1) == 0.0
+        assert ge_back_substitution_workload(1) == 1.0
+        assert ge_workload(1) == 1.0
+
+    def test_n2_by_hand(self):
+        # One elimination step: 1 row, 1 division + 2*(2) update flops = 5.
+        assert ge_elimination_workload(2) == 5.0
+        assert ge_back_substitution_workload(2) == 4.0
+        assert ge_workload(2) == 9.0
+
+    def test_closed_form_matches_stepwise_sum(self):
+        for n in (3, 7, 20, 55):
+            stepwise = sum(
+                (n - 1 - k) * (2 * (n - k) + 1) for k in range(n - 1)
+            )
+            assert ge_elimination_workload(n) == pytest.approx(stepwise)
+
+    def test_leading_term_two_thirds_cubed(self):
+        n = 4000
+        assert ge_workload(n) / n**3 == pytest.approx(2.0 / 3.0, rel=1e-2)
+
+    def test_sequential_fraction_vanishes(self):
+        assert ge_sequential_fraction(50) > ge_sequential_fraction(500)
+        assert ge_sequential_fraction(500) == pytest.approx(
+            500**2 / ge_workload(500)
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            ge_workload(0)
+
+
+class TestMMWorkload:
+    def test_exact_form(self):
+        assert mm_workload(1) == 1.0
+        assert mm_workload(2) == 4 * 3
+        assert mm_workload(10) == 100 * 19
+
+    def test_leading_term_two_cubed(self):
+        n = 4000
+        assert mm_workload(n) / n**3 == pytest.approx(2.0, rel=1e-3)
+
+    def test_row_band_sums_to_total(self):
+        n = 37
+        split = [10, 20, 7]
+        assert sum(mm_row_band_workload(n, r) for r in split) == pytest.approx(
+            mm_workload(n)
+        )
+
+    def test_row_band_validation(self):
+        with pytest.raises(InvalidOperationError):
+            mm_row_band_workload(10, 11)
+        assert mm_row_band_workload(10, 0) == 0.0

@@ -1,0 +1,81 @@
+"""Shared fixtures: small clusters, their marked speeds, and run records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import marked_speed_of, run_ge, run_mm
+from repro.machine.presets import homogeneous_blades, mixed_pairs
+from repro.machine.sunwulf import ge_configuration, mm_configuration
+from repro.network.model import ZeroCostNetwork
+from repro.network.topology import Topology
+
+
+@pytest.fixture(scope="session")
+def ge2_cluster():
+    """The paper's two-node GE configuration (server 2 CPUs + SunBlade)."""
+    return ge_configuration(2)
+
+
+@pytest.fixture(scope="session")
+def ge4_cluster():
+    return ge_configuration(4)
+
+
+@pytest.fixture(scope="session")
+def mm2_cluster():
+    """The paper's two-node MM configuration (server CPU + V210 CPU)."""
+    return mm_configuration(2)
+
+
+@pytest.fixture(scope="session")
+def mm4_cluster():
+    return mm_configuration(4)
+
+
+@pytest.fixture(scope="session")
+def homo4_cluster():
+    """Four identical SunBlades: the homogeneous special case."""
+    return homogeneous_blades(4)
+
+
+@pytest.fixture(scope="session")
+def hetero4_cluster():
+    """Two SunBlade + two V210 single-CPU nodes (2:1 speed ratio)."""
+    return mixed_pairs(2)
+
+
+@pytest.fixture(scope="session")
+def ge2_marked(ge2_cluster):
+    return marked_speed_of(ge2_cluster)
+
+
+@pytest.fixture(scope="session")
+def ge4_marked(ge4_cluster):
+    return marked_speed_of(ge4_cluster)
+
+
+@pytest.fixture(scope="session")
+def mm2_marked(mm2_cluster):
+    return marked_speed_of(mm2_cluster)
+
+
+@pytest.fixture(scope="session")
+def ge2_record_n200(ge2_cluster, ge2_marked):
+    """One modelled GE run reused by several metric tests."""
+    return run_ge(ge2_cluster, 200, marked=ge2_marked)
+
+
+@pytest.fixture(scope="session")
+def mm2_record_n100(mm2_cluster, mm2_marked):
+    return run_mm(mm2_cluster, 100, marked=mm2_marked)
+
+
+@pytest.fixture()
+def zero_network():
+    return ZeroCostNetwork()
+
+
+@pytest.fixture()
+def line4_topology():
+    return Topology.one_per_node(4)

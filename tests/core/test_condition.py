@@ -1,0 +1,79 @@
+"""Unit tests for the isospeed-efficiency condition solvers."""
+
+import pytest
+
+from repro.core.condition import required_problem_size, required_size_continuous
+from repro.core.types import MetricError
+
+
+def saturating(n):
+    """A GE-like efficiency curve: rises toward 0.5."""
+    return 0.5 * n / (n + 100.0)
+
+
+class TestIntegerSolver:
+    def test_finds_smallest_satisfying_n(self):
+        n = required_problem_size(saturating, 0.25)
+        assert saturating(n) >= 0.25
+        assert saturating(n - 1) < 0.25
+        assert n == 100  # 0.5 n/(n+100) >= 0.25 <=> n >= 100 exactly
+
+    def test_lower_already_satisfies(self):
+        assert required_problem_size(saturating, 0.25, lower=500) == 500
+
+    def test_explicit_upper(self):
+        n = required_problem_size(saturating, 0.25, upper=1 << 12)
+        assert n == 100
+
+    def test_upper_too_small_rejected(self):
+        with pytest.raises(MetricError):
+            required_problem_size(saturating, 0.25, upper=50)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(MetricError):
+            required_problem_size(saturating, 0.9, max_upper=1 << 16)
+
+    def test_rtol_terminates_early_but_satisfies(self):
+        calls = []
+
+        def counted(n):
+            calls.append(n)
+            return saturating(n)
+
+        n = required_problem_size(counted, 0.25, rtol=0.05)
+        assert saturating(n) >= 0.25
+        assert abs(n - 100) <= 0.05 * n
+        exact_calls = []
+
+        def counted2(n):
+            exact_calls.append(n)
+            return saturating(n)
+
+        required_problem_size(counted2, 0.25, rtol=0.0)
+        assert len(calls) < len(exact_calls)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            required_problem_size(saturating, 0.0)
+        with pytest.raises(MetricError):
+            required_problem_size(saturating, 0.25, lower=0)
+        with pytest.raises(MetricError):
+            required_problem_size(saturating, 0.25, rtol=-1.0)
+
+
+class TestContinuousSolver:
+    def test_root_matches_analytic_inverse(self):
+        # 0.5 n/(n+100) = 0.25 <=> n = 100.
+        n = required_size_continuous(saturating, 0.25)
+        assert n == pytest.approx(100.0, rel=1e-4)
+
+    def test_lower_already_satisfies(self):
+        assert required_size_continuous(saturating, 0.25, lower=500.0) == 500.0
+
+    def test_unreachable_raises(self):
+        with pytest.raises(MetricError):
+            required_size_continuous(saturating, 0.6, max_upper=1e7)
+
+    def test_explicit_upper_too_small(self):
+        with pytest.raises(MetricError):
+            required_size_continuous(saturating, 0.25, upper=50.0)

@@ -1,0 +1,121 @@
+"""Property-based tests for the metric algebra."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.isospeed import isospeed_scalability, matches_isospeed_efficiency
+from repro.core.isospeed_efficiency import ideal_scaled_work, scalability
+from repro.core.marked_speed import SystemMarkedSpeed
+from repro.core.prediction import PerformanceModel, predict_required_size
+from repro.core.speed import speed_efficiency, time_for_efficiency
+from repro.core.theory import theorem1_scalability, theorem1_scaled_work
+
+positive = st.floats(min_value=1e-3, max_value=1e12, allow_nan=False)
+speeds_lists = st.lists(
+    st.floats(min_value=1e3, max_value=1e12, allow_nan=False),
+    min_size=1,
+    max_size=16,
+)
+
+
+@given(work=positive, c_from=positive, c_to=positive)
+@settings(max_examples=200, deadline=None)
+def test_ideal_scaled_work_always_gives_psi_one(work, c_from, c_to):
+    w2 = ideal_scaled_work(work, c_from, c_to)
+    assert abs(scalability(c_from, work, c_to, w2) - 1.0) < 1e-9
+
+
+@given(work=positive, c_from=positive, c_to=positive, factor=st.floats(
+    min_value=1.0001, max_value=100.0))
+@settings(max_examples=200, deadline=None)
+def test_psi_strictly_below_one_for_superlinear_work(work, c_from, c_to, factor):
+    """W' > W C'/C <=> psi < 1 (the paper's 'generally psi < 1')."""
+    w2 = ideal_scaled_work(work, c_from, c_to) * factor
+    psi = scalability(c_from, work, c_to, w2)
+    assert psi < 1.0
+    assert abs(psi - 1.0 / factor) < 1e-9
+
+
+@given(speeds=speeds_lists)
+@settings(max_examples=200, deadline=None)
+def test_marked_speed_additivity(speeds):
+    """Definition 2: C is additive over nodes and shares sum to one."""
+    system = SystemMarkedSpeed.from_speeds(speeds)
+    assert abs(system.total - sum(speeds)) <= 1e-9 * system.total
+    assert abs(sum(system.shares) - 1.0) < 1e-9
+
+
+@given(speeds=speeds_lists, split=st.integers(min_value=1, max_value=15))
+@settings(max_examples=100, deadline=None)
+def test_marked_speed_subset_partition(speeds, split):
+    assume(len(speeds) >= 2)
+    split = min(split, len(speeds) - 1)
+    system = SystemMarkedSpeed.from_speeds(speeds)
+    left = system.subset(list(range(split)))
+    right = system.subset(list(range(split, len(speeds))))
+    assert abs(left.total + right.total - system.total) <= 1e-9 * system.total
+
+
+@given(
+    ci=positive,
+    p_from=st.integers(min_value=1, max_value=512),
+    p_to=st.integers(min_value=1, max_value=512),
+    w=positive,
+    w2=positive,
+)
+@settings(max_examples=200, deadline=None)
+def test_homogeneous_reduction_for_all_inputs(ci, p_from, p_to, w, w2):
+    """Isospeed-efficiency == isospeed on any homogeneous ensemble."""
+    c, c2 = matches_isospeed_efficiency(ci, p_from, p_to)
+    lhs = scalability(c, w, c2, w2)
+    rhs = isospeed_scalability(p_from, w, p_to, w2)
+    assert abs(lhs - rhs) <= 1e-9 * max(lhs, rhs)
+
+
+@given(work=positive, c=positive, eff=st.floats(min_value=1e-3, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_time_for_efficiency_roundtrip(work, c, eff):
+    t = time_for_efficiency(work, c, eff)
+    assert abs(speed_efficiency(work, t, c) - eff) <= 1e-9 * eff
+
+
+@given(
+    t0=st.floats(min_value=0.0, max_value=1e6),
+    to=st.floats(min_value=1e-9, max_value=1e6),
+    t0s=st.floats(min_value=0.0, max_value=1e6),
+    tos=st.floats(min_value=1e-9, max_value=1e6),
+    work=positive,
+    c_from=positive,
+    c_to=positive,
+)
+@settings(max_examples=200, deadline=None)
+def test_theorem1_routes_agree(t0, to, t0s, tos, work, c_from, c_to):
+    """psi from the scaled work equals psi from the overhead ratio."""
+    w2 = theorem1_scaled_work(work, c_from, c_to, t0, to, t0s, tos)
+    psi_work = (c_to * work) / (c_from * w2)
+    psi_thm = theorem1_scalability(t0, to, t0s, tos)
+    assert abs(psi_work - psi_thm) <= 1e-9 * psi_thm
+
+
+@given(
+    gamma=st.floats(min_value=1e-6, max_value=1e-1),
+    c=st.floats(min_value=1e7, max_value=1e10),
+    f=st.floats(min_value=0.2, max_value=1.0),
+    target_frac=st.floats(min_value=0.05, max_value=0.8),
+)
+@settings(max_examples=100, deadline=None)
+def test_predicted_size_hits_target_exactly(gamma, c, f, target_frac):
+    target = target_frac * f  # always below the ceiling
+    model = PerformanceModel(
+        workload=lambda n: 2.0 * n**3 / 3.0,
+        overhead=lambda n: gamma * n,
+        marked_speed=c,
+        compute_efficiency=f,
+    )
+    n = predict_required_size(model, target)
+    if n <= 2.0:
+        # Clamped at the solver's lower bound: the target is met (or
+        # exceeded) by the smallest meaningful problem.
+        assert model.efficiency(n) >= target - 1e-9
+    else:
+        assert abs(model.efficiency(n) - target) <= 1e-4 * target

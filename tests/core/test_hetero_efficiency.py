@@ -1,0 +1,62 @@
+"""Unit tests for the Pastor-Bosque heterogeneous-efficiency baseline."""
+
+import pytest
+
+from repro.core.hetero_efficiency import (
+    heterogeneous_efficiency,
+    heterogeneous_scalability,
+    heterogeneous_speedup,
+    maximum_speedup,
+    sequential_time_feasible,
+)
+from repro.core.types import MetricError
+
+
+def test_speedup_and_maximum():
+    assert heterogeneous_speedup(100.0, 25.0) == pytest.approx(4.0)
+    assert maximum_speedup(350e6, 70e6) == pytest.approx(5.0)
+
+
+def test_efficiency_is_speedup_over_max():
+    e = heterogeneous_efficiency(100.0, 25.0, 350e6, 70e6)
+    assert e == pytest.approx(0.8)
+
+
+def test_perfect_heterogeneous_execution():
+    """Parallel time = sequential / max-speedup gives E_het = 1."""
+    c_sys, c_ref = 4e8, 1e8
+    t_seq = 100.0
+    t_par = t_seq / (c_sys / c_ref)
+    assert heterogeneous_efficiency(t_seq, t_par, c_sys, c_ref) == pytest.approx(1.0)
+
+
+def test_reference_must_belong_to_system():
+    with pytest.raises(MetricError):
+        maximum_speedup(1e8, 2e8)
+
+
+class TestScalability:
+    def test_iso_condition_enforced(self):
+        with pytest.raises(MetricError):
+            heterogeneous_scalability(0.5, 1e9, 0.7, 2e9)
+
+    def test_work_ratio(self):
+        assert heterogeneous_scalability(0.5, 1e9, 0.5, 4e9) == pytest.approx(0.25)
+
+
+class TestFeasibility:
+    def test_the_papers_critique_is_representable(self):
+        """A 32-node problem does not fit one SunBlade's 128 MB: the
+        sequential reference time is unmeasurable, which is exactly the
+        paper's argument against speedup-based metrics."""
+        n = 6000  # a mid-size scaled GE problem
+        problem_bytes = 8.0 * n * n
+        sunblade_memory = 128 * 2**20
+        assert not sequential_time_feasible(problem_bytes, sunblade_memory)
+
+    def test_small_problem_fits(self):
+        assert sequential_time_feasible(8.0 * 300 * 300, 128 * 2**20)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            sequential_time_feasible(0.0, 1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the isoefficiency baseline metric."""
+
+import math
+
+import pytest
+
+from repro.core.isoefficiency import (
+    isoefficiency_constant,
+    isoefficiency_function,
+    isoefficiency_work,
+    parallel_efficiency,
+    speedup,
+)
+from repro.core.types import MetricError
+
+
+def test_speedup_and_efficiency():
+    assert speedup(100.0, 20.0) == pytest.approx(5.0)
+    assert parallel_efficiency(100.0, 20.0, 8) == pytest.approx(0.625)
+
+
+def test_isoefficiency_constant():
+    assert isoefficiency_constant(0.5) == pytest.approx(1.0)
+    assert isoefficiency_constant(0.8) == pytest.approx(4.0)
+    with pytest.raises(MetricError):
+        isoefficiency_constant(1.0)
+    with pytest.raises(MetricError):
+        isoefficiency_constant(0.0)
+
+
+class TestFixedPoint:
+    def test_additive_overhead_textbook_case(self):
+        """To = p log p + sqrt(W) p: the classic Grama-style exercise; the
+        fixed point satisfies W = K To(W, p) exactly."""
+
+        def overhead(w, p):
+            return p * math.log2(p) + math.sqrt(w) * p
+
+        for p in (2, 8, 64):
+            w = isoefficiency_work(overhead, 0.5, p)
+            assert w == pytest.approx(
+                isoefficiency_constant(0.5) * overhead(w, p), rel=1e-8
+            )
+
+    def test_overhead_independent_of_work(self):
+        """To = p log p only: W = K p log p in closed form."""
+
+        def overhead(w, p):
+            return p * math.log2(p)
+
+        w = isoefficiency_work(overhead, 0.5, 16)
+        assert w == pytest.approx(16 * 4.0)
+
+    def test_function_grows_with_p(self):
+        def overhead(w, p):
+            return p * math.log2(p) + math.sqrt(w) * p
+
+        works = isoefficiency_function(overhead, 0.5, [2, 4, 8, 16])
+        assert works == sorted(works)
+        assert works[-1] > works[0]
+
+    def test_higher_efficiency_needs_more_work(self):
+        def overhead(w, p):
+            return p + math.sqrt(w)
+
+        w_low = isoefficiency_work(overhead, 0.3, 8)
+        w_high = isoefficiency_work(overhead, 0.8, 8)
+        assert w_high > w_low
+
+    def test_zero_overhead_rejected(self):
+        with pytest.raises(MetricError):
+            isoefficiency_work(lambda w, p: 0.0, 0.5, 4)
+
+    def test_superlinear_overhead_diverges(self):
+        with pytest.raises(MetricError):
+            isoefficiency_work(lambda w, p: w * w, 0.9, 4, initial_work=10.0)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            isoefficiency_work(lambda w, p: p, 0.5, 0)
+        with pytest.raises(MetricError):
+            parallel_efficiency(1.0, 1.0, 0)
+        with pytest.raises(MetricError):
+            speedup(0.0, 1.0)

@@ -1,0 +1,55 @@
+"""Unit tests for the homogeneous isospeed metric and the paper's
+reduction claim (isospeed-efficiency contains isospeed, section 3.3)."""
+
+import pytest
+
+from repro.core.isospeed import (
+    average_unit_speed,
+    isospeed_condition_violation,
+    isospeed_scalability,
+    matches_isospeed_efficiency,
+)
+from repro.core.isospeed_efficiency import scalability
+from repro.core.types import Measurement, MetricError
+
+
+def test_average_unit_speed():
+    assert average_unit_speed(1e9, 10.0, 4) == pytest.approx(2.5e7)
+
+
+def test_isospeed_scalability_values():
+    # Doubling processors while work grows 3x: psi = (8 * W)/(4 * 3W) = 2/3.
+    assert isospeed_scalability(4, 1e9, 8, 3e9) == pytest.approx(2 / 3)
+
+
+def test_ideal_isospeed_is_one():
+    assert isospeed_scalability(2, 1e9, 4, 2e9) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("p,p2", [(2, 4), (3, 5), (8, 16)])
+def test_reduction_to_isospeed_efficiency(p, p2):
+    """With C = p Ci, the isospeed-efficiency psi equals the isospeed psi
+    for ANY pair of works -- the paper's special-case claim."""
+    ci = 5.5e7
+    c, c2 = matches_isospeed_efficiency(ci, p, p2)
+    for w, w2 in [(1e9, 2.5e9), (5e8, 5e8), (1e9, 7.7e9)]:
+        assert scalability(c, w, c2, w2) == pytest.approx(
+            isospeed_scalability(p, w, p2, w2)
+        )
+
+
+def test_condition_violation_measure():
+    before = Measurement(work=1e9, time=10.0, marked_speed=1e8)
+    after_ok = Measurement(work=2e9, time=10.0, marked_speed=2e8)
+    assert isospeed_condition_violation(before, after_ok, 2, 4) == pytest.approx(0.0)
+    after_bad = Measurement(work=2e9, time=20.0, marked_speed=2e8)
+    assert isospeed_condition_violation(before, after_bad, 2, 4) == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(MetricError):
+        average_unit_speed(1e9, 1.0, 0)
+    with pytest.raises(MetricError):
+        isospeed_scalability(0, 1.0, 2, 1.0)
+    with pytest.raises(MetricError):
+        matches_isospeed_efficiency(0.0, 1, 2)

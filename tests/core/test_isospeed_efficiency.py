@@ -1,0 +1,109 @@
+"""Unit tests for the isospeed-efficiency metric (Definition 4, section 3.3)."""
+
+import pytest
+
+from repro.core.isospeed_efficiency import (
+    ScalabilityStudy,
+    ideal_scaled_work,
+    scalability,
+    scalability_from_measurements,
+)
+from repro.core.types import Measurement, MetricError
+
+
+class TestScalabilityFunction:
+    def test_ideal_case_is_one(self):
+        """W' = W C'/C gives psi = 1 (section 3.3)."""
+        w, c, c2 = 1e9, 175e6, 285e6
+        assert scalability(c, w, c2, ideal_scaled_work(w, c, c2)) == pytest.approx(1.0)
+
+    def test_superlinear_work_growth_gives_sub_one(self):
+        w, c, c2 = 1e9, 175e6, 285e6
+        w2 = 2.0 * ideal_scaled_work(w, c, c2)
+        assert scalability(c, w, c2, w2) == pytest.approx(0.5)
+
+    def test_paper_style_numbers(self):
+        """GE two->four nodes with the paper's anchors: N=310 -> N'=480,
+        C=175 -> C'=285 Mflops: psi = (285 W(310)) / (175 W(480)) ~ 0.44."""
+        from repro.apps.workload import ge_workload
+
+        psi = scalability(
+            175e6, ge_workload(310), 285e6, ge_workload(480)
+        )
+        assert psi == pytest.approx(0.44, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            scalability(0.0, 1.0, 1.0, 1.0)
+
+
+class TestFromMeasurements:
+    def make(self, work, time, c, label=""):
+        return Measurement(work=work, time=time, marked_speed=c, label=label)
+
+    def test_point_fields(self):
+        before = self.make(1e9, 10.0, 1e8, "small")  # E = 1.0... scaled below
+        before = self.make(3e8, 10.0, 1e8, "small")  # E = 0.3
+        after = self.make(9e8, 15.0, 2e8, "big")  # E = 0.3
+        point = scalability_from_measurements(before, after)
+        assert point.psi == pytest.approx((2e8 * 3e8) / (1e8 * 9e8))
+        assert point.label_from == "small" and point.label_to == "big"
+
+    def test_condition_violation_rejected(self):
+        before = self.make(3e8, 10.0, 1e8)  # E = 0.3
+        after = self.make(9e8, 10.0, 2e8)  # E = 0.45
+        with pytest.raises(MetricError):
+            scalability_from_measurements(before, after, efficiency_rtol=0.05)
+
+    def test_tolerance_accepts_near_condition(self):
+        before = self.make(3e8, 10.0, 1e8)  # E = 0.30
+        after = self.make(9.3e8, 15.0, 2e8)  # E = 0.31
+        point = scalability_from_measurements(before, after, efficiency_rtol=0.05)
+        assert 0 < point.psi < 1.1
+
+
+class TestScalabilityStudy:
+    def iso_measurement(self, c, scale_work):
+        # All entries at E = 0.25 exactly.
+        work = scale_work
+        time = work / (0.25 * c)
+        return Measurement(work=work, time=time, marked_speed=c)
+
+    def test_curve_of_three_entries(self):
+        study = ScalabilityStudy(target_efficiency=0.25)
+        study.add(self.iso_measurement(1e8, 1e9))
+        study.add(self.iso_measurement(2e8, 3e9))
+        study.add(self.iso_measurement(4e8, 9e9))
+        curve = study.curve()
+        assert len(curve.points) == 2
+        assert curve.points[0].psi == pytest.approx(2 / 3)
+        assert curve.points[1].psi == pytest.approx(2 / 3)
+        assert curve.cumulative[-1] == pytest.approx(4 / 9)
+
+    def test_out_of_order_addition_rejected(self):
+        study = ScalabilityStudy()
+        study.add(self.iso_measurement(2e8, 1e9))
+        with pytest.raises(MetricError):
+            study.add(self.iso_measurement(1e8, 1e9))
+
+    def test_far_from_target_rejected(self):
+        study = ScalabilityStudy(target_efficiency=0.25)
+        bad = Measurement(work=1e9, time=1.0, marked_speed=1e9)  # E = 1.0
+        with pytest.raises(MetricError):
+            study.add(bad)
+
+    def test_pairwise_skips_intermediate(self):
+        study = ScalabilityStudy()
+        study.add(self.iso_measurement(1e8, 1e9))
+        study.add(self.iso_measurement(2e8, 3e9))
+        study.add(self.iso_measurement(4e8, 9e9))
+        point = study.pairwise(0, 2)
+        assert point.psi == pytest.approx(4 / 9)
+        with pytest.raises(MetricError):
+            study.pairwise(2, 0)
+
+    def test_curve_needs_two_entries(self):
+        study = ScalabilityStudy()
+        study.add(self.iso_measurement(1e8, 1e9))
+        with pytest.raises(MetricError):
+            study.curve()

@@ -1,0 +1,106 @@
+"""Unit tests for the multi-parameter marked-performance extension."""
+
+import pytest
+
+from repro.core.marked_performance import (
+    DemandProfile,
+    MarkedPerformance,
+    bottleneck_dimension,
+    effective_marked_speed,
+    effective_system_marked_speed,
+)
+from repro.core.types import MetricError
+
+
+def node(compute=1e8, memory=2.5e9, network=1.1e7, name="n"):
+    return MarkedPerformance(
+        name, {"compute": compute, "memory": memory, "network": network}
+    )
+
+
+class TestMarkedPerformance:
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            MarkedPerformance("n", {})
+        with pytest.raises(MetricError):
+            MarkedPerformance("n", {"compute": 0.0})
+
+    def test_rate_lookup(self):
+        n = node()
+        assert n.rate_of("compute") == 1e8
+        with pytest.raises(MetricError):
+            n.rate_of("gpu")
+
+    def test_read_only_capabilities(self):
+        with pytest.raises(TypeError):
+            node().capabilities["compute"] = 1.0  # type: ignore[index]
+
+
+class TestDemandProfile:
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            DemandProfile({})
+        with pytest.raises(MetricError):
+            DemandProfile({"compute": -1.0})
+        with pytest.raises(MetricError):
+            DemandProfile({"compute": 0.0})
+
+
+class TestEffectiveSpeed:
+    def test_single_dimension_recovers_scalar_marked_speed(self):
+        """With demand {compute: 1} the extension reduces exactly to the
+        scalar marked speed -- the backward-compatibility contract."""
+        profile = DemandProfile({"compute": 1.0})
+        assert effective_marked_speed(node(compute=6e7), profile) == pytest.approx(6e7)
+
+    def test_harmonic_combination(self):
+        # 1 flop + 24 bytes per unit on a 1e8 flop/s, 2.4e9 B/s node:
+        # time per unit = 1e-8 + 1e-8 = 2e-8 -> 5e7 units/s.
+        profile = DemandProfile({"compute": 1.0, "memory": 24.0})
+        n = node(compute=1e8, memory=2.4e9)
+        assert effective_marked_speed(n, profile) == pytest.approx(5e7)
+
+    def test_zero_demand_dimension_ignored(self):
+        profile = DemandProfile({"compute": 1.0, "network": 0.0})
+        slow_net = node(network=1.0)
+        assert effective_marked_speed(slow_net, profile) == pytest.approx(1e8)
+
+    def test_bottleneck_dimension(self):
+        profile = DemandProfile({"compute": 1.0, "memory": 100.0})
+        n = node(compute=1e8, memory=2.5e9)
+        # memory: 100/2.5e9 = 4e-8 > compute 1e-8.
+        assert bottleneck_dimension(n, profile) == "memory"
+
+    def test_effective_speed_never_exceeds_any_pure_rate(self):
+        profile = DemandProfile({"compute": 1.0, "memory": 1.0})
+        n = node()
+        eff = effective_marked_speed(n, profile)
+        assert eff < n.rate_of("compute")
+
+
+class TestSystemAggregation:
+    def test_definition2_lift(self):
+        profile = DemandProfile({"compute": 1.0})
+        nodes = [node(compute=5.5e7, name="a"), node(compute=1.2e8, name="b")]
+        system = effective_system_marked_speed(nodes, profile)
+        assert system.total == pytest.approx(1.75e8)
+        assert [n.name for n in system.per_rank] == ["a", "b"]
+
+    def test_profile_changes_heterogeneity_ranking(self):
+        """A node can be faster for compute-bound work but slower for
+        memory-bound work: the demand profile decides the shares -- the
+        motivation for the future-work extension."""
+        cruncher = node(compute=2e8, memory=1e9, name="cruncher")
+        streamer = node(compute=1e8, memory=4e9, name="streamer")
+        compute_bound = DemandProfile({"compute": 1.0, "memory": 1.0})
+        memory_bound = DemandProfile({"compute": 1.0, "memory": 100.0})
+        assert effective_marked_speed(cruncher, compute_bound) > (
+            effective_marked_speed(streamer, compute_bound)
+        )
+        assert effective_marked_speed(cruncher, memory_bound) < (
+            effective_marked_speed(streamer, memory_bound)
+        )
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(MetricError):
+            effective_system_marked_speed([], DemandProfile({"compute": 1.0}))

@@ -1,0 +1,74 @@
+"""Unit tests for Definitions 1 and 2 (marked speed)."""
+
+import pytest
+
+from repro.core.marked_speed import (
+    NodeMarkedSpeed,
+    SystemMarkedSpeed,
+    system_marked_speed,
+)
+from repro.core.types import MetricError
+
+
+class TestNodeMarkedSpeed:
+    def test_from_kernel_speeds_averages(self):
+        node = NodeMarkedSpeed.from_kernel_speeds(
+            "n", {"a": 40e6, "b": 60e6, "c": 80e6}
+        )
+        assert node.flops_per_second == pytest.approx(60e6)
+        assert node.mflops == pytest.approx(60.0)
+
+    def test_empty_kernel_set_rejected(self):
+        with pytest.raises(MetricError):
+            NodeMarkedSpeed.from_kernel_speeds("n", {})
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            NodeMarkedSpeed("n", 0.0)
+        with pytest.raises(MetricError):
+            NodeMarkedSpeed("n", 1e6, {"bad": -1.0})
+
+
+class TestSystemMarkedSpeed:
+    def test_total_is_sum(self):
+        """Definition 2: C = sum of node marked speeds -- the paper's
+        worked example C = 2x60 + 55 + 2x120 style sums."""
+        system = SystemMarkedSpeed.from_speeds([60e6, 60e6, 55e6])
+        assert system.total == pytest.approx(175e6)
+        assert system.total_mflops == pytest.approx(175.0)
+        assert system.nranks == 3
+
+    def test_shares_sum_to_one(self):
+        system = SystemMarkedSpeed.from_speeds([55e6, 120e6])
+        assert sum(system.shares) == pytest.approx(1.0)
+        assert system.shares[1] > system.shares[0]
+
+    def test_homogeneity_detection(self):
+        assert SystemMarkedSpeed.from_speeds([5e7] * 4).is_homogeneous()
+        assert not SystemMarkedSpeed.from_speeds([5e7, 6e7]).is_homogeneous()
+
+    def test_subset(self):
+        system = SystemMarkedSpeed.from_speeds([1e6, 2e6, 3e6])
+        sub = system.subset([0, 2])
+        assert sub.total == pytest.approx(4e6)
+        with pytest.raises(MetricError):
+            system.subset([])
+
+    def test_from_speeds_with_names(self):
+        system = SystemMarkedSpeed.from_speeds([1e6], names=["server"])
+        assert system.per_rank[0].name == "server"
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(MetricError):
+            SystemMarkedSpeed(())
+
+
+class TestBareFunction:
+    def test_sum(self):
+        assert system_marked_speed([1e6, 2e6]) == pytest.approx(3e6)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(MetricError):
+            system_marked_speed([])
+        with pytest.raises(MetricError):
+            system_marked_speed([1e6, 0.0])

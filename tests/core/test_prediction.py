@@ -1,0 +1,105 @@
+"""Unit tests for the section-4.5 prediction machinery."""
+
+import pytest
+
+from repro.core.prediction import (
+    PerformanceModel,
+    predict_required_size,
+    predict_scalability,
+    predict_scalability_corollary2,
+)
+from repro.core.types import MetricError
+
+
+def cubic_workload(n):
+    return 2.0 * n**3 / 3.0
+
+
+def model(c=1.75e8, f=0.5, gamma=1e-3, label=""):
+    """GE-like model: To(N) = gamma * N (latency-dominated loop)."""
+    return PerformanceModel(
+        workload=cubic_workload,
+        overhead=lambda n: gamma * n,
+        marked_speed=c,
+        compute_efficiency=f,
+        label=label,
+    )
+
+
+class TestPerformanceModel:
+    def test_time_decomposition(self):
+        m = model()
+        n = 100.0
+        expected = cubic_workload(n) / (0.5 * 1.75e8) + 1e-3 * 100.0
+        assert m.time(n) == pytest.approx(expected)
+
+    def test_efficiency_monotone_toward_ceiling(self):
+        m = model()
+        e_small, e_big = m.efficiency(50), m.efficiency(5000)
+        assert e_small < e_big < m.efficiency_ceiling()
+
+    def test_sequential_time_term(self):
+        m = PerformanceModel(
+            workload=cubic_workload,
+            overhead=lambda n: 0.0,
+            marked_speed=1e8,
+            compute_efficiency=1.0,
+            sequential_time=lambda n: 1.0,
+        )
+        assert m.time(10.0) == pytest.approx(cubic_workload(10) / 1e8 + 1.0)
+        assert m.t0(10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            PerformanceModel(
+                workload=cubic_workload, overhead=lambda n: 0.0,
+                marked_speed=0.0,
+            )
+        with pytest.raises(MetricError):
+            PerformanceModel(
+                workload=cubic_workload, overhead=lambda n: 0.0,
+                marked_speed=1e8, compute_efficiency=1.5,
+            )
+
+
+class TestPredictRequiredSize:
+    def test_matches_analytic_inverse(self):
+        """E = 1/(1/f + To C / W); with To = gamma N and W = 2N^3/3 the
+        required N solves gamma C / (2 N^2 / 3) = 1/E - 1/f."""
+        m = model()
+        target = 0.3
+        n = predict_required_size(m, target)
+        k = 1.0 / target - 1.0 / m.compute_efficiency
+        analytic = (1.5 * 1e-3 * m.marked_speed / k) ** 0.5
+        assert n == pytest.approx(analytic, rel=1e-4)
+        assert m.efficiency(n) == pytest.approx(target, rel=1e-6)
+
+    def test_target_above_ceiling_rejected(self):
+        with pytest.raises(MetricError):
+            predict_required_size(model(f=0.25), 0.3)
+
+
+class TestPredictScalability:
+    def test_both_routes_agree(self):
+        """psi from the work ratio equals Theorem-1's overhead ratio."""
+        m1 = model(c=1.75e8, gamma=1e-3, label="2 nodes")
+        m2 = model(c=2.85e8, gamma=2e-3, label="4 nodes")
+        point = predict_scalability(m1, m2, 0.3)
+        psi_theorem = predict_scalability_corollary2(m1, m2, 0.3)
+        assert point.psi == pytest.approx(psi_theorem, rel=1e-6)
+        assert point.label_from == "2 nodes"
+
+    def test_identical_models_give_psi_one(self):
+        m = model()
+        assert predict_scalability(m, m, 0.3).psi == pytest.approx(1.0)
+
+    def test_psi_below_one_when_overhead_grows(self):
+        m1 = model(c=1e8, gamma=1e-3)
+        m2 = model(c=2e8, gamma=4e-3)
+        assert predict_scalability(m1, m2, 0.3).psi < 1.0
+
+    def test_psi_above_one_when_overhead_shrinks(self):
+        """A bigger system with *less* overhead is super-scalable."""
+        m1 = model(c=1e8, gamma=4e-3)
+        m2 = model(c=2e8, gamma=1e-3)
+        assert predict_scalability(m1, m2, 0.3).psi > 1.0

@@ -1,0 +1,74 @@
+"""Unit tests for the Jogalekar-Woodside productivity baseline."""
+
+import pytest
+
+from repro.core.productivity import (
+    CostModel,
+    productivity,
+    productivity_of_measurement,
+    productivity_scalability,
+)
+from repro.core.types import Measurement, MetricError
+
+
+class TestCostModel:
+    def test_rates_with_default(self):
+        model = CostModel(rates={"v210": 2.0}, base_rate=1.0)
+        assert model.rate_of("v210") == 2.0
+        assert model.rate_of("unknown") == 1.0
+
+    def test_system_cost(self):
+        model = CostModel(rates={"fast": 3.0})
+        assert model.system_cost_per_second(["fast", "slow"]) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            CostModel(base_rate=0.0)
+        with pytest.raises(MetricError):
+            CostModel(rates={"x": -1.0})
+        with pytest.raises(MetricError):
+            CostModel().system_cost_per_second([])
+
+
+class TestProductivity:
+    def test_formula(self):
+        assert productivity(100.0, 2.0, 4.0) == pytest.approx(50.0)
+
+    def test_scalability_ratio(self):
+        assert productivity_scalability(10.0, 8.0) == pytest.approx(0.8)
+
+    def test_from_measurement(self):
+        m = Measurement(work=1e9, time=10.0, marked_speed=2e8)
+        model = CostModel(base_rate=0.5)
+        f = productivity_of_measurement(m, model, ["a", "b"])
+        assert f == pytest.approx((1e9 / 10.0) / 1.0)
+
+    def test_repricing_changes_verdict_without_machine_change(self):
+        """The paper's critique: commercial charge varies from customer to
+        customer and does not reflect inherent scalability.  The same two
+        measurements flip from 'scalable' to 'not scalable' purely by
+        re-pricing the added nodes."""
+        small = Measurement(work=1e9, time=10.0, marked_speed=1e8)
+        large = Measurement(work=2e9, time=10.0, marked_speed=2e8)
+
+        cheap = CostModel(rates={"extra": 0.5}, base_rate=1.0)
+        pricey = CostModel(rates={"extra": 10.0}, base_rate=1.0)
+
+        f_small = productivity_of_measurement(small, cheap, ["base"])
+        f_large_cheap = productivity_of_measurement(
+            large, cheap, ["base", "extra"]
+        )
+        f_large_pricey = productivity_of_measurement(
+            large, pricey, ["base", "extra"]
+        )
+
+        psi_cheap = productivity_scalability(f_small, f_large_cheap)
+        psi_pricey = productivity_scalability(f_small, f_large_pricey)
+        assert psi_cheap > 1.0  # looks scalable when the rental is cheap
+        assert psi_pricey < 0.5  # looks unscalable when the rental is dear
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            productivity(0.0, 1.0, 1.0)
+        with pytest.raises(MetricError):
+            productivity_scalability(1.0, 0.0)

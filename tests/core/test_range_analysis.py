@@ -1,0 +1,111 @@
+"""Tests for the scalability-vs-execution-time relations (ref [8])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_analysis import (
+    crossing_step,
+    execution_time_series,
+    faster_at_scale,
+    ranking_is_scalability_ranking,
+    scaled_execution_time,
+)
+from repro.core.types import MetricError, ScalabilityCurve, ScalabilityPoint
+
+
+def curve(psis, metric="m"):
+    return ScalabilityCurve(
+        metric=metric,
+        points=tuple(
+            ScalabilityPoint(
+                c_from=1.0, c_to=2.0, work_from=1.0, work_to=2.0, psi=psi
+            )
+            for psi in psis
+        ),
+    )
+
+
+class TestScaledTime:
+    def test_each_step_divides_by_psi(self):
+        assert scaled_execution_time(1.0, [0.5, 0.5]) == pytest.approx(4.0)
+
+    def test_perfect_scalability_keeps_time_constant(self):
+        assert scaled_execution_time(3.0, [1.0] * 5) == pytest.approx(3.0)
+
+    def test_series_along_curve(self):
+        times = execution_time_series(2.0, curve([0.5, 0.25]))
+        assert times == pytest.approx([2.0, 4.0, 16.0])
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            scaled_execution_time(0.0, [0.5])
+        with pytest.raises(MetricError):
+            scaled_execution_time(1.0, [0.0])
+
+
+class TestCrossing:
+    def test_already_faster(self):
+        assert crossing_step(1.0, 0.5, 2.0, 0.4) == 0.0
+
+    def test_crossing_point_value(self):
+        # A starts 4x slower but scales 2x better per step: catches up
+        # after log(4)/log(2) = 2 steps.
+        k = crossing_step(4.0, 0.8, 1.0, 0.4)
+        assert k == pytest.approx(2.0)
+        assert not faster_at_scale(4.0, 0.8, 1.0, 0.4, steps=2)
+        assert faster_at_scale(4.0, 0.8, 1.0, 0.4, steps=3)
+
+    def test_never_catches_up(self):
+        with pytest.raises(MetricError):
+            crossing_step(4.0, 0.4, 1.0, 0.8)
+
+    def test_indistinguishable(self):
+        with pytest.raises(MetricError):
+            crossing_step(1.0, 0.5, 1.0, 0.5)
+
+    @given(
+        t_a=st.floats(min_value=1.0, max_value=100.0),
+        t_b=st.floats(min_value=0.01, max_value=1.0),
+        psi_a=st.floats(min_value=0.41, max_value=0.99),
+        psi_b=st.floats(min_value=0.05, max_value=0.4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_crossing_step_is_the_boundary(self, t_a, t_b, psi_a, psi_b):
+        k = crossing_step(t_a, psi_a, t_b, psi_b)
+        steps_after = int(k) + 1
+        assert faster_at_scale(t_a, psi_a, t_b, psi_b, steps_after)
+        if k >= 1.0:
+            steps_before = int(k) if int(k) < k else int(k) - 1
+            assert not faster_at_scale(t_a, psi_a, t_b, psi_b, steps_before)
+
+
+class TestRanking:
+    def test_dominating_curve_ranks_first(self):
+        mm = curve([0.22, 0.21, 0.23])
+        ge = curve([0.11, 0.09, 0.06])
+        assert ranking_is_scalability_ranking(mm, ge)
+        assert not ranking_is_scalability_ranking(ge, mm)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MetricError):
+            ranking_is_scalability_ranking(curve([0.5]), curve([0.5, 0.5]))
+
+
+class TestOnMeasuredData:
+    def test_mm_overtakes_ge_at_scale(self, mm2_cluster, ge2_cluster):
+        """Tie the ref-[8] analysis to real simulated studies: GE starts
+        from a larger iso-efficient problem (longer time) and scales
+        worse, so MM's iso-efficient execution time wins from some scale
+        on -- computable via the crossing step."""
+        from repro.experiments.sweep import required_size_by_simulation
+
+        _, ge_rec = required_size_by_simulation("ge", ge2_cluster, 0.3)
+        _, mm_rec = required_size_by_simulation("mm", mm2_cluster, 0.2)
+        # Per-step scalabilities from the paper-scale studies
+        # (EXPERIMENTS.md): GE ~ 0.11, MM ~ 0.22.
+        t_ge, t_mm = ge_rec.measurement.time, mm_rec.measurement.time
+        assert t_ge > t_mm
+        k = crossing_step(t_ge, 0.22, t_mm, 0.11)
+        assert k > 0
+        assert faster_at_scale(t_ge, 0.22, t_mm, 0.11, int(k) + 1)

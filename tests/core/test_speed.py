@@ -1,0 +1,45 @@
+"""Unit tests for achieved speed and speed-efficiency (Definition 3)."""
+
+import pytest
+
+from repro.core.speed import (
+    achieved_speed,
+    relative_efficiency_error,
+    speed_efficiency,
+    time_for_efficiency,
+)
+from repro.core.types import MetricError
+
+
+def test_achieved_speed():
+    assert achieved_speed(2e7, 0.4) == pytest.approx(5e7)
+
+
+def test_speed_efficiency_definition3():
+    # E_S = W / (T * C): the paper's example-style numbers.
+    assert speed_efficiency(2e7, 0.4, 1.75e8) == pytest.approx(
+        2e7 / (0.4 * 1.75e8)
+    )
+
+
+def test_time_for_efficiency_inverts():
+    work, c, eff = 1e9, 2e8, 0.3
+    t = time_for_efficiency(work, c, eff)
+    assert speed_efficiency(work, t, c) == pytest.approx(eff)
+
+
+def test_relative_efficiency_error():
+    assert relative_efficiency_error(0.33, 0.3) == pytest.approx(0.1)
+    assert relative_efficiency_error(0.3, 0.3) == 0.0
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_validation(bad):
+    with pytest.raises(MetricError):
+        achieved_speed(bad, 1.0)
+    with pytest.raises(MetricError):
+        achieved_speed(1.0, bad)
+    with pytest.raises(MetricError):
+        speed_efficiency(1.0, 1.0, bad)
+    with pytest.raises(MetricError):
+        relative_efficiency_error(bad, 0.3)

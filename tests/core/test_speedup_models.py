@@ -1,0 +1,104 @@
+"""Tests for the Amdahl / Gustafson / Sun-Ni speedup models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.speedup_models import (
+    amdahl_limit,
+    amdahl_speedup,
+    gustafson_speedup,
+    matrix_memory_scaling,
+    scaled_speedup,
+    speedup_ordering,
+    sun_ni_speedup,
+)
+from repro.core.types import MetricError
+
+
+class TestAmdahl:
+    def test_textbook_values(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+        assert amdahl_speedup(1.0, 8) == pytest.approx(1.0)
+        # 10% sequential on 10 processors: 1/(0.1 + 0.9/10) = 5.26...
+        assert amdahl_speedup(0.1, 10) == pytest.approx(1 / 0.19)
+
+    def test_limit(self):
+        assert amdahl_limit(0.1) == pytest.approx(10.0)
+        assert amdahl_limit(0.0) == float("inf")
+
+    def test_speedup_below_limit(self):
+        for p in (2, 16, 1024):
+            assert amdahl_speedup(0.05, p) < amdahl_limit(0.05)
+
+
+class TestGustafson:
+    def test_linear_form(self):
+        assert gustafson_speedup(0.1, 10) == pytest.approx(0.1 + 0.9 * 10)
+
+    def test_reduces_to_p_when_fully_parallel(self):
+        assert gustafson_speedup(0.0, 64) == pytest.approx(64.0)
+
+
+class TestSunNi:
+    def test_default_matrix_scaling(self):
+        """G(p) = p^1.5: the dense-matrix memory-bounded case."""
+        s = sun_ni_speedup(0.1, 16)
+        g = 16.0 ** 1.5
+        expected = (0.1 + 0.9 * g) / (0.1 + 0.9 * g / 16)
+        assert s == pytest.approx(expected)
+
+    def test_g_one_recovers_amdahl(self):
+        assert sun_ni_speedup(0.2, 32, lambda p: 1.0) == pytest.approx(
+            amdahl_speedup(0.2, 32)
+        )
+
+    def test_g_p_recovers_gustafson(self):
+        assert sun_ni_speedup(0.2, 32, lambda p: float(p)) == pytest.approx(
+            gustafson_speedup(0.2, 32)
+        )
+
+    def test_matrix_memory_scaling_builder(self):
+        g = matrix_memory_scaling(3.0, 2.0)
+        assert g(4) == pytest.approx(8.0)
+        ge_like = matrix_memory_scaling(3.0, 2.0)
+        stencil_like = matrix_memory_scaling(2.0, 2.0)
+        assert ge_like(16) > stencil_like(16)
+
+    def test_invalid_scaling_rejected(self):
+        with pytest.raises(MetricError):
+            sun_ni_speedup(0.1, 4, lambda p: 0.0)
+        with pytest.raises(MetricError):
+            matrix_memory_scaling(0.0, 2.0)
+
+
+class TestOrdering:
+    @given(
+        alpha=st.floats(min_value=0.001, max_value=0.999),
+        processors=st.integers(min_value=2, max_value=4096),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_amdahl_le_gustafson_le_sunni(self, alpha, processors):
+        """The classic chain S_fixed <= S_fixed-time <= S_memory-bounded
+        whenever G(p) >= p (default G = p^1.5)."""
+        a, g, s = speedup_ordering(alpha, processors)
+        assert a <= g + 1e-9
+        assert g <= s + 1e-9
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        processors=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_speedups_bounded_by_p(self, alpha, processors):
+        """No model exceeds linear speedup for alpha in [0, 1]."""
+        a, g, s = speedup_ordering(alpha, processors)
+        for value in (a, g, s):
+            assert 1.0 - 1e-9 <= value <= processors + 1e-9
+
+
+def test_validation():
+    with pytest.raises(MetricError):
+        scaled_speedup(-0.1, 4, lambda p: 1.0)
+    with pytest.raises(MetricError):
+        scaled_speedup(0.5, 0, lambda p: 1.0)

@@ -1,0 +1,128 @@
+"""Unit tests for Theorem 1 and Corollaries 1-2 (section 3.4)."""
+
+import pytest
+
+from repro.core.theory import (
+    corollary2_scalability,
+    execution_time,
+    sequential_time,
+    solve_scaled_work,
+    theorem1_scalability,
+    theorem1_scaled_work,
+)
+from repro.core.types import MetricError
+
+
+class TestExecutionTime:
+    def test_decomposition(self):
+        t = execution_time(1e9, 1e8, alpha=0.1, t0=2.0, overhead=3.0)
+        assert t == pytest.approx(0.9 * 10.0 + 2.0 + 3.0)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            execution_time(1e9, 1e8, alpha=1.0, t0=0.0, overhead=0.0)
+        with pytest.raises(MetricError):
+            execution_time(1e9, 1e8, alpha=0.0, t0=-1.0, overhead=0.0)
+
+
+def test_sequential_time():
+    assert sequential_time(0.1, 1e9, 5e7) == pytest.approx(2.0)
+    with pytest.raises(MetricError):
+        sequential_time(1.5, 1e9, 5e7)
+
+
+class TestTheorem1:
+    def test_psi_formula(self):
+        assert theorem1_scalability(1.0, 3.0, 2.0, 6.0) == pytest.approx(0.5)
+
+    def test_corollary1_zero_alpha_constant_overhead(self):
+        """alpha = 0 and To = To' => psi = 1."""
+        assert theorem1_scalability(0.0, 5.0, 0.0, 5.0) == pytest.approx(1.0)
+
+    def test_corollary1_zero_overhead_limit(self):
+        assert theorem1_scalability(0.0, 0.0, 0.0, 0.0) == 1.0
+
+    def test_corollary2_overheads_only(self):
+        """alpha = 0 => psi = To / To'."""
+        assert corollary2_scalability(2.0, 8.0) == pytest.approx(0.25)
+
+    def test_asymmetric_zero_denominator_rejected(self):
+        with pytest.raises(MetricError):
+            theorem1_scalability(1.0, 1.0, 0.0, 0.0)
+        with pytest.raises(MetricError):
+            theorem1_scalability(0.0, 0.0, 1.0, 1.0)
+
+    def test_scaled_work_closed_form(self):
+        """W' = W C' (t0'+To') / (C (t0+To))."""
+        w = theorem1_scaled_work(
+            1e9, 1e8, 2e8, t0=1.0, overhead=1.0, t0_scaled=2.0, overhead_scaled=2.0
+        )
+        assert w == pytest.approx(1e9 * 2.0 * 2.0)
+
+
+class TestConditionConsistency:
+    def test_scaled_work_restores_speed_efficiency(self):
+        """The W' from Theorem 1 makes E_S(W') == E_S(W) exactly when the
+        model times are evaluated at those works."""
+        c, c2 = 1.75e8, 2.85e8
+        alpha = 0.0
+        w = 2e7
+        t0, overhead = 0.0, 0.1
+        t0s, overheads = 0.0, 0.35
+        w2 = theorem1_scaled_work(w, c, c2, t0, overhead, t0s, overheads)
+        t = execution_time(w, c, alpha, t0, overhead)
+        t2 = execution_time(w2, c2, alpha, t0s, overheads)
+        e1 = w / (t * c)
+        e2 = w2 / (t2 * c2)
+        assert e1 == pytest.approx(e2)
+
+    def test_psi_equals_work_ratio_route(self):
+        c, c2 = 1e8, 4e8
+        w = 1e9
+        t0, overhead = 0.5, 1.5
+        t0s, overheads = 1.0, 4.0
+        w2 = theorem1_scaled_work(w, c, c2, t0, overhead, t0s, overheads)
+        psi_work_route = (c2 * w) / (c * w2)
+        psi_theorem = theorem1_scalability(t0, overhead, t0s, overheads)
+        assert psi_work_route == pytest.approx(psi_theorem)
+
+
+class TestSolveScaledWork:
+    def test_fixed_point_with_work_dependent_overhead(self):
+        """To'(W') growing like W'^(2/3) (GE-like): the solver finds the W'
+        satisfying Theorem 1's implicit equation."""
+        c, c2 = 1e8, 2e8
+        w = 1e9
+        t0, overhead = 0.0, 2.0
+
+        def overhead_scaled(w_scaled):
+            return 4.0 * (w_scaled / w) ** (2.0 / 3.0)
+
+        w2 = solve_scaled_work(
+            w, c, c2, t0, overhead, lambda _: 0.0, overhead_scaled
+        )
+        rhs = w * c2 * overhead_scaled(w2) / (c * (t0 + overhead))
+        assert w2 == pytest.approx(rhs, rel=1e-8)
+        assert w2 > w
+
+    def test_constant_overheads_match_closed_form(self):
+        c, c2 = 1e8, 2e8
+        w2 = solve_scaled_work(
+            1e9, c, c2, 0.0, 2.0, lambda _: 0.0, lambda _: 3.0
+        )
+        assert w2 == pytest.approx(
+            theorem1_scaled_work(1e9, c, c2, 0.0, 2.0, 0.0, 3.0)
+        )
+
+    def test_shrinking_overhead_allows_smaller_work(self):
+        """If the scaled system has lower overhead, psi > 1 (W' below the
+        ideal scaling) -- the solver searches downward too."""
+        c, c2 = 1e8, 2e8
+        w2 = solve_scaled_work(
+            1e9, c, c2, 0.0, 4.0, lambda _: 0.0, lambda _: 1.0
+        )
+        assert w2 < 1e9 * c2 / c
+
+    def test_zero_base_overhead_rejected(self):
+        with pytest.raises(MetricError):
+            solve_scaled_work(1e9, 1e8, 2e8, 0.0, 0.0, lambda _: 0.0, lambda _: 1.0)

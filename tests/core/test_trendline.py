@@ -1,0 +1,94 @@
+"""Unit tests for polynomial trend fitting (the Figures 1-2 method)."""
+
+import numpy as np
+import pytest
+
+from repro.core.trendline import fit_trend, fit_trend_from_measurements
+from repro.core.types import Measurement, MetricError
+
+
+def samples(f, lo=50, hi=800, count=10):
+    ns = np.linspace(lo, hi, count)
+    return ns, [f(n) for n in ns]
+
+
+class TestFit:
+    def test_quadratic_data_fits_exactly(self):
+        ns, es = samples(lambda n: 0.1 + 1e-4 * n - 5e-8 * n * n)
+        fit = fit_trend(ns, es, degree=2)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(400.0) == pytest.approx(0.1 + 0.04 - 5e-8 * 160000)
+
+    def test_vectorized_predict(self):
+        ns, es = samples(lambda n: 0.2 + 1e-4 * n)
+        fit = fit_trend(ns, es, degree=1)
+        out = fit.predict([100.0, 200.0])
+        assert out.shape == (2,)
+
+    def test_r_squared_below_one_for_noisy_data(self):
+        rng = np.random.default_rng(0)
+        ns = np.linspace(50, 800, 30)
+        es = 0.3 + 1e-4 * ns + rng.normal(0, 0.02, 30)
+        fit = fit_trend(ns, es, degree=2)
+        assert 0.5 < fit.r_squared < 1.0
+
+    def test_insufficient_samples_rejected(self):
+        with pytest.raises(MetricError):
+            fit_trend([1.0, 2.0], [0.1, 0.2], degree=2)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(MetricError):
+            fit_trend([100.0, 100.0, 100.0], [0.1, 0.2, 0.3], degree=1)
+        with pytest.raises(MetricError):
+            fit_trend([1.0, -2.0, 3.0], [0.1, 0.2, 0.3], degree=1)
+        with pytest.raises(MetricError):
+            fit_trend([1.0, 2.0, 3.0], [0.1, -0.2, 0.3], degree=1)
+
+
+class TestRequiredSize:
+    def test_reads_off_monotone_trend(self):
+        """The paper's workflow: fit E(N), read N for E = 0.3."""
+        truth = lambda n: 0.5 * n / (n + 100.0)  # noqa: E731
+        ns, es = samples(truth, lo=80, hi=280, count=10)
+        fit = fit_trend(ns, es, degree=2)
+        n_star = fit.required_size(0.3)
+        # Analytic inverse: 0.5 n/(n+100) = 0.3 -> n = 150; a quadratic
+        # trend over the sampled window reads it within a few percent.
+        assert n_star == pytest.approx(150.0, rel=0.05)
+
+    def test_target_below_range_returns_left_edge(self):
+        ns, es = samples(lambda n: 0.2 + 1e-4 * n)
+        fit = fit_trend(ns, es, degree=1)
+        assert fit.required_size(0.01) == pytest.approx(fit.n_min)
+
+    def test_unreachable_target_raises(self):
+        ns, es = samples(lambda n: 0.2 + 1e-5 * n)
+        fit = fit_trend(ns, es, degree=1)
+        with pytest.raises(MetricError):
+            fit.required_size(0.9)
+
+    def test_mild_extrapolation_allowed(self):
+        ns, es = samples(lambda n: 0.2 + 5e-4 * n, lo=50, hi=400)
+        fit = fit_trend(ns, es, degree=1)
+        n_star = fit.required_size(0.45, extrapolate=1.5)
+        assert n_star == pytest.approx(500.0, rel=0.02)
+
+    def test_invalid_target(self):
+        ns, es = samples(lambda n: 0.2 + 1e-4 * n)
+        fit = fit_trend(ns, es, degree=1)
+        with pytest.raises(MetricError):
+            fit.required_size(0.0)
+
+
+class TestFromMeasurements:
+    def test_requires_problem_sizes(self):
+        good = [
+            Measurement(work=1e6, time=1.0, marked_speed=1e7, problem_size=n)
+            for n in (100, 200, 300)
+        ]
+        fit = fit_trend_from_measurements(good, degree=1)
+        assert fit.n_min == 100
+
+        bad = [Measurement(work=1e6, time=1.0, marked_speed=1e7)]
+        with pytest.raises(MetricError):
+            fit_trend_from_measurements(bad * 3, degree=1)

@@ -1,0 +1,83 @@
+"""Unit tests for the core value types."""
+
+import pytest
+
+from repro.core.types import (
+    MFLOP,
+    Measurement,
+    MetricError,
+    ScalabilityCurve,
+    ScalabilityPoint,
+)
+
+
+def measurement(work=1e9, time=10.0, c=5e8, **kwargs):
+    return Measurement(work=work, time=time, marked_speed=c, **kwargs)
+
+
+class TestMeasurement:
+    def test_speed_and_efficiency(self):
+        m = measurement()
+        assert m.speed == pytest.approx(1e8)
+        assert m.speed_efficiency == pytest.approx(0.2)
+        assert m.speed_mflops == pytest.approx(100.0)
+        assert m.marked_speed_mflops == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            measurement(work=0)
+        with pytest.raises(MetricError):
+            measurement(time=-1)
+        with pytest.raises(MetricError):
+            measurement(c=0)
+        with pytest.raises(MetricError):
+            measurement(problem_size=0)
+
+    def test_optional_fields(self):
+        m = measurement(problem_size=310, label="two nodes")
+        assert m.problem_size == 310
+        assert m.label == "two nodes"
+
+    def test_frozen(self):
+        m = measurement()
+        with pytest.raises(AttributeError):
+            m.work = 2.0  # type: ignore[misc]
+
+
+class TestScalabilityPoint:
+    def test_fields_validated(self):
+        with pytest.raises(MetricError):
+            ScalabilityPoint(
+                c_from=0, c_to=1, work_from=1, work_to=1, psi=1.0
+            )
+        with pytest.raises(MetricError):
+            ScalabilityPoint(
+                c_from=1, c_to=1, work_from=1, work_to=1, psi=0.0
+            )
+
+
+class TestScalabilityCurve:
+    def make_curve(self, psis):
+        points = tuple(
+            ScalabilityPoint(
+                c_from=1.0, c_to=2.0, work_from=1.0, work_to=2.0, psi=psi
+            )
+            for psi in psis
+        )
+        return ScalabilityCurve(metric="test", points=points)
+
+    def test_cumulative_products(self):
+        curve = self.make_curve([0.5, 0.4, 0.25])
+        assert curve.cumulative == pytest.approx([0.5, 0.2, 0.05])
+
+    def test_geometric_mean(self):
+        curve = self.make_curve([0.25, 1.0])
+        assert curve.geometric_mean() == pytest.approx(0.5)
+
+    def test_empty_curve_summary_rejected(self):
+        with pytest.raises(MetricError):
+            ScalabilityCurve(metric="x", points=()).geometric_mean()
+
+
+def test_mflop_constant():
+    assert MFLOP == 1e6

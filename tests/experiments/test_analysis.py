@@ -1,0 +1,144 @@
+"""Tests for the post-run analysis tooling."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gaussian import GE_COMPUTE_EFFICIENCY
+from repro.apps.matmul import MM_COMPUTE_EFFICIENCY
+from repro.core.types import MetricError
+from repro.experiments.analysis import (
+    breakdown,
+    communication_fraction,
+    load_imbalance,
+    measured_overhead,
+    render_breakdown,
+    render_timeline,
+    utilization_timeline,
+)
+from repro.experiments.runner import run_ge, run_mm
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_record(ge2_cluster, ge2_marked):
+    tracer = Tracer()
+    record = run_ge(ge2_cluster, 120, marked=ge2_marked, tracer=tracer)
+    return record, tracer
+
+
+class TestBreakdown:
+    def test_components_tile_the_makespan(self, traced_record):
+        record, _ = traced_record
+        makespan = record.measurement.time
+        for b in breakdown(record):
+            # compute + comm + tail idle can exceed nothing: each rank's
+            # accounted time plus its tail reaches at most the makespan
+            # (recv waits overlap nothing else).
+            assert b.compute + b.send + b.recv_wait <= makespan + 1e-12
+            assert b.tail_idle >= 0
+
+    def test_rank_count(self, traced_record, ge2_cluster):
+        record, _ = traced_record
+        assert len(breakdown(record)) == ge2_cluster.nranks
+
+    def test_render_contains_all_ranks(self, traced_record):
+        record, _ = traced_record
+        text = render_breakdown(record)
+        assert "busy" in text
+        for b in breakdown(record):
+            assert str(b.rank) in text
+
+
+class TestMeasuredOverhead:
+    def test_positive_and_below_makespan(self, traced_record):
+        record, _ = traced_record
+        to = measured_overhead(record, GE_COMPUTE_EFFICIENCY)
+        assert 0 < to < record.measurement.time
+
+    def test_overhead_plus_ideal_equals_time(self, mm2_cluster, mm2_marked):
+        record = run_mm(mm2_cluster, 80, marked=mm2_marked)
+        to = measured_overhead(record, MM_COMPUTE_EFFICIENCY)
+        m = record.measurement
+        ideal = m.work / (MM_COMPUTE_EFFICIENCY * m.marked_speed)
+        assert to + ideal == pytest.approx(m.time)
+
+    def test_validation(self, traced_record):
+        record, _ = traced_record
+        with pytest.raises(MetricError):
+            measured_overhead(record, 0.0)
+
+
+class TestAggregates:
+    def test_communication_fraction_in_unit_interval(self, traced_record):
+        record, _ = traced_record
+        fraction = communication_fraction(record)
+        assert 0 < fraction < 1
+
+    def test_comm_fraction_drops_with_problem_size(self, ge2_cluster, ge2_marked):
+        small = run_ge(ge2_cluster, 60, marked=ge2_marked)
+        large = run_ge(ge2_cluster, 400, marked=ge2_marked)
+        assert communication_fraction(large) < communication_fraction(small)
+
+    def test_load_imbalance_small_for_proportional_distribution(
+        self, ge2_cluster, ge2_marked
+    ):
+        record = run_ge(ge2_cluster, 300, marked=ge2_marked)
+        assert load_imbalance(record) < 0.15
+
+
+class TestTimeline:
+    def test_levels_in_unit_interval(self, traced_record, ge2_cluster):
+        record, tracer = traced_record
+        levels = utilization_timeline(
+            tracer, ge2_cluster.nranks, record.measurement.time, bins=30
+        )
+        assert levels.shape == (30,)
+        assert (levels >= 0).all() and (levels <= 1).all()
+        assert levels.max() > 0  # someone computed at some point
+
+    def test_total_busy_time_conserved(self, traced_record, ge2_cluster):
+        """Integral of the utilization equals total compute time."""
+        record, tracer = traced_record
+        makespan = record.measurement.time
+        bins = 200
+        levels = utilization_timeline(tracer, ge2_cluster.nranks, makespan, bins)
+        integral = levels.sum() * (makespan / bins) * ge2_cluster.nranks
+        total_compute = sum(s.compute_time for s in record.run.stats)
+        assert integral == pytest.approx(total_compute, rel=0.02)
+
+    def test_render(self, traced_record, ge2_cluster):
+        record, tracer = traced_record
+        text = render_timeline(
+            tracer, ge2_cluster.nranks, record.measurement.time, bins=20
+        )
+        assert text.startswith("utilization [")
+        assert len(text.split("[")[1].split("]")[0]) == 20
+
+    def test_validation(self, traced_record):
+        _, tracer = traced_record
+        with pytest.raises(MetricError):
+            utilization_timeline(tracer, 2, 1.0, bins=0)
+        with pytest.raises(MetricError):
+            utilization_timeline(tracer, 2, 0.0)
+
+
+def test_corollary2_on_measured_overheads(mm2_cluster, mm2_marked):
+    """End-to-end: Corollary 2's psi from *measured* overheads matches the
+    work-ratio psi on iso-efficient MM points (alpha = 0)."""
+    from repro.core.isospeed_efficiency import scalability
+    from repro.core.theory import corollary2_scalability
+    from repro.experiments.sweep import required_size_by_simulation
+    from repro.machine.sunwulf import mm_configuration
+
+    n1, rec1 = required_size_by_simulation("mm", mm2_cluster, 0.18)
+    big = mm_configuration(4)
+    n2, rec2 = required_size_by_simulation("mm", big, 0.18)
+    psi_work = scalability(
+        rec1.measurement.marked_speed, rec1.measurement.work,
+        rec2.measurement.marked_speed, rec2.measurement.work,
+    )
+    psi_thm = corollary2_scalability(
+        measured_overhead(rec1, MM_COMPUTE_EFFICIENCY),
+        measured_overhead(rec2, MM_COMPUTE_EFFICIENCY),
+    )
+    assert psi_work == pytest.approx(psi_thm, rel=0.12)

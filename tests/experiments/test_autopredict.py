@@ -1,0 +1,64 @@
+"""Tests for the automatic scalability-prediction service."""
+
+import pytest
+
+from repro.core.types import MetricError
+from repro.experiments.autopredict import AutoPredictor
+from repro.machine.sunwulf import ge_configuration, mm_configuration
+
+
+@pytest.fixture(scope="module")
+def ge_predictor():
+    return AutoPredictor("ge", ge_configuration(2))
+
+
+class TestConstruction:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(MetricError):
+            AutoPredictor("sort", ge_configuration(2))
+
+    def test_parameters_measured_once(self, ge_predictor):
+        first = ge_predictor.machine_parameters
+        second = ge_predictor.machine_parameters
+        assert first is second
+        assert first.per_message > 0
+
+    def test_models_cached_per_cluster(self, ge_predictor):
+        c4 = ge_configuration(4)
+        assert ge_predictor.model_for(c4) is ge_predictor.model_for(c4)
+
+
+class TestQueries:
+    def test_efficiency_monotone_in_n(self, ge_predictor):
+        cluster = ge_configuration(2)
+        assert ge_predictor.efficiency_at(cluster, 100) < (
+            ge_predictor.efficiency_at(cluster, 500)
+        )
+
+    def test_required_size_grows_with_system(self, ge_predictor):
+        n2 = ge_predictor.required_size(ge_configuration(2), 0.3)
+        n4 = ge_predictor.required_size(ge_configuration(4), 0.3)
+        assert n4 > n2
+
+    def test_scalability_point(self, ge_predictor):
+        point = ge_predictor.scalability(
+            ge_configuration(2), ge_configuration(4), 0.3
+        )
+        assert 0 < point.psi < 1
+        assert point.c_to > point.c_from
+
+
+class TestVerification:
+    def test_verified_efficiency_close(self, ge_predictor):
+        """Fully automatic prediction vs one simulated run: within 15%."""
+        result = ge_predictor.verify_efficiency(ge_configuration(2), 300)
+        assert result.relative_error < 0.15
+
+    def test_verified_required_size_lands_on_contour(self, ge_predictor):
+        result = ge_predictor.verify_required_size(ge_configuration(2), 0.3)
+        assert result.relative_error < 0.15
+
+    def test_mm_predictor_end_to_end(self):
+        predictor = AutoPredictor("mm", mm_configuration(2))
+        result = predictor.verify_required_size(mm_configuration(4), 0.2)
+        assert result.relative_error < 0.2

@@ -1,0 +1,55 @@
+"""Tests for the figure drivers (scaled-down sampling for speed)."""
+
+import pytest
+
+from repro.experiments.figures import figure1_ge_two_nodes, figure2_mm_curves
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_ge_two_nodes(sizes=(80, 140, 220, 320, 430))
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2_mm_curves(node_counts=(2, 4), samples=5)
+
+
+class TestFigure1:
+    def test_curve_rises(self, fig1):
+        effs = fig1.series.curve.efficiencies
+        assert effs == sorted(effs)
+
+    def test_trend_quality(self, fig1):
+        assert fig1.series.trend.r_squared > 0.97
+
+    def test_verification_run_lands_on_target(self, fig1):
+        """The paper's grey-dot check: running the trend-read N measures
+        an efficiency close to the 0.3 target (they got 0.312)."""
+        assert fig1.verification_error < 0.07
+        assert fig1.verified_n == int(round(fig1.required_n))
+
+    def test_required_n_near_paper_anchor(self, fig1):
+        assert fig1.required_n == pytest.approx(344, rel=0.2)
+
+
+class TestFigure2:
+    def test_one_series_per_configuration(self, fig2):
+        assert [s.label for s in fig2.series] == ["2 nodes", "4 nodes"]
+
+    def test_each_series_rises(self, fig2):
+        for series in fig2.series:
+            effs = series.curve.efficiencies
+            assert effs[-1] > effs[0]
+
+    def test_larger_systems_need_larger_problems(self, fig2):
+        """The curves shift right with system size: required N for the
+        target efficiency grows (the Figure 2 shape)."""
+        required = fig2.required_sizes()
+        assert required["4 nodes"] > required["2 nodes"]
+
+    def test_points_expose_xy_pairs(self, fig2):
+        points = fig2.series[0].points
+        assert all(len(p) == 2 for p in points)
+        xs = [p[0] for p in points]
+        assert xs == sorted(xs)

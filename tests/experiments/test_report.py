@@ -1,0 +1,44 @@
+"""Unit tests for the ASCII table renderer."""
+
+from repro.experiments.report import format_series, format_table
+
+
+def test_basic_table_layout():
+    text = format_table(
+        ["name", "value"], [("alpha", 1.5), ("beta", 2)], title="Demo"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1] == "===="
+    assert "name" in lines[2] and "value" in lines[2]
+    assert set(lines[3]) <= {"-", " "}
+    assert "alpha" in lines[4]
+    assert "1.5" in lines[4]
+
+
+def test_float_formatting_significant_digits():
+    text = format_table(["x"], [(0.123456,), (1.23456e12,), (0.0,), (1e-9,)])
+    assert "0.1235" in text
+    assert "1.235e+12" in text
+    assert "1.000e-09" in text
+
+
+def test_columns_aligned():
+    text = format_table(["a", "bbbb"], [("x", 1), ("yyyyyy", 2)])
+    rows = text.splitlines()
+    # All rows equal width per column: the separator row is as wide as the
+    # widest cell in each column.
+    header, sep, r1, r2 = rows
+    assert len(sep) >= len(header.rstrip())
+
+
+def test_no_title_table():
+    text = format_table(["a"], [(1,)])
+    assert not text.startswith("=")
+    assert text.splitlines()[0].strip() == "a"
+
+
+def test_format_series():
+    text = format_series("N", "E", [(100, 0.1), (200, 0.2)], title="Fig")
+    assert "Fig" in text
+    assert "100" in text and "0.2" in text

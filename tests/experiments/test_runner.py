@@ -1,0 +1,91 @@
+"""Unit tests for the experiment runner layer."""
+
+import pytest
+
+from repro.apps.workload import ge_workload, mm_workload
+from repro.experiments.runner import (
+    APPLICATIONS,
+    marked_speed_of,
+    run_app,
+    run_ge,
+    run_mm,
+)
+from repro.mpi.communicator import CollectiveConfig
+from repro.sim.trace import Tracer
+
+
+class TestRunGE:
+    def test_measurement_fields(self, ge2_cluster, ge2_marked, ge2_record_n200):
+        m = ge2_record_n200.measurement
+        assert m.work == pytest.approx(ge_workload(200))
+        assert m.marked_speed == pytest.approx(ge2_marked.total)
+        assert m.problem_size == 200
+        assert m.label == ge2_cluster.name
+        assert 0 < m.speed_efficiency < 1
+
+    def test_efficiency_increases_with_n(self, ge2_cluster, ge2_marked):
+        e_small = run_ge(ge2_cluster, 60, marked=ge2_marked).speed_efficiency
+        e_large = run_ge(ge2_cluster, 400, marked=ge2_marked).speed_efficiency
+        assert e_small < e_large
+
+    def test_two_node_anchor_near_paper(self, ge2_cluster, ge2_marked):
+        """The calibration anchor: E_S ~ 0.3 around N ~ 310-350 on two
+        nodes (the paper reads N ~ 310 and verifies 0.312)."""
+        e = run_ge(ge2_cluster, 344, marked=ge2_marked).speed_efficiency
+        assert e == pytest.approx(0.30, abs=0.02)
+
+    def test_compute_efficiency_bounds_speed_efficiency(
+        self, ge2_cluster, ge2_marked
+    ):
+        record = run_ge(
+            ge2_cluster, 300, marked=ge2_marked, compute_efficiency=0.4
+        )
+        assert record.speed_efficiency < 0.4
+
+    def test_tracer_passthrough(self, ge2_cluster, ge2_marked):
+        tracer = Tracer()
+        run_ge(ge2_cluster, 30, marked=ge2_marked, tracer=tracer)
+        assert tracer.records
+
+    def test_collective_config_changes_timing(self, ge4_cluster, ge4_marked):
+        flat = run_ge(ge4_cluster, 150, marked=ge4_marked)
+        tree = run_ge(
+            ge4_cluster, 150, marked=ge4_marked,
+            collectives=CollectiveConfig(bcast="binomial", barrier="tree"),
+        )
+        assert flat.measurement.time != tree.measurement.time
+
+
+class TestRunMM:
+    def test_measurement_fields(self, mm2_cluster, mm2_marked, mm2_record_n100):
+        m = mm2_record_n100.measurement
+        assert m.work == pytest.approx(mm_workload(100))
+        assert m.marked_speed == pytest.approx(mm2_marked.total)
+
+    def test_efficiency_increases_with_n(self, mm2_cluster, mm2_marked):
+        e_small = run_mm(mm2_cluster, 20, marked=mm2_marked).speed_efficiency
+        e_large = run_mm(mm2_cluster, 200, marked=mm2_marked).speed_efficiency
+        assert e_small < e_large
+
+
+class TestDispatch:
+    def test_registry(self):
+        assert set(APPLICATIONS) == {"ge", "mm", "stencil", "fft"}
+
+    def test_run_app_dispatch(self, ge2_cluster, ge2_marked):
+        record = run_app("ge", ge2_cluster, 50, marked=ge2_marked)
+        assert record.measurement.problem_size == 50
+
+    def test_unknown_app_rejected(self, ge2_cluster):
+        with pytest.raises(KeyError):
+            run_app("sort", ge2_cluster, 50)
+
+
+class TestMarkedSpeedOf:
+    def test_ge2_total(self, ge2_cluster):
+        marked = marked_speed_of(ge2_cluster)
+        assert marked.total_mflops == pytest.approx(175.0, rel=0.02)
+
+    def test_mm2_total(self, mm2_cluster):
+        marked = marked_speed_of(mm2_cluster)
+        assert marked.total_mflops == pytest.approx(180.0, rel=0.02)

@@ -1,0 +1,62 @@
+"""Unit tests for sweeps and required-size searches."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    efficiency_curve,
+    geometric_sizes,
+    required_size_by_simulation,
+    required_size_by_trend,
+)
+
+
+class TestGeometricSizes:
+    def test_endpoints_and_monotonicity(self):
+        sizes = geometric_sizes(50, 800, 6)
+        assert sizes[0] == 50
+        assert sizes[-1] == 800
+        assert sizes == sorted(set(sizes))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(50, 50, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(50, 800, 1)
+
+
+class TestEfficiencyCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, ge2_cluster):
+        return efficiency_curve("ge", ge2_cluster, (80, 150, 250, 400))
+
+    def test_sizes_and_efficiencies(self, curve):
+        assert curve.sizes == [80, 150, 250, 400]
+        effs = curve.efficiencies
+        assert effs == sorted(effs)  # monotone increasing for GE
+
+    def test_trend_fit_quality(self, curve):
+        trend = curve.trend(degree=2)
+        assert trend.r_squared > 0.98
+
+    def test_trend_read_matches_simulated_requirement(self, ge2_cluster, curve):
+        """The paper's Figure-1 verification: read N* off the trend, run
+        it, land near the target."""
+        from repro.experiments.runner import run_ge
+
+        n_star = required_size_by_trend(curve, 0.3)
+        record = run_ge(ge2_cluster, int(round(n_star)))
+        assert record.speed_efficiency == pytest.approx(0.3, abs=0.03)
+
+
+class TestRequiredSizeBySimulation:
+    def test_finds_minimal_satisfying_size(self, ge2_cluster):
+        n_star, record = required_size_by_simulation("ge", ge2_cluster, 0.2)
+        assert record.speed_efficiency >= 0.2
+        from repro.experiments.runner import run_ge
+
+        below = run_ge(ge2_cluster, n_star - 1)
+        assert below.speed_efficiency < 0.2
+
+    def test_record_matches_size(self, mm2_cluster):
+        n_star, record = required_size_by_simulation("mm", mm2_cluster, 0.2)
+        assert record.measurement.problem_size == n_star

@@ -1,0 +1,160 @@
+"""Tests for the paper-table drivers (scaled-down node counts for speed;
+the full paper-scale run lives in the benchmark harness)."""
+
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.tables import (
+    GE_TARGET_EFFICIENCY,
+    MM_TARGET_EFFICIENCY,
+    base_machine_parameters,
+    comparison_ge_vs_mm,
+    scalability_from_rows,
+    table1_marked_speeds,
+    table2_ge_two_nodes,
+    table3_required_rank,
+    table5_mm_required_rank,
+    table6_predicted_rank,
+    table7_predicted_scalability,
+)
+
+SMALL = (2, 4)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return base_machine_parameters()
+
+
+@pytest.fixture(scope="module")
+def ge_rows(params):
+    return table3_required_rank(node_counts=SMALL, params=params)
+
+
+@pytest.fixture(scope="module")
+def mm_rows():
+    return table5_mm_required_rank(node_counts=SMALL)
+
+
+class TestTable1:
+    def test_three_node_types_reported(self):
+        rows = table1_marked_speeds()
+        names = [r.name for r in rows]
+        assert names == [
+            "sunfire-server-480", "sunfire-v210-1000", "sunblade-500"
+        ]
+
+    def test_structure_matches_paper(self):
+        """V210 fastest, server and SunBlade comparable (Table 1 shape)."""
+        server, v210, blade = table1_marked_speeds()
+        assert v210.mflops > server.mflops
+        assert v210.mflops > blade.mflops
+        assert v210.mflops / blade.mflops == pytest.approx(2.2, rel=0.15)
+
+
+class TestTable2:
+    def test_rows_monotone_in_everything(self):
+        rows = table2_ge_two_nodes(sizes=(100, 200, 310))
+        works = [m.work for m in rows]
+        times = [m.time for m in rows]
+        effs = [m.speed_efficiency for m in rows]
+        speeds = [m.speed for m in rows]
+        assert works == sorted(works)
+        assert times == sorted(times)
+        assert effs == sorted(effs)
+        assert speeds == sorted(speeds)
+
+    def test_n310_anchor(self):
+        """The paper measures E_S = 0.312 at N = 310; we land near 0.3."""
+        (row,) = table2_ge_two_nodes(sizes=(310,))
+        assert row.speed_efficiency == pytest.approx(0.3, abs=0.03)
+
+
+class TestTable3And4:
+    def test_required_rank_grows_with_system(self, ge_rows):
+        assert ge_rows[0].rank_n < ge_rows[1].rank_n
+        assert ge_rows[0].marked_speed < ge_rows[1].marked_speed
+
+    def test_rows_meet_target(self, ge_rows):
+        for row in ge_rows:
+            assert row.efficiency == pytest.approx(
+                GE_TARGET_EFFICIENCY, rel=0.05
+            )
+
+    def test_two_node_rank_near_paper_anchor(self, ge_rows):
+        """Paper: around 310 on two nodes; calibration target +-15%."""
+        assert ge_rows[0].rank_n == pytest.approx(344, rel=0.15)
+
+    def test_scalability_below_one_and_decreasing(self, ge_rows):
+        curve = scalability_from_rows(ge_rows, "ge")
+        for point in curve.points:
+            assert 0 < point.psi < 1
+
+    def test_nranks_column(self, ge_rows):
+        assert [r.nranks for r in ge_rows] == [n + 1 for n in SMALL]
+
+
+class TestTable5:
+    def test_mm_rows_meet_target(self, mm_rows):
+        for row in mm_rows:
+            assert row.efficiency == pytest.approx(
+                MM_TARGET_EFFICIENCY, rel=0.05
+            )
+
+    def test_mm_scalability_below_one(self, mm_rows):
+        curve = scalability_from_rows(mm_rows, "mm")
+        assert all(0 < p.psi < 1 for p in curve.points)
+
+
+class TestComparison:
+    def test_mm_more_scalable_than_ge(self, ge_rows, mm_rows):
+        """The paper's section 4.4.3 headline: the MM-Sunwulf combination
+        is more scalable than GE-Sunwulf."""
+        ge_curve = scalability_from_rows(ge_rows, "ge")
+        mm_curve = scalability_from_rows(mm_rows, "mm")
+        rows = comparison_ge_vs_mm(ge_curve, mm_curve)
+        assert all(row.mm_more_scalable for row in rows)
+
+    def test_mismatched_lengths_rejected(self, ge_rows, mm_rows):
+        from repro.core.types import MetricError
+
+        ge_curve = scalability_from_rows(ge_rows, "ge")
+        with pytest.raises(MetricError):
+            comparison_ge_vs_mm(
+                ge_curve,
+                scalability_from_rows(
+                    table5_mm_required_rank(node_counts=(2, 4, 8)), "mm"
+                ),
+            )
+
+
+class TestPrediction:
+    def test_table6_predictions_close_to_measured(self, params, ge_rows):
+        """Section 4.5's claim: predicted required ranks are close to the
+        measured ones (we check within 25% at small scale; accuracy
+        improves with system size -- see EXPERIMENTS.md)."""
+        predicted = table6_predicted_rank(node_counts=SMALL, params=params)
+        for pred, measured in zip(predicted, ge_rows):
+            assert pred.rank_n == pytest.approx(measured.rank_n, rel=0.25)
+
+    def test_table7_close_to_table4(self, params, ge_rows):
+        # The 2->4 transition is the model's least accurate point (the
+        # global machine parameters bill the server's intranode messages
+        # at LAN prices, which matters most at p=3); accuracy tightens to
+        # within ~10% at 8+ nodes -- the paper-scale benchmark records it.
+        predicted = table7_predicted_scalability(
+            table6_predicted_rank(node_counts=SMALL, params=params)
+        )
+        measured = scalability_from_rows(ge_rows, "ge").points
+        for pred, meas in zip(predicted, measured):
+            assert pred.psi == pytest.approx(meas.psi, rel=0.5)
+
+    def test_predicted_psi_below_one(self, params):
+        points = table7_predicted_scalability(
+            table6_predicted_rank(node_counts=(2, 4, 8), params=params)
+        )
+        assert all(0 < p.psi < 1 for p in points)
+
+
+def test_paper_node_counts_constant():
+    assert tables.PAPER_NODE_COUNTS == (2, 4, 8, 16, 32)

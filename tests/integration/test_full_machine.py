@@ -1,0 +1,62 @@
+"""Whole-machine runs: the complete 108-processor Sunwulf."""
+
+import pytest
+
+from repro.experiments.runner import marked_speed_of, run_mm, run_stencil
+from repro.machine.sunwulf import (
+    INVENTORY,
+    SERVER_CPU,
+    SUNBLADE_CPU,
+    V210_CPU,
+    full_configuration,
+)
+
+
+@pytest.fixture(scope="module")
+def full():
+    return full_configuration()
+
+
+@pytest.fixture(scope="module")
+def full_marked(full):
+    return marked_speed_of(full)
+
+
+class TestShape:
+    def test_processor_and_node_counts(self, full):
+        assert full.nnodes == 1 + 64 + 20
+        assert full.nranks == 4 + 64 + 40
+
+    def test_marked_speed_is_inventory_sum(self, full_marked):
+        expected = 4 * 60.0 + 64 * 55.0 + 40 * 120.0
+        assert full_marked.total_mflops == pytest.approx(expected, rel=0.02)
+
+    def test_cpu_class_mix(self, full):
+        names = [p.name for p in full.processor_types]
+        assert names.count(SERVER_CPU.name) == 4
+        assert names.count(SUNBLADE_CPU.name) == INVENTORY["sunblade"][1]
+        assert names.count(V210_CPU.name) == 2 * INVENTORY["v210"][1]
+
+
+class TestWholeMachineRuns:
+    def test_mm_on_108_processors(self, full, full_marked):
+        record = run_mm(full, 600, marked=full_marked)
+        assert 0 < record.speed_efficiency < 1
+        # Every rank took part in the distribution.
+        assert all(
+            s.messages_received > 0
+            for s in record.run.stats
+            if s.rank != 0
+        )
+
+    def test_stencil_on_108_processors(self, full, full_marked):
+        record = run_stencil(full, 432, sweeps=12, marked=full_marked)
+        assert 0 < record.speed_efficiency < 1
+        counted = sum(s.flops for s in record.run.stats)
+        from repro.apps.stencil import stencil_workload
+
+        assert counted == pytest.approx(stencil_workload(432, 12))
+
+    def test_numeric_mm_correct_at_scale(self, full, full_marked):
+        record = run_mm(full, 120, numeric=True, marked=full_marked)
+        assert record.app_result.max_error() < 1e-9

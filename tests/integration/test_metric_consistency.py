@@ -1,0 +1,106 @@
+"""Cross-layer consistency: the analytic theory (section 3.4), the overhead
+models (section 4.5) and the simulator must tell one coherent story."""
+
+import pytest
+
+from repro.apps.gaussian import GE_COMPUTE_EFFICIENCY
+from repro.apps.workload import ge_workload
+from repro.core.isospeed import isospeed_scalability
+from repro.core.isospeed_efficiency import scalability
+from repro.core.theory import corollary2_scalability
+from repro.experiments.runner import marked_speed_of, run_ge, run_mm
+from repro.experiments.sweep import required_size_by_simulation
+from repro.experiments.tables import base_machine_parameters, _ge_model
+from repro.machine.presets import homogeneous_blades
+from repro.machine.sunwulf import ge_configuration
+
+
+class TestModelVersusSimulator:
+    """The fitted analytic model must track simulated efficiency."""
+
+    @pytest.fixture(scope="class")
+    def model2(self):
+        params = base_machine_parameters()
+        return _ge_model(ge_configuration(2), params, GE_COMPUTE_EFFICIENCY)
+
+    @pytest.mark.parametrize("n", [150, 300, 600])
+    def test_model_efficiency_tracks_simulation(self, model2, ge2_cluster,
+                                                ge2_marked, n):
+        simulated = run_ge(ge2_cluster, n, marked=ge2_marked).speed_efficiency
+        modelled = model2.efficiency(n)
+        assert modelled == pytest.approx(simulated, rel=0.15)
+
+    def test_model_time_tracks_simulation(self, model2, ge2_cluster, ge2_marked):
+        simulated = run_ge(ge2_cluster, 300, marked=ge2_marked).measurement.time
+        assert model2.time(300) == pytest.approx(simulated, rel=0.15)
+
+
+class TestTheoremOnSimulatedData:
+    def test_corollary2_matches_work_route_for_mm(self, mm2_cluster, mm2_marked):
+        """MM has alpha = 0, so psi == To/To' must hold on *simulated*
+        iso-efficient points (overheads read from the simulator stats)."""
+        n1, rec1 = required_size_by_simulation("mm", mm2_cluster, 0.15)
+        n2, rec2 = required_size_by_simulation("mm", mm2_cluster, 0.15)
+        assert n1 == n2  # determinism
+
+        from repro.machine.sunwulf import mm_configuration
+
+        big = mm_configuration(4)
+        n_big, rec_big = required_size_by_simulation("mm", big, 0.15)
+
+        psi_work = scalability(
+            rec1.measurement.marked_speed, rec1.measurement.work,
+            rec_big.measurement.marked_speed, rec_big.measurement.work,
+        )
+        # Overhead = makespan - ideal compute time (alpha=0, balanced).
+        from repro.apps.matmul import MM_COMPUTE_EFFICIENCY
+
+        def overhead(record):
+            ideal = record.measurement.work / (
+                MM_COMPUTE_EFFICIENCY * record.measurement.marked_speed
+            )
+            return record.measurement.time - ideal
+
+        psi_thm = corollary2_scalability(overhead(rec1), overhead(rec_big))
+        # Iso-efficiency only holds to the integer-N resolution, so the two
+        # routes agree approximately.
+        assert psi_work == pytest.approx(psi_thm, rel=0.1)
+
+
+class TestHomogeneousReduction:
+    def test_isospeed_equals_isospeed_efficiency_on_blades(self):
+        """On a homogeneous ensemble the new metric reproduces Sun-Rover
+        isospeed exactly (section 3.3), using real simulated runs."""
+        small = homogeneous_blades(2)
+        large = homogeneous_blades(4)
+        n_small, rec_small = required_size_by_simulation("ge", small, 0.25)
+        n_large, rec_large = required_size_by_simulation("ge", large, 0.25)
+
+        psi_eff = scalability(
+            rec_small.measurement.marked_speed, rec_small.measurement.work,
+            rec_large.measurement.marked_speed, rec_large.measurement.work,
+        )
+        psi_iso = isospeed_scalability(
+            2, rec_small.measurement.work, 4, rec_large.measurement.work
+        )
+        assert psi_eff == pytest.approx(psi_iso, rel=1e-9)
+        assert 0 < psi_eff < 1
+
+
+class TestWorkTimeConsistency:
+    def test_speed_never_exceeds_effective_capacity(self, ge2_cluster, ge2_marked):
+        """Achieved speed is bounded by compute-efficiency * C."""
+        for n in (50, 200, 500):
+            record = run_ge(ge2_cluster, n, marked=ge2_marked)
+            bound = GE_COMPUTE_EFFICIENCY * ge2_marked.total
+            assert record.measurement.speed < bound
+
+    def test_work_column_is_the_polynomial(self, ge2_cluster, ge2_marked):
+        record = run_ge(ge2_cluster, 123, marked=ge2_marked)
+        assert record.measurement.work == ge_workload(123)
+
+    def test_makespan_at_least_critical_path_compute(self, mm2_cluster, mm2_marked):
+        record = run_mm(mm2_cluster, 150, marked=mm2_marked)
+        # No rank can finish before its own compute time.
+        slowest = max(s.compute_time for s in record.run.stats)
+        assert record.measurement.time >= slowest

@@ -1,0 +1,54 @@
+"""End-to-end numeric runs on measured Sunwulf configurations: the full
+stack (NPB marked speeds -> heterogeneous distribution -> simulated MPI ->
+metric) with real linear algebra validated against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_ge, run_mm
+
+
+class TestGEEndToEnd:
+    @pytest.mark.parametrize("n", [5, 23, 60])
+    def test_numeric_ge_on_paper_two_node_config(self, ge2_cluster, ge2_marked, n):
+        record = run_ge(ge2_cluster, n, numeric=True, marked=ge2_marked)
+        result = record.app_result
+        assert result.residual() < 1e-8
+        expected = np.linalg.solve(result.matrix, result.rhs)
+        np.testing.assert_allclose(result.solution, expected, rtol=1e-7)
+
+    def test_numeric_ge_on_four_nodes(self, ge4_cluster, ge4_marked):
+        record = run_ge(ge4_cluster, 45, numeric=True, marked=ge4_marked)
+        assert record.app_result.residual() < 1e-8
+
+    def test_numeric_and_modelled_measurements_agree(self, ge2_cluster, ge2_marked):
+        numeric = run_ge(ge2_cluster, 40, numeric=True, marked=ge2_marked)
+        modelled = run_ge(ge2_cluster, 40, numeric=False, marked=ge2_marked)
+        assert numeric.measurement.time == pytest.approx(modelled.measurement.time)
+        assert numeric.measurement.work == modelled.measurement.work
+
+    def test_different_seeds_different_systems_same_timing(
+        self, ge2_cluster, ge2_marked
+    ):
+        a = run_ge(ge2_cluster, 30, numeric=True, marked=ge2_marked, seed=1)
+        b = run_ge(ge2_cluster, 30, numeric=True, marked=ge2_marked, seed=2)
+        assert not np.array_equal(a.app_result.matrix, b.app_result.matrix)
+        assert a.measurement.time == pytest.approx(b.measurement.time)
+
+
+class TestMMEndToEnd:
+    @pytest.mark.parametrize("n", [4, 17, 48])
+    def test_numeric_mm_on_paper_two_node_config(self, mm2_cluster, mm2_marked, n):
+        record = run_mm(mm2_cluster, n, numeric=True, marked=mm2_marked)
+        assert record.app_result.max_error() < 1e-9
+
+    def test_numeric_mm_on_four_nodes(self, mm4_cluster):
+        record = run_mm(mm4_cluster, 30, numeric=True)
+        assert record.app_result.max_error() < 1e-9
+
+    def test_heterogeneous_band_reassembly(self, mm4_cluster):
+        """The root must reassemble bands from heterogeneous shares in the
+        right places."""
+        record = run_mm(mm4_cluster, 37, numeric=True)
+        result = record.app_result
+        np.testing.assert_allclose(result.product, result.a @ result.b)

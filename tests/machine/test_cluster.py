@@ -1,0 +1,83 @@
+"""Unit tests for cluster specifications."""
+
+import pytest
+
+from repro.machine.cluster import ClusterSpec, homogeneous_cluster
+from repro.machine.node import ProcessorSlot
+from repro.machine.sunwulf import SERVER_NODE, SUNBLADE_CPU, SUNBLADE_NODE, V210_NODE
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.model import SwitchedNetwork
+from repro.sim.errors import InvalidOperationError
+
+
+class TestFromNodes:
+    def test_slot_expansion(self):
+        cluster = ClusterSpec.from_nodes(
+            "c", [(SERVER_NODE, 2), (SUNBLADE_NODE, 1), (V210_NODE, 2)]
+        )
+        assert cluster.nranks == 5
+        assert cluster.nnodes == 3
+        topo = cluster.topology()
+        assert topo.same_node(0, 1)  # both server CPUs
+        assert not topo.same_node(1, 2)
+        assert topo.same_node(3, 4)  # both V210 CPUs
+
+    def test_cannot_oversubscribe_node(self):
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec.from_nodes("c", [(SUNBLADE_NODE, 2)])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec(name="c", slots=())
+
+    def test_peak_mflops_sums_slots(self):
+        cluster = ClusterSpec.from_nodes("c", [(SERVER_NODE, 2), (SUNBLADE_NODE, 1)])
+        expected = 2 * SERVER_NODE.processor.peak_mflops + SUNBLADE_NODE.processor.peak_mflops
+        assert cluster.peak_mflops() == pytest.approx(expected)
+
+
+class TestHomogeneity:
+    def test_homogeneous_cluster(self):
+        cluster = homogeneous_cluster("h", SUNBLADE_CPU, 3)
+        assert cluster.is_homogeneous()
+        assert cluster.nranks == 3
+        assert cluster.nnodes == 3
+
+    def test_mixed_not_homogeneous(self):
+        cluster = ClusterSpec.from_nodes("c", [(SUNBLADE_NODE, 1), (V210_NODE, 1)])
+        assert not cluster.is_homogeneous()
+
+    def test_homogeneous_cluster_validates_count(self):
+        with pytest.raises(InvalidOperationError):
+            homogeneous_cluster("h", SUNBLADE_CPU, 0)
+
+
+class TestNetworkConstruction:
+    def test_default_is_bus(self):
+        cluster = homogeneous_cluster("h", SUNBLADE_CPU, 2)
+        assert isinstance(cluster.build_network(), SharedBusEthernet)
+
+    def test_with_network_switch(self):
+        cluster = homogeneous_cluster("h", SUNBLADE_CPU, 2).with_network("switch")
+        assert isinstance(cluster.build_network(), SwitchedNetwork)
+        assert "switch" in cluster.name
+
+    def test_fresh_network_per_build(self):
+        cluster = homogeneous_cluster("h", SUNBLADE_CPU, 2)
+        assert cluster.build_network() is not cluster.build_network()
+
+    def test_processor_types_in_rank_order(self):
+        cluster = ClusterSpec.from_nodes("c", [(V210_NODE, 2), (SUNBLADE_NODE, 1)])
+        names = [p.name for p in cluster.processor_types]
+        assert names == [
+            V210_NODE.processor.name,
+            V210_NODE.processor.name,
+            SUNBLADE_NODE.processor.name,
+        ]
+
+
+def test_slots_are_immutable_tuple():
+    cluster = homogeneous_cluster("h", SUNBLADE_CPU, 2)
+    assert isinstance(cluster.slots, tuple)
+    slot = cluster.slots[0]
+    assert isinstance(slot, ProcessorSlot)

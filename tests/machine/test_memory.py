@@ -1,0 +1,102 @@
+"""Tests for the memory-footprint models and feasibility checks."""
+
+import pytest
+
+from repro.machine.memory import (
+    FeasibilityReport,
+    distributed_feasibility,
+    ge_rank_bytes,
+    mm2d_rank_bytes,
+    mm_rank_bytes,
+    sequential_bytes,
+    sequential_reference_feasible,
+    stencil_rank_bytes,
+)
+from repro.machine.presets import homogeneous_blades
+from repro.machine.sunwulf import ge_configuration, mm_configuration
+from repro.sim.errors import InvalidOperationError
+
+
+class TestRankModels:
+    def test_ge_rank_bytes(self):
+        # 10 rows of an augmented N=100 system plus the pivot buffer.
+        assert ge_rank_bytes(100, 10) == 10 * 101 * 8.0 + 101 * 8.0
+
+    def test_mm_rank_bytes_dominated_by_replicated_b(self):
+        small_band = mm_rank_bytes(1000, 10)
+        assert small_band > 1000 * 1000 * 8.0  # B alone is N^2 doubles
+
+    def test_mm2d_smaller_than_1d_for_small_tiles(self):
+        n = 1000
+        assert mm2d_rank_bytes(n, 100, 100) < mm_rank_bytes(n, 100)
+
+    def test_stencil_double_buffered(self):
+        assert stencil_rank_bytes(100, 10) == 2 * 12 * 100 * 8.0
+        assert stencil_rank_bytes(100, 0) == 0.0
+
+    def test_sequential_bytes(self):
+        assert sequential_bytes("mm", 100) == 3 * 100 * 100 * 8.0
+        assert sequential_bytes("ge", 100) == 100 * 101 * 8.0
+        with pytest.raises(InvalidOperationError):
+            sequential_bytes("fft", 100)
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            ge_rank_bytes(10, 11)
+        with pytest.raises(InvalidOperationError):
+            mm2d_rank_bytes(10, 5, 11)
+
+
+class TestDistributedFeasibility:
+    def test_small_problem_fits_sunwulf(self):
+        report = distributed_feasibility(ge_configuration(4), "ge", 500)
+        assert isinstance(report, FeasibilityReport)
+        assert report.fits
+        assert all(u.capacity_mb > 0 for u in report.nodes)
+
+    def test_blade_memory_is_the_binding_constraint(self):
+        """At the paper-scale 32-node GE rank (~23k), a SunBlade's 128 MB
+        cannot hold the replicated-B MM state, and even GE gets tight."""
+        mm_report = distributed_feasibility(mm_configuration(8), "mm", 8000)
+        assert not mm_report.fits
+        tight = mm_report.tightest()
+        assert tight.utilization > 1.0
+
+    def test_per_node_aggregation_over_slots(self):
+        """The server's two CPUs share one node's memory."""
+        cluster = ge_configuration(2)
+        report = distributed_feasibility(cluster, "ge", 1000)
+        assert len(report.nodes) == cluster.nnodes
+
+    def test_explicit_rows_override(self):
+        cluster = ge_configuration(2)
+        report = distributed_feasibility(
+            cluster, "ge", 100, rows_per_rank=[100, 0, 0]
+        )
+        assert report.fits
+        with pytest.raises(InvalidOperationError):
+            distributed_feasibility(cluster, "ge", 100, rows_per_rank=[100])
+
+    def test_cluster_without_memory_info_rejected(self):
+        cluster = homogeneous_blades(2)  # built slot-wise, no node memory
+        with pytest.raises(InvalidOperationError):
+            distributed_feasibility(cluster, "ge", 100)
+
+
+class TestSequentialReference:
+    def test_paper_critique_reproduced(self):
+        """The scaled 32-node GE problem (N ~ 23000) cannot be run
+        sequentially anywhere on Sunwulf: even the server's 4 GB cannot
+        hold the 23000^2 augmented system (~4.2 GB)."""
+        cluster = ge_configuration(32)
+        assert not sequential_reference_feasible(cluster, "ge", 24000)
+
+    def test_small_problem_is_feasible(self):
+        assert sequential_reference_feasible(ge_configuration(2), "ge", 1000)
+
+    def test_mm_reference_tighter_than_ge(self):
+        """MM's 3 N^2 resident matrices hit the wall before GE's 1."""
+        cluster = mm_configuration(4)
+        n = 14000
+        assert sequential_reference_feasible(cluster, "ge", n)
+        assert not sequential_reference_feasible(cluster, "mm", n)

@@ -1,0 +1,64 @@
+"""Unit tests for processor and node specifications."""
+
+import pytest
+
+from repro.machine.node import NodeType, ProcessorSlot, ProcessorType
+from repro.sim.errors import InvalidOperationError
+
+
+def make_cpu(**overrides):
+    kwargs = dict(
+        name="test-cpu",
+        clock_mhz=500.0,
+        peak_mflops=1000.0,
+        kernel_efficiency={"ep": 0.05, "lu": 0.07},
+    )
+    kwargs.update(overrides)
+    return ProcessorType(**kwargs)
+
+
+class TestProcessorType:
+    def test_sustained_speed(self):
+        cpu = make_cpu()
+        assert cpu.sustained_mflops("ep") == pytest.approx(50.0)
+        assert cpu.sustained_mflops("lu") == pytest.approx(70.0)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            make_cpu().sustained_mflops("nope")
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            make_cpu(clock_mhz=0)
+        with pytest.raises(InvalidOperationError):
+            make_cpu(peak_mflops=-1)
+        with pytest.raises(InvalidOperationError):
+            make_cpu(kernel_efficiency={"ep": 1.5})
+        with pytest.raises(InvalidOperationError):
+            make_cpu(app_efficiency=0.0)
+
+    def test_efficiency_mapping_is_read_only(self):
+        cpu = make_cpu()
+        with pytest.raises(TypeError):
+            cpu.kernel_efficiency["ep"] = 0.9  # type: ignore[index]
+
+    def test_hashable(self):
+        assert len({make_cpu(), make_cpu()}) == 1
+
+
+class TestNodeType:
+    def test_fields(self):
+        node = NodeType("n", make_cpu(), cpus=2, memory_mb=512.0)
+        assert node.cpus == 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            NodeType("n", make_cpu(), cpus=0, memory_mb=512.0)
+        with pytest.raises(InvalidOperationError):
+            NodeType("n", make_cpu(), cpus=1, memory_mb=0.0)
+
+
+class TestProcessorSlot:
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            ProcessorSlot(make_cpu(), node_id=-1)

@@ -1,0 +1,45 @@
+"""Unit tests for preset cluster builders."""
+
+import pytest
+
+from repro.machine.presets import (
+    GENERIC_CPU,
+    homogeneous_blades,
+    homogeneous_generic,
+    mixed_pairs,
+)
+from repro.machine.sunwulf import SUNBLADE_CPU, V210_CPU
+from repro.sim.errors import InvalidOperationError
+
+
+def test_homogeneous_blades():
+    cluster = homogeneous_blades(5)
+    assert cluster.is_homogeneous()
+    assert cluster.nranks == 5
+    assert cluster.processor_types[0] == SUNBLADE_CPU
+
+
+def test_homogeneous_generic():
+    cluster = homogeneous_generic(3)
+    assert cluster.is_homogeneous()
+    assert cluster.processor_types[0] == GENERIC_CPU
+
+
+def test_mixed_pairs_alternates_types():
+    cluster = mixed_pairs(2)
+    names = [p.name for p in cluster.processor_types]
+    assert names == [
+        SUNBLADE_CPU.name, V210_CPU.name, SUNBLADE_CPU.name, V210_CPU.name
+    ]
+    assert not cluster.is_homogeneous()
+    assert cluster.nnodes == 4
+
+
+def test_mixed_pairs_validates_count():
+    with pytest.raises(InvalidOperationError):
+        mixed_pairs(0)
+
+
+def test_generic_cpu_covers_suite():
+    for kernel in ("ep", "mg", "cg", "ft", "bt", "lu"):
+        assert GENERIC_CPU.sustained_mflops(kernel) > 0

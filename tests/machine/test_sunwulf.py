@@ -1,0 +1,103 @@
+"""Unit tests for the Sunwulf cluster model and paper configurations."""
+
+import pytest
+
+from repro.machine.sunwulf import (
+    INVENTORY,
+    MARKED_SPEED_KERNELS,
+    PAPER_NODE_COUNTS,
+    SERVER_CPU,
+    SERVER_NODE,
+    SUNBLADE_CPU,
+    SUNBLADE_NODE,
+    V210_CPU,
+    V210_NODE,
+    ge_configuration,
+    mm_configuration,
+)
+from repro.sim.errors import InvalidOperationError
+
+
+class TestInventory:
+    def test_node_counts_match_paper(self):
+        assert INVENTORY["server"][1] == 1
+        assert INVENTORY["sunblade"][1] == 64
+        assert INVENTORY["v210"][1] == 20
+
+    def test_hardware_shapes_match_paper(self):
+        # "The server node has four CPUs ... Each CPU is 480 MHz."
+        assert SERVER_NODE.cpus == 4
+        assert SERVER_CPU.clock_mhz == 480.0
+        # "The SunBlade compute node has one 500-MHz CPU and 128M memory."
+        assert SUNBLADE_NODE.cpus == 1
+        assert SUNBLADE_CPU.clock_mhz == 500.0
+        assert SUNBLADE_NODE.memory_mb == 128.0
+        # "The SunFire V210 compute node has two 1GHz CPUs and 2GB memory."
+        assert V210_NODE.cpus == 2
+        assert V210_CPU.clock_mhz == 1000.0
+
+    def test_every_cpu_covers_the_kernel_suite(self):
+        for cpu in (SERVER_CPU, SUNBLADE_CPU, V210_CPU):
+            for kernel in MARKED_SPEED_KERNELS:
+                assert cpu.sustained_mflops(kernel) > 0
+
+    def test_v210_roughly_twice_a_sunblade(self):
+        ratio = sum(
+            V210_CPU.sustained_mflops(k) for k in MARKED_SPEED_KERNELS
+        ) / sum(SUNBLADE_CPU.sustained_mflops(k) for k in MARKED_SPEED_KERNELS)
+        assert 1.8 < ratio < 2.6
+
+
+class TestGEConfiguration:
+    def test_two_nodes_is_server2_plus_blade(self):
+        cluster = ge_configuration(2)
+        # 2 physical nodes, 3 processes (server uses two CPUs).
+        assert cluster.nnodes == 2
+        assert cluster.nranks == 3
+        names = [p.name for p in cluster.processor_types]
+        assert names.count(SERVER_CPU.name) == 2
+        assert names.count(SUNBLADE_CPU.name) == 1
+
+    @pytest.mark.parametrize("nodes", PAPER_NODE_COUNTS)
+    def test_paper_sizes_shape(self, nodes):
+        cluster = ge_configuration(nodes)
+        assert cluster.nnodes == nodes
+        assert cluster.nranks == nodes + 1  # server contributes 2 CPUs
+
+    def test_minimum_two_nodes(self):
+        with pytest.raises(InvalidOperationError):
+            ge_configuration(1)
+
+    def test_inventory_limit(self):
+        with pytest.raises(InvalidOperationError):
+            ge_configuration(66)
+
+
+class TestMMConfiguration:
+    def test_eight_nodes_matches_paper_example(self):
+        # "one server node, three SunBlade compute nodes and four SunFire
+        # V210 compute nodes"
+        cluster = mm_configuration(8)
+        names = [p.name for p in cluster.processor_types]
+        assert names.count(SERVER_CPU.name) == 1
+        assert names.count(SUNBLADE_CPU.name) == 3
+        assert names.count(V210_CPU.name) == 4
+        assert cluster.nranks == 8
+
+    @pytest.mark.parametrize("nodes", PAPER_NODE_COUNTS)
+    def test_paper_sizes_shape(self, nodes):
+        cluster = mm_configuration(nodes)
+        assert cluster.nnodes == nodes
+        assert cluster.nranks == nodes  # one process per node
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            mm_configuration(5)
+
+    def test_minimum_two_nodes(self):
+        with pytest.raises(InvalidOperationError):
+            mm_configuration(0)
+
+    def test_v210_inventory_limit(self):
+        with pytest.raises(InvalidOperationError):
+            mm_configuration(42)  # would need 21 V210 nodes

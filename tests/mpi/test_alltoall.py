@@ -1,0 +1,125 @@
+"""Tests for the personalized all-to-all collective."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.communicator import mpi_run
+from repro.mpi.errors import CollectiveError
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.model import SwitchedNetwork, ZeroCostNetwork
+from repro.network.topology import Topology
+
+
+def run(nranks, program, network=None):
+    net = network if network is not None else ZeroCostNetwork()
+    return mpi_run(nranks, net, [1e9] * nranks, program)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_matrix_transpose_semantics(self, size):
+        """alltoall implements the index transpose: received[s][d] is what
+        s addressed to d."""
+
+        def program(comm):
+            payloads = [(comm.rank, dst) for dst in range(comm.size)]
+            received = yield from comm.alltoall(payloads)
+            return received
+
+        result = run(size, program)
+        for dst, received in enumerate(result.return_values):
+            assert received == [(src, dst) for src in range(size)]
+
+    def test_own_contribution_passes_through(self):
+        def program(comm):
+            payloads = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            received = yield from comm.alltoall(payloads)
+            return received[comm.rank]
+
+        result = run(3, program)
+        assert result.return_values == ["0->0", "1->1", "2->2"]
+
+    def test_sizes_only_mode(self):
+        def program(comm):
+            sizes = [1024.0] * comm.size
+            received = yield from comm.alltoall(
+                payloads=None, sizes=sizes
+            )
+            return len(received)
+
+        result = run(4, program)
+        assert result.return_values == [4, 4, 4, 4]
+
+    def test_back_to_back_alltoalls(self):
+        def program(comm):
+            first = yield from comm.alltoall(["a"] * comm.size)
+            second = yield from comm.alltoall(["b"] * comm.size)
+            return (first[0], second[0])
+
+        result = run(3, program)
+        assert all(v == ("a", "b") for v in result.return_values)
+
+    def test_wrong_count_rejected(self):
+        def program(comm):
+            yield from comm.alltoall(["only-one"])
+
+        with pytest.raises(CollectiveError):
+            run(3, program)
+
+    def test_wrong_sizes_count_rejected(self):
+        def program(comm):
+            yield from comm.alltoall(payloads=None, sizes=[8.0])
+
+        with pytest.raises(CollectiveError):
+            run(2, program)
+
+
+class TestTiming:
+    def test_bytes_accounted(self):
+        nbytes = 256.0
+
+        def program(comm):
+            yield from comm.alltoall(
+                payloads=None, sizes=[nbytes] * comm.size
+            )
+
+        size = 4
+        topo = Topology.one_per_node(size)
+        result = run(size, program, network=SharedBusEthernet(topo))
+        total = sum(s.bytes_sent for s in result.stats)
+        assert total == pytest.approx(size * (size - 1) * nbytes)
+
+    def test_switch_parallelism_beats_bus(self):
+        nbytes = 65536.0
+
+        def program(comm):
+            yield from comm.alltoall(
+                payloads=None, sizes=[nbytes] * comm.size
+            )
+
+        size = 8
+        topo = Topology.one_per_node(size)
+        bus = run(size, program, network=SharedBusEthernet(topo))
+        switch = run(size, program, network=SwitchedNetwork(topo))
+        assert switch.makespan < bus.makespan
+
+
+@given(
+    size=st.integers(min_value=1, max_value=7),
+    values=st.lists(st.integers(), min_size=49, max_size=49),
+)
+@settings(max_examples=50, deadline=None)
+def test_alltoall_transpose_property(size, values):
+    """For random payload matrices, alltoall == transpose."""
+    matrix = [
+        [values[r * size + d] for d in range(size)] for r in range(size)
+    ]
+
+    def program(comm):
+        received = yield from comm.alltoall(matrix[comm.rank])
+        return received
+
+    result = run(size, program)
+    for dst in range(size):
+        assert result.return_values[dst] == [matrix[src][dst] for src in range(size)]

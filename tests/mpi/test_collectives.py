@@ -1,0 +1,210 @@
+"""Unit tests for collective algorithms (correctness on every size)."""
+
+import operator
+
+import pytest
+
+from repro.mpi.communicator import CollectiveConfig, mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.model import SwitchedNetwork, ZeroCostNetwork
+from repro.network.topology import Topology
+
+
+def run(nranks, program, config=None, network=None):
+    net = network if network is not None else ZeroCostNetwork()
+    return mpi_run(nranks, net, [1e9] * nranks, program, config=config)
+
+
+SIZES = [1, 2, 3, 4, 5, 8, 9]
+BCASTS = ["flat", "binomial", "ethernet"]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("algo", BCASTS)
+    def test_all_ranks_receive(self, size, algo):
+        def program(comm):
+            value = {"data": 42} if comm.rank == 0 else None
+            result = yield from comm.bcast(value, root=0, nbytes=64.0)
+            return result
+
+        result = run(size, program, config=CollectiveConfig(bcast=algo))
+        assert all(v == {"data": 42} for v in result.return_values)
+
+    @pytest.mark.parametrize("root", [0, 1, 2, 3])
+    @pytest.mark.parametrize("algo", BCASTS)
+    def test_nonzero_roots(self, root, algo):
+        def program(comm):
+            value = comm.rank * 10 if comm.rank == root else None
+            result = yield from comm.bcast(value, root=root, nbytes=8.0)
+            return result
+
+        result = run(4, program, config=CollectiveConfig(bcast=algo))
+        assert result.return_values == [root * 10] * 4
+
+    @pytest.mark.parametrize("algo", BCASTS)
+    def test_back_to_back_bcasts_do_not_mix(self, algo):
+        def program(comm):
+            first = yield from comm.bcast(
+                "one" if comm.rank == 0 else None, root=0, nbytes=8.0
+            )
+            second = yield from comm.bcast(
+                "two" if comm.rank == 1 else None, root=1, nbytes=8.0
+            )
+            return (first, second)
+
+        result = run(3, program, config=CollectiveConfig(bcast=algo))
+        assert all(v == ("one", "two") for v in result.return_values)
+
+    def test_flat_bcast_cost_scales_with_p_on_bus(self):
+        """The paper's measured T_bcast ~ p behaviour."""
+        costs = {}
+        for size in (3, 5, 9):
+            def program(comm):
+                yield from comm.bcast(None, root=0, nbytes=1024.0)
+
+            net = SharedBusEthernet(Topology.one_per_node(size))
+            costs[size] = run(size, program, network=net).makespan
+        growth_small = costs[5] / costs[3]
+        growth_large = costs[9] / costs[5]
+        assert growth_small > 1.3
+        assert growth_large > 1.3
+
+    def test_ethernet_bcast_cost_independent_of_p_on_bus(self):
+        costs = {}
+        for size in (3, 9):
+            def program(comm):
+                yield from comm.bcast(None, root=0, nbytes=131072.0)
+
+            net = SharedBusEthernet(Topology.one_per_node(size))
+            costs[size] = run(
+                size, program, config=CollectiveConfig(bcast="ethernet"),
+                network=net,
+            ).makespan
+        assert costs[9] == pytest.approx(costs[3], rel=0.01)
+
+    def test_binomial_faster_than_flat_on_switch(self):
+        def program(comm):
+            yield from comm.bcast(None, root=0, nbytes=131072.0)
+
+        topo = Topology.one_per_node(16)
+        flat = run(
+            16, program, config=CollectiveConfig(bcast="flat"),
+            network=SwitchedNetwork(topo),
+        ).makespan
+        binomial = run(
+            16, program, config=CollectiveConfig(bcast="binomial"),
+            network=SwitchedNetwork(topo),
+        ).makespan
+        assert binomial < flat
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("algo", ["linear", "tree"])
+    def test_barrier_synchronizes(self, size, algo):
+        """After the barrier, every rank's clock is >= every pre-barrier
+        clock (the defining property of a synchronization barrier)."""
+        from repro.sim.events import Compute, Now
+
+        def program(comm):
+            yield Compute(seconds=0.01 * (comm.rank + 1))
+            before = yield Now()
+            yield from comm.barrier()
+            after = yield Now()
+            return (before, after)
+
+        result = run(
+            size, program,
+            config=CollectiveConfig(barrier=algo),
+            network=SwitchedNetwork(Topology.one_per_node(size)),
+        )
+        befores = [v[0] for v in result.return_values]
+        afters = [v[1] for v in result.return_values]
+        assert min(afters) >= max(befores)
+
+    def test_single_rank_barrier_is_free(self):
+        def program(comm):
+            yield from comm.barrier()
+            return "ok"
+
+        result = run(1, program)
+        assert result.makespan == 0.0
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather_collects_in_rank_order(self, size):
+        def program(comm):
+            parts = yield from comm.gather(comm.rank * 2, root=0, nbytes=8.0)
+            return parts
+
+        result = run(size, program)
+        assert result.return_values[0] == [r * 2 for r in range(size)]
+        assert all(v is None for v in result.return_values[1:])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter_distributes_parts(self, size):
+        def program(comm):
+            payloads = (
+                [f"part-{i}" for i in range(comm.size)]
+                if comm.rank == 0
+                else None
+            )
+            part = yield from comm.scatter(payloads, root=0)
+            return part
+
+        result = run(size, program)
+        assert result.return_values == [f"part-{i}" for i in range(size)]
+
+    def test_scatter_by_sizes_only(self):
+        def program(comm):
+            sizes = [100.0] * comm.size if comm.rank == 0 else None
+            part = yield from comm.scatter(
+                sizes=sizes if comm.rank == 0 else None, root=0,
+                payloads=[None] * comm.size if comm.rank == 0 else None,
+            )
+            return part
+
+        result = run(3, program)
+        assert result.return_values == [None, None, None]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_sum_reduce(self, size):
+        def program(comm):
+            total = yield from comm.reduce(comm.rank + 1, root=0, nbytes=8.0)
+            return total
+
+        result = run(size, program)
+        assert result.return_values[0] == size * (size + 1) // 2
+
+    def test_non_commutative_op_is_rank_ordered(self):
+        def program(comm):
+            text = yield from comm.reduce(
+                str(comm.rank), op=operator.add, root=0, nbytes=8.0
+            )
+            return text
+
+        result = run(4, program)
+        assert result.return_values[0] == "0123"
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_everywhere(self, size):
+        def program(comm):
+            total = yield from comm.allreduce(comm.rank, nbytes=8.0)
+            return total
+
+        result = run(size, program)
+        expected = size * (size - 1) // 2
+        assert result.return_values == [expected] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather_everywhere(self, size):
+        def program(comm):
+            parts = yield from comm.allgather(comm.rank, nbytes=8.0)
+            return tuple(parts)
+
+        result = run(size, program)
+        assert result.return_values == [tuple(range(size))] * size

@@ -1,0 +1,127 @@
+"""Unit tests for the Comm API and mpi_run."""
+
+import pytest
+
+from repro.mpi.collectives import COLLECTIVE_TAG_BASE
+from repro.mpi.communicator import CollectiveConfig, Comm, mpi_run
+from repro.mpi.errors import CollectiveError, MPIError, RankError
+from repro.network.model import ZeroCostNetwork
+from repro.sim.events import Compute
+
+
+def run(nranks, program, **kwargs):
+    return mpi_run(nranks, ZeroCostNetwork(), [1e9] * nranks, program, **kwargs)
+
+
+class TestConstruction:
+    def test_valid(self):
+        comm = Comm(2, 4)
+        assert comm.rank == 2 and comm.size == 4
+
+    def test_invalid_rank(self):
+        with pytest.raises(RankError):
+            Comm(4, 4)
+        with pytest.raises(RankError):
+            Comm(-1, 4)
+
+    def test_invalid_size(self):
+        with pytest.raises(RankError):
+            Comm(0, 0)
+
+    def test_invalid_collective_config(self):
+        with pytest.raises(CollectiveError):
+            CollectiveConfig(bcast="quantum")
+        with pytest.raises(CollectiveError):
+            CollectiveConfig(barrier="quantum")
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload=[1.0, 2.0], tag=3)
+                return None
+            msg = yield from comm.recv(src=0, tag=3)
+            return (msg.payload, msg.nbytes)
+
+        result = run(2, program)
+        payload, nbytes = result.return_values[1]
+        assert payload == [1.0, 2.0]
+        assert nbytes == 16.0  # two doubles, derived from the payload
+
+    def test_explicit_nbytes_overrides_payload(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload="x", nbytes=4096.0)
+            else:
+                msg = yield from comm.recv()
+                return msg.nbytes
+
+        assert run(2, program).return_values[1] == 4096.0
+
+    def test_send_to_invalid_rank(self):
+        def program(comm):
+            yield from comm.send(9, nbytes=8.0)
+
+        with pytest.raises(RankError):
+            run(2, program)
+
+    def test_user_tag_cannot_enter_collective_space(self):
+        def program(comm):
+            yield from comm.send(0, nbytes=8.0, tag=COLLECTIVE_TAG_BASE)
+
+        with pytest.raises(MPIError):
+            run(1, program)
+
+    def test_recv_wildcard_allows_any(self):
+        def program(comm):
+            if comm.rank == 1:
+                yield from comm.send(0, payload="hello")
+            elif comm.rank == 0:
+                msg = yield from comm.recv()
+                return msg.src
+
+        assert run(2, program).return_values[0] == 1
+
+
+class TestMpiRun:
+    def test_program_size_guard(self):
+        """Programs built for a given rank count reject other sizes."""
+
+        def program(comm):
+            assert comm.size == 3
+            yield Compute(seconds=0.0)
+            return comm.rank
+
+        result = run(3, program)
+        assert result.return_values == [0, 1, 2]
+
+    def test_config_propagates(self):
+        seen = []
+
+        def program(comm):
+            seen.append(comm.config.bcast)
+            yield Compute(seconds=0.0)
+
+        run(2, program, config=CollectiveConfig(bcast="binomial"))
+        assert seen == ["binomial", "binomial"]
+
+    def test_collective_sequence_advances_lockstep(self):
+        """Tags stay aligned even when ranks interleave collectives with
+        unequal point-to-point work."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload=1.0, tag=7)
+            elif comm.rank == 1:
+                yield from comm.recv(src=0, tag=7)
+            first = yield from comm.bcast(
+                "a" if comm.rank == 0 else None, root=0, nbytes=8.0
+            )
+            second = yield from comm.bcast(
+                "b" if comm.rank == 2 else None, root=2, nbytes=8.0
+            )
+            return (first, second)
+
+        result = run(3, program)
+        assert all(v == ("a", "b") for v in result.return_values)

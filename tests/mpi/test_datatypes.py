@@ -1,0 +1,46 @@
+"""Unit tests for message-size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import DOUBLE, doubles, matrix_bytes, nbytes_of
+
+
+class TestNbytesOf:
+    def test_none_is_zero(self):
+        assert nbytes_of(None) == 0
+
+    def test_numpy_array(self):
+        arr = np.zeros((10, 10))
+        assert nbytes_of(arr) == 800
+
+    def test_numpy_scalar(self):
+        assert nbytes_of(np.float64(1.5)) == 8
+        assert nbytes_of(np.int32(1)) == 4
+
+    def test_python_scalars(self):
+        assert nbytes_of(1.5) == 8
+        assert nbytes_of(7) == 8
+        assert nbytes_of(True) == 1
+        assert nbytes_of(1 + 2j) == 16
+
+    def test_bytes_and_str(self):
+        assert nbytes_of(b"abcd") == 4
+        assert nbytes_of("hi") == 2
+        assert nbytes_of("é") == 2  # UTF-8 encoded length
+
+    def test_containers_recurse(self):
+        assert nbytes_of([1.0, 2.0, 3.0]) == 24
+        assert nbytes_of((np.zeros(4), 1.0)) == 32 + 8
+        assert nbytes_of({1: 2.0}) == 16
+
+    def test_unknown_object_counts_as_word(self):
+        class Thing:
+            pass
+
+        assert nbytes_of(Thing()) == 8
+
+
+def test_doubles_and_matrix_bytes():
+    assert doubles(10) == 10 * DOUBLE
+    assert matrix_bytes(3, 4) == 12 * DOUBLE

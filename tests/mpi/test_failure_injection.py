@@ -1,0 +1,113 @@
+"""Failure-injection tests: misuse of the MPI layer must fail loudly.
+
+A simulator that silently absorbs protocol errors produces corrupt
+timing data; these tests pin the failure modes to diagnosable exceptions.
+"""
+
+import pytest
+
+from repro.mpi.communicator import CollectiveConfig, mpi_run
+from repro.network.model import ZeroCostNetwork
+from repro.sim.errors import DeadlockError
+from repro.sim.events import Compute
+
+
+def run(nranks, program, **kwargs):
+    return mpi_run(nranks, ZeroCostNetwork(), [1e9] * nranks, program, **kwargs)
+
+
+class TestCollectiveMisuse:
+    def test_rank_skipping_a_barrier_deadlocks(self):
+        def program(comm):
+            if comm.rank != 1:  # rank 1 forgets the barrier
+                yield from comm.barrier()
+            yield Compute(seconds=0.0)
+
+        with pytest.raises(DeadlockError) as err:
+            run(3, program)
+        assert err.value.blocked  # names who is stuck on what
+
+    def test_mismatched_bcast_roots_deadlock(self):
+        def program(comm):
+            root = 0 if comm.rank < 2 else 1  # rank 2 disagrees on the root
+            yield from comm.bcast(
+                "x" if comm.rank == root else None, root=root, nbytes=8.0
+            )
+
+        with pytest.raises(DeadlockError):
+            run(3, program)
+
+    def test_missing_gather_contribution_deadlocks(self):
+        def program(comm):
+            if comm.rank == 2:
+                return  # exits without contributing
+            yield from comm.gather(comm.rank, root=0, nbytes=8.0)
+
+        with pytest.raises(DeadlockError):
+            run(3, program)
+
+    def test_collective_count_mismatch_deadlocks(self):
+        """One rank runs an extra barrier: the tag sequence diverges and
+        nobody can match it."""
+
+        def program(comm):
+            yield from comm.barrier()
+            if comm.rank == 0:
+                yield from comm.barrier()
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+
+class TestPointToPointMisuse:
+    def test_recv_with_no_sender_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.recv(src=1, tag=7)
+
+        with pytest.raises(DeadlockError) as err:
+            run(2, program)
+        assert "tag=7" in str(err.value)
+
+    def test_tag_mismatch_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=8.0, tag=1)
+            else:
+                yield from comm.recv(src=0, tag=2)
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+    def test_deadlock_error_is_not_raised_for_clean_exit(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=8.0, tag=1)
+            else:
+                yield from comm.recv(src=0, tag=1)
+            return "done"
+
+        result = run(2, program)
+        assert result.return_values == ["done", "done"]
+
+
+class TestConfigMisuse:
+    def test_algorithms_must_be_uniform(self):
+        """Different ranks running different bcast algorithms against each
+        other deadlock: a binomial leaf waits on a tree parent that, being
+        configured flat, never forwards."""
+
+        def program(comm):
+            # Simulate a heterogeneous deployment bug: only rank 3 thinks
+            # the broadcast is binomial (its tree parent is rank 1).
+            config = CollectiveConfig(
+                bcast="binomial" if comm.rank == 3 else "flat"
+            )
+            object.__setattr__(comm, "config", config)
+            yield from comm.bcast(
+                "v" if comm.rank == 0 else None, root=0, nbytes=8.0
+            )
+
+        with pytest.raises(DeadlockError) as err:
+            run(5, program)
+        assert 3 in err.value.blocked

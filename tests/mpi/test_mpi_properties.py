@@ -1,0 +1,102 @@
+"""Property-based tests for the simulated MPI layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.communicator import CollectiveConfig, mpi_run
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.topology import Topology
+from repro.sim.events import Compute
+
+sizes = st.integers(min_value=1, max_value=9)
+bcast_algos = st.sampled_from(["flat", "binomial", "ethernet"])
+barrier_algos = st.sampled_from(["linear", "tree"])
+
+
+def run(size, program, config=None):
+    net = SharedBusEthernet(Topology.one_per_node(size))
+    return mpi_run(size, net, [1e9] * size, program, config=config)
+
+
+@given(size=sizes, root=st.integers(min_value=0, max_value=8), algo=bcast_algos)
+@settings(max_examples=60, deadline=None)
+def test_bcast_agreement(size, root, algo):
+    """Every rank ends with the root's value, any root, any algorithm."""
+    root = root % size
+
+    def program(comm):
+        value = ("payload", root) if comm.rank == root else None
+        result = yield from comm.bcast(value, root=root, nbytes=64.0)
+        return result
+
+    result = run(size, program, CollectiveConfig(bcast=algo))
+    assert result.return_values == [("payload", root)] * size
+
+
+@given(
+    size=sizes,
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=9, max_size=9
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_allreduce_sum_exact(size, values):
+    def program(comm):
+        total = yield from comm.allreduce(values[comm.rank], nbytes=8.0)
+        return total
+
+    result = run(size, program)
+    assert result.return_values == [sum(values[:size])] * size
+
+
+@given(size=sizes)
+@settings(max_examples=30, deadline=None)
+def test_gather_then_scatter_roundtrip(size):
+    def program(comm):
+        gathered = yield from comm.gather(comm.rank ** 2, root=0, nbytes=8.0)
+        back = yield from comm.scatter(
+            gathered if comm.rank == 0 else None, root=0
+        )
+        return back
+
+    result = run(size, program)
+    assert result.return_values == [r ** 2 for r in range(size)]
+
+
+@given(size=sizes, algo=barrier_algos, scale=st.floats(min_value=0.0, max_value=0.1))
+@settings(max_examples=40, deadline=None)
+def test_barrier_ordering_property(size, algo, scale):
+    """No rank leaves a barrier before every rank has entered it."""
+    from repro.sim.events import Now
+
+    def program(comm):
+        yield Compute(seconds=scale * (comm.rank + 1))
+        entered = yield Now()
+        yield from comm.barrier()
+        left = yield Now()
+        return (entered, left)
+
+    result = run(size, program, CollectiveConfig(barrier=algo))
+    enters = [v[0] for v in result.return_values]
+    leaves = [v[1] for v in result.return_values]
+    assert min(leaves) >= max(enters) - 1e-12
+
+
+@given(size=st.integers(min_value=2, max_value=8), algo=bcast_algos)
+@settings(max_examples=40, deadline=None)
+def test_collectives_compose_deterministically(size, algo):
+    """A mixed collective sequence gives identical timing across repeats."""
+
+    def program(comm):
+        yield from comm.bcast(
+            0 if comm.rank == 0 else None, root=0, nbytes=1024.0
+        )
+        yield from comm.barrier()
+        total = yield from comm.reduce(comm.rank, root=0, nbytes=8.0)
+        yield from comm.barrier()
+        return total
+
+    a = run(size, program, CollectiveConfig(bcast=algo))
+    b = run(size, program, CollectiveConfig(bcast=algo))
+    assert a.makespan == b.makespan
+    assert a.return_values == b.return_values

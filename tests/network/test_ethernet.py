@@ -1,0 +1,122 @@
+"""Unit tests for the shared-bus Ethernet model."""
+
+import pytest
+
+from repro.network.ethernet import SharedBusEthernet, make_network
+from repro.network.model import (
+    ETHERNET_100M,
+    LinkParams,
+    SwitchedNetwork,
+    ZeroCostNetwork,
+)
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+LINK = ETHERNET_100M
+
+
+def make_bus(nranks=4) -> SharedBusEthernet:
+    return SharedBusEthernet(Topology.one_per_node(nranks))
+
+
+class TestBusSerialization:
+    def test_single_transfer_cost(self):
+        bus = make_bus()
+        done, arrival = bus.transfer(0, 1, 11250.0, 0.0)
+        begin = LINK.software_overhead
+        duration = 11250.0 / LINK.bandwidth
+        assert done == pytest.approx(begin + duration)
+        assert arrival == pytest.approx(done + LINK.latency)
+
+    def test_concurrent_transfers_serialize(self):
+        bus = make_bus()
+        nbytes = LINK.bandwidth  # exactly 1 second of wire time
+        done_a, _ = bus.transfer(0, 1, nbytes, 0.0)
+        done_b, _ = bus.transfer(2, 3, nbytes, 0.0)
+        # Second transfer waits for the bus, finishing ~1 s later.
+        assert done_b == pytest.approx(done_a + 1.0)
+
+    def test_gap_leaves_bus_idle(self):
+        bus = make_bus()
+        bus.transfer(0, 1, 1125.0, 0.0)
+        done, _ = bus.transfer(2, 3, 1125.0, 10.0)
+        assert done == pytest.approx(
+            10.0 + LINK.software_overhead + 1125.0 / LINK.bandwidth
+        )
+
+    def test_zero_byte_messages_do_not_occupy_bus(self):
+        bus = make_bus()
+        bus.transfer(0, 1, 0.0, 0.0)
+        assert bus.bus_busy_time == 0.0
+        done, _ = bus.transfer(2, 3, 0.0, 0.0)
+        assert done == pytest.approx(LINK.software_overhead)
+
+    def test_counters(self):
+        bus = make_bus()
+        bus.transfer(0, 1, 11250.0, 0.0)
+        bus.transfer(1, 2, 11250.0, 0.0)
+        assert bus.transfers == 2
+        assert bus.bus_busy_time == pytest.approx(2 * 11250.0 / LINK.bandwidth)
+
+    def test_reset_clears_state(self):
+        bus = make_bus()
+        bus.transfer(0, 1, 1e6, 0.0)
+        bus.reset()
+        assert bus.transfers == 0
+        assert bus.bus_busy_time == 0.0
+        done, _ = bus.transfer(0, 1, 1125.0, 0.0)
+        assert done == pytest.approx(LINK.software_overhead + 1125.0 / LINK.bandwidth)
+
+
+class TestIntranodeBypass:
+    def test_same_node_skips_bus(self):
+        topo = Topology.from_sequence([0, 0, 1, 1])
+        bus = SharedBusEthernet(topo)
+        bus.transfer(0, 1, 1e6, 0.0)  # intra-node
+        assert bus.bus_busy_time == 0.0
+        assert bus.transfers == 0
+
+    def test_self_send_free(self):
+        bus = make_bus()
+        assert bus.transfer(0, 0, 1e9, 2.0) == (2.0, 2.0)
+
+
+class TestMulticast:
+    def test_single_bus_occupation_for_many_destinations(self):
+        bus = make_bus(8)
+        nbytes = LINK.bandwidth  # 1 s of wire time
+        done, arrival = bus.multicast(0, tuple(range(1, 8)), nbytes, 0.0)
+        assert done == pytest.approx(LINK.software_overhead + 1.0)
+        assert arrival == pytest.approx(done + LINK.latency)
+        assert bus.transfers == 1
+
+    def test_multicast_to_same_node_uses_memory(self):
+        topo = Topology.from_sequence([0, 0, 0])
+        bus = SharedBusEthernet(topo)
+        bus.multicast(0, (1, 2), 1e6, 0.0)
+        assert bus.bus_busy_time == 0.0
+
+    def test_multicast_contends_with_unicasts(self):
+        bus = make_bus(4)
+        nbytes = LINK.bandwidth
+        bus.transfer(0, 1, nbytes, 0.0)
+        done, _ = bus.multicast(2, (0, 1, 3), nbytes, 0.0)
+        assert done == pytest.approx(2.0 + LINK.software_overhead, rel=0.05)
+
+
+class TestFactory:
+    def test_make_network_kinds(self):
+        topo = Topology.one_per_node(2)
+        assert isinstance(make_network("bus", topo), SharedBusEthernet)
+        assert isinstance(make_network("switch", topo), SwitchedNetwork)
+        assert isinstance(make_network("zero", topo), ZeroCostNetwork)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            make_network("token-ring", Topology.one_per_node(2))
+
+    def test_custom_link_params(self):
+        slow = LinkParams(latency=1e-3, bandwidth=1e6, software_overhead=0.0)
+        bus = make_network("bus", Topology.one_per_node(2), link=slow)
+        done, _ = bus.transfer(0, 1, 1e6, 0.0)
+        assert done == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for link-heterogeneous networks."""
+
+import pytest
+
+from repro.network.heterogeneous import HeterogeneousSwitchedNetwork, per_rank_links
+from repro.network.model import ETHERNET_100M, LinkParams
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+GIGABIT = LinkParams(latency=30e-6, bandwidth=1e9 / 8 * 0.9, software_overhead=25e-6)
+
+
+def make_network(nranks=4):
+    topo = Topology.one_per_node(nranks)
+    links = {
+        node: (GIGABIT if node % 2 == 0 else ETHERNET_100M)
+        for node in range(nranks)
+    }
+    return HeterogeneousSwitchedNetwork(topo, links), topo
+
+
+class TestConstruction:
+    def test_missing_node_rejected(self):
+        topo = Topology.one_per_node(3)
+        with pytest.raises(InvalidOperationError):
+            HeterogeneousSwitchedNetwork(topo, {0: GIGABIT, 1: GIGABIT})
+
+    def test_per_rank_links_helper(self):
+        topo = Topology.from_sequence([0, 0, 1])
+        mapping = per_rank_links(topo, [GIGABIT, GIGABIT, ETHERNET_100M])
+        assert mapping[0] is GIGABIT
+        assert mapping[1] is ETHERNET_100M
+
+    def test_per_rank_links_conflict_rejected(self):
+        topo = Topology.from_sequence([0, 0])
+        with pytest.raises(InvalidOperationError):
+            per_rank_links(topo, [GIGABIT, ETHERNET_100M])
+
+    def test_per_rank_links_length_check(self):
+        with pytest.raises(InvalidOperationError):
+            per_rank_links(Topology.one_per_node(2), [GIGABIT])
+
+
+class TestSlowestEndpointRule:
+    def test_fast_to_fast_uses_gigabit(self):
+        net, _ = make_network()
+        nbytes = 1e6
+        done, _ = net.transfer(0, 2, nbytes, 0.0)  # both gigabit
+        expected = GIGABIT.software_overhead + nbytes / GIGABIT.bandwidth
+        assert done == pytest.approx(expected)
+
+    def test_fast_to_slow_bottlenecked_by_slow(self):
+        net, _ = make_network()
+        nbytes = 1e6
+        done_mixed, _ = net.transfer(0, 1, nbytes, 0.0)  # giga -> 100M
+        done_slow, _ = net.transfer(1, 3, nbytes, 0.0)  # 100M -> 100M
+        assert done_mixed == pytest.approx(
+            GIGABIT.software_overhead + nbytes / ETHERNET_100M.bandwidth
+        )
+        # Wire time identical; only sender software overhead differs.
+        assert abs(done_mixed - done_slow) < 1e-4
+
+    def test_latencies_add_across_endpoints(self):
+        net, _ = make_network()
+        done, arrival = net.transfer(0, 1, 0.0, 0.0)
+        assert arrival - done == pytest.approx(
+            GIGABIT.latency + ETHERNET_100M.latency
+        )
+
+    def test_intranode_bypasses_links(self):
+        topo = Topology.from_sequence([0, 0])
+        net = HeterogeneousSwitchedNetwork(topo, {0: ETHERNET_100M})
+        done, _ = net.transfer(0, 1, 1e6, 0.0)
+        assert done < 1e6 / ETHERNET_100M.bandwidth  # shared memory speed
+
+    def test_self_send_free(self):
+        net, _ = make_network()
+        assert net.transfer(2, 2, 1e9, 1.0) == (1.0, 1.0)
+
+
+class TestEndToEnd:
+    def test_nic_upgrade_speeds_up_stencil(self):
+        """Upgrading half the nodes' NICs must not slow anything down and
+        must speed up transfers among upgraded nodes."""
+        from repro.apps.stencil import StencilOptions, make_stencil_program
+        from repro.mpi.communicator import mpi_run
+        from repro.network.model import SwitchedNetwork
+
+        nranks = 4
+        topo = Topology.one_per_node(nranks)
+        options = StencilOptions(n=64, sweeps=8, speeds=(1e8,) * nranks)
+
+        uniform = mpi_run(
+            nranks, SwitchedNetwork(topo), [1e8] * nranks,
+            make_stencil_program(options),
+        )
+        upgraded = mpi_run(
+            nranks,
+            HeterogeneousSwitchedNetwork(
+                topo, {node: GIGABIT for node in range(nranks)}
+            ),
+            [1e8] * nranks,
+            make_stencil_program(options),
+        )
+        assert upgraded.makespan < uniform.makespan

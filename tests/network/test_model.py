@@ -1,0 +1,98 @@
+"""Unit tests for the Hockney link parameters and switched network."""
+
+import pytest
+
+from repro.network.model import (
+    ETHERNET_100M,
+    SHARED_MEMORY,
+    LinkParams,
+    SwitchedNetwork,
+    UniformCostNetwork,
+    ZeroCostNetwork,
+)
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+
+class TestLinkParams:
+    def test_point_to_point_decomposition(self):
+        link = LinkParams(latency=1e-3, bandwidth=1e6, software_overhead=5e-4)
+        assert link.duration(2e6) == pytest.approx(2.0)
+        assert link.point_to_point(1e6) == pytest.approx(5e-4 + 1e-3 + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            LinkParams(latency=-1, bandwidth=1e6)
+        with pytest.raises(InvalidOperationError):
+            LinkParams(latency=0, bandwidth=0)
+        with pytest.raises(InvalidOperationError):
+            LinkParams(latency=0, bandwidth=1e6, software_overhead=-1)
+
+    def test_scaled_changes_bandwidth_only(self):
+        fast = ETHERNET_100M.scaled(10.0)
+        assert fast.bandwidth == pytest.approx(ETHERNET_100M.bandwidth * 10)
+        assert fast.latency == ETHERNET_100M.latency
+
+    def test_presets_sane(self):
+        # Shared memory is much faster than the 100 Mb LAN in every respect.
+        assert SHARED_MEMORY.bandwidth > ETHERNET_100M.bandwidth
+        assert SHARED_MEMORY.latency < ETHERNET_100M.latency
+        # 100 Mb/s with protocol efficiency: between 10 and 12.5 MB/s.
+        assert 10e6 < ETHERNET_100M.bandwidth <= 12.5e6
+
+
+class TestZeroCostNetwork:
+    def test_free_transfer(self):
+        net = ZeroCostNetwork()
+        assert net.transfer(0, 1, 1e9, 5.0) == (5.0, 5.0)
+
+    def test_validates_inputs(self):
+        net = ZeroCostNetwork()
+        with pytest.raises(InvalidOperationError):
+            net.transfer(-1, 0, 1.0, 0.0)
+        with pytest.raises(InvalidOperationError):
+            net.transfer(0, 0, -1.0, 0.0)
+
+
+class TestUniformCostNetwork:
+    def test_fixed_cost(self):
+        net = UniformCostNetwork(0.25)
+        done, arrival = net.transfer(0, 1, 123.0, 1.0)
+        assert done == arrival == pytest.approx(1.25)
+
+    def test_self_send_free(self):
+        net = UniformCostNetwork(0.25)
+        assert net.transfer(2, 2, 8.0, 1.0) == (1.0, 1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            UniformCostNetwork(-0.1)
+
+
+class TestSwitchedNetwork:
+    def test_internode_uses_link(self):
+        topo = Topology.one_per_node(2)
+        net = SwitchedNetwork(topo)
+        done, arrival = net.transfer(0, 1, 11250.0, 0.0)
+        expected_inject = (
+            ETHERNET_100M.software_overhead + 11250.0 / ETHERNET_100M.bandwidth
+        )
+        assert done == pytest.approx(expected_inject)
+        assert arrival == pytest.approx(expected_inject + ETHERNET_100M.latency)
+
+    def test_intranode_uses_shared_memory(self):
+        topo = Topology.single_node(2)
+        net = SwitchedNetwork(topo)
+        done, _ = net.transfer(0, 1, 1e6, 0.0)
+        assert done < ETHERNET_100M.software_overhead + 1e6 / ETHERNET_100M.bandwidth
+
+    def test_no_contention_between_pairs(self):
+        topo = Topology.one_per_node(4)
+        net = SwitchedNetwork(topo)
+        done_a, _ = net.transfer(0, 1, 1e6, 0.0)
+        done_b, _ = net.transfer(2, 3, 1e6, 0.0)
+        assert done_a == pytest.approx(done_b)  # independent full-duplex paths
+
+    def test_self_send_free(self):
+        net = SwitchedNetwork(Topology.one_per_node(2))
+        assert net.transfer(1, 1, 8.0, 3.0) == (3.0, 3.0)

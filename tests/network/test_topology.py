@@ -1,0 +1,43 @@
+"""Unit tests for rank-to-node placement."""
+
+import pytest
+
+from repro.network.topology import Topology
+from repro.sim.errors import InvalidOperationError
+
+
+def test_single_node_places_everyone_together():
+    topo = Topology.single_node(4)
+    assert topo.nranks == 4
+    assert topo.nnodes == 1
+    assert topo.same_node(0, 3)
+
+
+def test_one_per_node_separates_everyone():
+    topo = Topology.one_per_node(3)
+    assert topo.nnodes == 3
+    assert not topo.same_node(0, 1)
+    assert topo.same_node(2, 2)
+
+
+def test_from_sequence_mixed_placement():
+    topo = Topology.from_sequence(["a", "a", "b", "c"])
+    assert topo.nranks == 4
+    assert topo.nnodes == 3
+    assert topo.same_node(0, 1)
+    assert not topo.same_node(1, 2)
+    assert topo.ranks_on("a") == [0, 1]
+    assert topo.ranks_on("c") == [3]
+
+
+def test_node_of_validates_rank():
+    topo = Topology.one_per_node(2)
+    with pytest.raises(InvalidOperationError):
+        topo.node_of(5)
+    with pytest.raises(InvalidOperationError):
+        topo.node_of(-1)
+
+
+def test_ranks_on_unknown_node_is_empty():
+    topo = Topology.one_per_node(2)
+    assert topo.ranks_on("nope") == []

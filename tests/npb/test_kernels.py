@@ -1,0 +1,60 @@
+"""Unit tests for the benchmark kernels."""
+
+import numpy as np
+import pytest
+
+from repro.npb.kernels import BT, CG, EP, FT, LU, MG, SUITE
+from repro.sim.errors import InvalidOperationError
+
+
+class TestSuite:
+    def test_suite_contains_six_kernels(self):
+        assert set(SUITE) == {"ep", "mg", "cg", "ft", "bt", "lu"}
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_flop_counts_positive_and_monotone(self, name):
+        kernel = SUITE[name]
+        small = kernel.flop_count(8)
+        large = kernel.flop_count(16)
+        assert 0 < small < large
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_default_size_valid(self, name):
+        assert SUITE[name].flop_count() > 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            EP.flop_count(0)
+
+
+class TestNumericExecution:
+    @pytest.mark.parametrize(
+        "kernel,n",
+        [(EP, 1024), (MG, 8), (CG, 256), (FT, 16), (BT, 64), (LU, 24)],
+    )
+    def test_kernels_compute_finite_checksums(self, kernel, n):
+        value = kernel.run(n, seed=1)
+        assert np.isfinite(value)
+
+    def test_runs_are_seed_deterministic(self):
+        assert CG.run(128, seed=7) == CG.run(128, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert EP.run(1024, seed=1) != EP.run(1024, seed=2)
+
+    def test_lu_checksum_reflects_factorization(self):
+        # For a diagonally dominant matrix the LU trace sum is finite and
+        # changes with the matrix.
+        assert LU.run(16, seed=1) != LU.run(16, seed=2)
+
+
+class TestScaling:
+    def test_mg_is_cubic(self):
+        ratio = MG.flop_count(20) / MG.flop_count(10)
+        assert ratio == pytest.approx(8.0)
+
+    def test_ep_is_linear(self):
+        assert EP.flop_count(2000) / EP.flop_count(1000) == pytest.approx(2.0)
+
+    def test_lu_is_cubic(self):
+        assert LU.flop_count(64) / LU.flop_count(32) == pytest.approx(8.0)

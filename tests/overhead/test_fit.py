@@ -1,0 +1,88 @@
+"""Unit tests for machine-parameter measurement on the simulated machine."""
+
+import pytest
+
+from repro.machine.sunwulf import ge_configuration
+from repro.network.model import ETHERNET_100M
+from repro.overhead.fit import (
+    _internode_peer,
+    fit_machine_parameters,
+    fit_point_to_point,
+    measure_barrier_time,
+    measure_bcast_time,
+    measure_unit_compute_time,
+)
+from repro.core.types import MetricError
+from repro.experiments.runner import marked_speed_of
+
+
+@pytest.fixture(scope="module")
+def ge2():
+    return ge_configuration(2)
+
+
+class TestInternodePeer:
+    def test_skips_same_node_ranks(self, ge2):
+        # Ranks 0 and 1 are the two server CPUs; the SunBlade is rank 2.
+        assert _internode_peer(ge2) == 2
+
+    def test_single_node_falls_back(self):
+        from repro.machine.cluster import ClusterSpec
+        from repro.machine.sunwulf import SERVER_NODE
+
+        cluster = ClusterSpec.from_nodes("one", [(SERVER_NODE, 2)])
+        assert _internode_peer(cluster) == 1
+
+
+class TestPointToPointFit:
+    def test_recovers_link_parameters(self, ge2):
+        """The fitted slope must recover the LAN bandwidth and the
+        intercept the per-message software cost."""
+        per_message, per_byte = fit_point_to_point(ge2)
+        assert per_byte == pytest.approx(1.0 / ETHERNET_100M.bandwidth, rel=0.02)
+        assert per_message == pytest.approx(
+            ETHERNET_100M.software_overhead, rel=0.25
+        )
+
+    def test_needs_two_sizes(self, ge2):
+        with pytest.raises(MetricError):
+            fit_point_to_point(ge2, sizes=(1024.0,))
+
+
+class TestCollectiveTimings:
+    def test_bcast_time_grows_linearly_with_p(self):
+        """The paper's T_broadcast ~ p measurement, reproduced."""
+        times = {
+            nodes: measure_bcast_time(ge_configuration(nodes), nbytes=8.0)
+            for nodes in (2, 4, 8)
+        }
+        # p = nodes + 1 ranks; cost ~ (p-1) messages on the bus.
+        ratio = times[8] / times[2]
+        assert ratio == pytest.approx((9 - 1) / (3 - 1), rel=0.35)
+
+    def test_barrier_time_grows_with_p(self):
+        t2 = measure_barrier_time(ge_configuration(2))
+        t8 = measure_barrier_time(ge_configuration(8))
+        assert t8 > 2.0 * t2
+
+
+class TestUnitComputeTime:
+    def test_tc_is_inverse_effective_speed(self, ge2):
+        marked = marked_speed_of(ge2)
+        tc = measure_unit_compute_time(marked, 0.5)
+        assert tc == pytest.approx(1.0 / (0.5 * marked.total))
+
+    def test_validation(self, ge2):
+        marked = marked_speed_of(ge2)
+        with pytest.raises(MetricError):
+            measure_unit_compute_time(marked, 0.0)
+
+
+def test_full_fit_bundle(ge2):
+    marked = marked_speed_of(ge2)
+    params = fit_machine_parameters(ge2, marked, 0.55)
+    assert params.per_message > 0
+    assert params.per_byte > 0
+    assert params.unit_compute_time == pytest.approx(
+        1.0 / (0.55 * marked.total)
+    )

@@ -1,0 +1,103 @@
+"""Unit tests for the parametric overhead models (section 4.5)."""
+
+import pytest
+
+from repro.core.types import MetricError
+from repro.overhead.model import GEOverheadModel, MachineParameters, MMOverheadModel
+
+PARAMS = MachineParameters(
+    per_message=40e-6, per_byte=8.9e-8, unit_compute_time=1e-8
+)
+
+
+class TestMachineParameters:
+    def test_send_time_linear_in_bytes(self):
+        assert PARAMS.send_time(0.0) == pytest.approx(40e-6)
+        assert PARAMS.send_time(1000.0) == pytest.approx(40e-6 + 8.9e-5)
+
+    def test_flat_bcast_linear_in_p(self):
+        """T_bcast ~ p * const: the paper's measured behaviour."""
+        t3 = PARAMS.bcast_time(3, 8.0)
+        t9 = PARAMS.bcast_time(9, 8.0)
+        assert t9 / t3 == pytest.approx(8 / 2)
+
+    def test_barrier_linear_in_p(self):
+        assert PARAMS.barrier_time(8) == pytest.approx(8 * 40e-6)
+        assert PARAMS.barrier_time(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            MachineParameters(0.0, 1e-8, 1e-8)
+        with pytest.raises(MetricError):
+            MachineParameters(1e-6, -1.0, 1e-8)
+        with pytest.raises(MetricError):
+            PARAMS.send_time(-1.0)
+        with pytest.raises(MetricError):
+            PARAMS.bcast_time(0, 8.0)
+
+
+class TestGEOverheadModel:
+    def test_single_rank_loop_free(self):
+        model = GEOverheadModel(PARAMS, [1e8])
+        assert model.distribution_overhead(100) == 0.0
+        assert model.loop_overhead(100) == 0.0
+
+    def test_total_grows_with_n_and_p(self):
+        small = GEOverheadModel(PARAMS, [1e8] * 3)
+        large = GEOverheadModel(PARAMS, [1e8] * 9)
+        assert small.total(200) < small.total(400)
+        assert small.total(400) < large.total(400)
+
+    def test_loop_overhead_closed_form(self):
+        """Check the pivot byte-volume closed form against a direct sum."""
+        model = GEOverheadModel(PARAMS, [1e8] * 4)
+        n = 57
+        p = 4
+        direct = 0.0
+        for k in range(n - 1):
+            direct += (p - 1) * PARAMS.send_time((n - k + 1) * 8.0)  # pivot
+            direct += PARAMS.bcast_time(p, 8.0)  # bookkeeping
+            direct += PARAMS.barrier_time(p)  # barrier
+        assert model.loop_overhead(n) == pytest.approx(direct, rel=1e-12)
+
+    def test_callable_protocol(self):
+        model = GEOverheadModel(PARAMS, [1e8] * 2)
+        assert model(128) == model.total(128)
+
+    def test_invalid_n(self):
+        with pytest.raises(MetricError):
+            GEOverheadModel(PARAMS, [1e8]).total(0)
+
+
+class TestMMOverheadModel:
+    def test_ethernet_replication_independent_of_p(self):
+        """With native broadcast, the B-replication term does not grow
+        with the ensemble size (one transmission)."""
+        n = 512
+        b_bytes = n * n * 8.0
+        small = MMOverheadModel(PARAMS, [1e8] * 2, bcast="ethernet")
+        large = MMOverheadModel(PARAMS, [1e8] * 16, bcast="ethernet")
+        # Subtract the band terms (which do grow) to isolate replication.
+        extra = large.total(n) - small.total(n)
+        assert extra < PARAMS.send_time(b_bytes)  # far below 14 more copies
+
+    def test_flat_replication_grows_with_p(self):
+        n = 512
+        flat_small = MMOverheadModel(PARAMS, [1e8] * 2, bcast="flat")
+        flat_large = MMOverheadModel(PARAMS, [1e8] * 16, bcast="flat")
+        growth = flat_large.total(n) / flat_small.total(n)
+        assert growth > 8.0
+
+    def test_ethernet_cheaper_than_flat(self):
+        n = 256
+        speeds = [1e8] * 8
+        eth = MMOverheadModel(PARAMS, speeds, bcast="ethernet")
+        flat = MMOverheadModel(PARAMS, speeds, bcast="flat")
+        assert eth.total(n) < flat.total(n)
+
+    def test_single_rank_free(self):
+        assert MMOverheadModel(PARAMS, [1e8]).total(100) == 0.0
+
+    def test_unknown_bcast_rejected(self):
+        with pytest.raises(MetricError):
+            MMOverheadModel(PARAMS, [1e8], bcast="carrier-pigeon")

@@ -1,0 +1,135 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.model import UniformCostNetwork
+from repro.network.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Now, Recv, Send
+
+sizes = st.integers(min_value=2, max_value=6)
+byte_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=8
+)
+
+
+@given(size=sizes, nbytes=byte_lists)
+@settings(max_examples=50, deadline=None)
+def test_ring_delivers_everything_and_is_deterministic(size, nbytes):
+    """A token ring forwarding random-size messages: every run terminates,
+    delivers all messages, and two runs agree exactly."""
+
+    def program(rank):
+        nxt = (rank + 1) % size
+        prev = (rank - 1) % size
+        if rank == 0:
+            for i, b in enumerate(nbytes):
+                yield Send(nxt, b, tag=i)
+            for i in range(len(nbytes)):
+                yield Recv(src=prev, tag=i)
+        else:
+            for i in range(len(nbytes)):
+                msg = yield Recv(src=prev, tag=i)
+                yield Send(nxt, msg.nbytes, tag=i)
+
+    def execute():
+        net = SharedBusEthernet(Topology.one_per_node(size))
+        return Engine(size, net, [1e9] * size).run(program)
+
+    first, second = execute(), execute()
+    assert first.makespan == second.makespan
+    assert first.undelivered_messages == 0
+    assert [s.messages_received for s in first.stats] == [
+        s.messages_received for s in second.stats
+    ]
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_single_rank_time_is_sum_of_computes(durations):
+    def program(rank):
+        for d in durations:
+            yield Compute(seconds=d)
+
+    result = Engine(1, UniformCostNetwork(0.0), [1e6]).run(program)
+    assert result.makespan == sum(durations)
+
+
+@given(size=sizes, seed_times=st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=6, max_size=6,
+))
+@settings(max_examples=50, deadline=None)
+def test_clocks_never_go_backwards(size, seed_times):
+    """Local virtual time observed via Now() is non-decreasing on every
+    rank through an arbitrary compute/communicate interleaving."""
+
+    def program(rank):
+        observed = []
+        t = yield Now()
+        observed.append(t)
+        yield Compute(seconds=seed_times[rank % len(seed_times)])
+        observed.append((yield Now()))
+        nxt = (rank + 1) % size
+        yield Send(nxt, 100.0 * rank)
+        observed.append((yield Now()))
+        yield Recv(src=(rank - 1) % size)
+        observed.append((yield Now()))
+        return observed
+
+    net = SharedBusEthernet(Topology.one_per_node(size))
+    result = Engine(size, net, [1e9] * size).run(program)
+    for observed in result.return_values:
+        assert observed == sorted(observed)
+
+
+@given(
+    size=sizes,
+    count=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_pairwise_fifo(size, count):
+    """Messages between one (src, dst, tag) triple always arrive in order."""
+
+    def program(rank):
+        if rank == 0:
+            for i in range(count):
+                yield Send(size - 1, 10.0 * i, tag=5, payload=i)
+        elif rank == size - 1:
+            received = []
+            for _ in range(count):
+                msg = yield Recv(src=0, tag=5)
+                received.append(msg.payload)
+            return received
+        return None
+
+    net = SharedBusEthernet(Topology.one_per_node(size))
+    result = Engine(size, net, [1e9] * size).run(program)
+    assert result.return_values[size - 1] == list(range(count))
+
+
+@given(nbytes=st.floats(min_value=0.0, max_value=1e7, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_bus_conserves_wire_time(nbytes):
+    """Bus busy time equals the sum of transmitted bytes over bandwidth."""
+    topo = Topology.one_per_node(3)
+    net = SharedBusEthernet(topo)
+
+    def program(rank):
+        if rank == 0:
+            yield Send(1, nbytes)
+            yield Send(2, nbytes)
+        elif rank in (1, 2):
+            yield Recv(src=0)
+
+    Engine(3, net, [1e9] * 3).run(program)
+    expected = 2 * nbytes / net.link.bandwidth
+    assert abs(net.bus_busy_time - expected) < 1e-12 + 1e-9 * expected

@@ -1,0 +1,116 @@
+"""Unit tests for the simulation primitives."""
+
+import pytest
+
+from repro.sim.errors import InvalidOperationError
+from repro.sim.events import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Log,
+    Message,
+    Now,
+    Recv,
+    Send,
+)
+
+
+class TestCompute:
+    def test_flops_form(self):
+        op = Compute(flops=100.0)
+        assert op.flops == 100.0
+        assert op.seconds is None
+
+    def test_seconds_form(self):
+        op = Compute(seconds=0.5)
+        assert op.seconds == 0.5
+        assert op.flops is None
+
+    def test_zero_flops_allowed(self):
+        assert Compute(flops=0.0).flops == 0.0
+
+    def test_requires_exactly_one_argument(self):
+        with pytest.raises(InvalidOperationError):
+            Compute()
+        with pytest.raises(InvalidOperationError):
+            Compute(flops=1.0, seconds=1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Compute(flops=-1.0)
+        with pytest.raises(InvalidOperationError):
+            Compute(seconds=-0.1)
+
+    def test_equality(self):
+        assert Compute(flops=5.0) == Compute(flops=5.0)
+        assert Compute(flops=5.0) != Compute(seconds=5.0)
+
+    def test_repr_mentions_kind(self):
+        assert "flops" in repr(Compute(flops=1.0))
+        assert "seconds" in repr(Compute(seconds=1.0))
+
+
+class TestSend:
+    def test_fields(self):
+        op = Send(3, 1024.0, tag=7, payload="x")
+        assert (op.dst, op.nbytes, op.tag, op.payload) == (3, 1024.0, 7, "x")
+
+    def test_defaults(self):
+        op = Send(0, 0.0)
+        assert op.tag == 0
+        assert op.payload is None
+
+    def test_negative_dst_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Send(-1, 8.0)
+
+    def test_negative_nbytes_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Send(0, -8.0)
+
+    def test_negative_tag_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Send(0, 8.0, tag=-2)
+
+    def test_equality_ignores_payload(self):
+        assert Send(1, 8.0, tag=3, payload="a") == Send(1, 8.0, tag=3, payload="b")
+
+
+class TestRecv:
+    def test_defaults_are_wildcards(self):
+        op = Recv()
+        assert op.src == ANY_SOURCE
+        assert op.tag == ANY_TAG
+
+    def test_invalid_src(self):
+        with pytest.raises(InvalidOperationError):
+            Recv(src=-2)
+
+    def test_invalid_tag(self):
+        with pytest.raises(InvalidOperationError):
+            Recv(tag=-5)
+
+
+class TestMessage:
+    def test_matches_exact(self):
+        msg = Message(src=2, dst=0, tag=9, nbytes=8.0)
+        assert msg.matches(2, 9)
+        assert not msg.matches(1, 9)
+        assert not msg.matches(2, 8)
+
+    def test_matches_wildcards(self):
+        msg = Message(src=2, dst=0, tag=9, nbytes=8.0)
+        assert msg.matches(ANY_SOURCE, 9)
+        assert msg.matches(2, ANY_TAG)
+        assert msg.matches(ANY_SOURCE, ANY_TAG)
+
+    def test_repr(self):
+        msg = Message(src=1, dst=0, tag=2, nbytes=4.0, arrival=1.5)
+        text = repr(msg)
+        assert "src=1" in text and "dst=0" in text
+
+
+def test_now_and_log_are_value_objects():
+    assert Now() == Now()
+    assert Log("a") == Log("a")
+    assert Log("a") != Log("b")

@@ -1,0 +1,150 @@
+"""Engine-level tests for the Multicast primitive."""
+
+import pytest
+
+from repro.network.ethernet import SharedBusEthernet
+from repro.network.model import ETHERNET_100M, SwitchedNetwork, ZeroCostNetwork
+from repro.network.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.errors import InvalidOperationError
+from repro.sim.events import Compute, Multicast, Recv
+from repro.sim.trace import Tracer
+
+
+def run(nranks, program, network=None, tracer=None):
+    net = network if network is not None else ZeroCostNetwork()
+    return Engine(nranks, net, [1e9] * nranks, tracer=tracer).run(program)
+
+
+class TestValidation:
+    def test_negative_dst_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Multicast((-1,), 8.0)
+
+    def test_duplicate_dsts_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Multicast((1, 1), 8.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            Multicast((1,), -8.0)
+
+    def test_out_of_range_dst_detected_at_runtime(self):
+        def program(rank):
+            yield Multicast((5,), 8.0)
+
+        with pytest.raises(InvalidOperationError):
+            run(2, program)
+
+
+class TestDelivery:
+    def test_payload_reaches_every_destination(self):
+        def program(rank):
+            if rank == 0:
+                yield Multicast((1, 2, 3), 64.0, tag=7, payload="news")
+            else:
+                msg = yield Recv(src=0, tag=7)
+                return msg.payload
+
+        result = run(4, program)
+        assert result.return_values[1:] == ["news", "news", "news"]
+
+    def test_wakes_already_blocked_receivers(self):
+        def program(rank):
+            if rank == 0:
+                yield Compute(seconds=1.0)
+                yield Multicast((1, 2), 8.0, tag=1)
+            else:
+                yield Recv(src=0, tag=1)  # blocks before the multicast
+
+        result = run(3, program)
+        assert result.finish_times[1] == result.finish_times[2]
+        assert result.finish_times[1] >= 1.0
+
+    def test_self_destination_skipped(self):
+        def program(rank):
+            if rank == 0:
+                yield Multicast((0, 1), 8.0, tag=2)
+            else:
+                msg = yield Recv(src=0, tag=2)
+                return msg.nbytes
+
+        result = run(2, program)
+        assert result.return_values[1] == 8.0
+        # Rank 0 did not deliver to itself.
+        assert result.undelivered_messages == 0
+
+    def test_empty_destination_list_is_noop(self):
+        def program(rank):
+            yield Multicast((), 8.0)
+            return "done"
+
+        result = run(1, program)
+        assert result.return_values == ["done"]
+        assert result.makespan == 0.0
+
+
+class TestCostSemantics:
+    def test_bus_single_occupation_same_arrival(self):
+        topo = Topology.one_per_node(4)
+        net = SharedBusEthernet(topo)
+        nbytes = ETHERNET_100M.bandwidth  # 1 s wire time
+
+        def program(rank):
+            if rank == 0:
+                yield Multicast((1, 2, 3), nbytes, tag=1)
+            else:
+                msg = yield Recv(src=0, tag=1)
+                return msg.arrival
+
+        result = run(4, program, network=net)
+        arrivals = result.return_values[1:]
+        assert len(set(arrivals)) == 1  # one frame, one arrival time
+        assert net.transfers == 1
+
+    def test_switch_fallback_serializes_unicasts(self):
+        topo = Topology.one_per_node(4)
+        nbytes = 11.25e6  # ~1 s per copy on the link
+
+        def multicast_program(rank):
+            if rank == 0:
+                yield Multicast((1, 2, 3), nbytes, tag=1)
+            else:
+                yield Recv(src=0, tag=1)
+
+        switch = run(4, multicast_program, network=SwitchedNetwork(topo))
+        bus = run(
+            4, multicast_program,
+            network=SharedBusEthernet(topo),
+        )
+        # On the switch the engine falls back to 3 unicasts (~3x wire
+        # time); on the bus it is a single transmission.
+        assert switch.makespan > 2.5 * bus.makespan
+
+    def test_stats_count_one_transmission(self):
+        def program(rank):
+            if rank == 0:
+                yield Multicast((1, 2), 100.0, tag=1)
+            else:
+                yield Recv(src=0, tag=1)
+
+        topo = Topology.one_per_node(3)
+        result = run(3, program, network=SharedBusEthernet(topo))
+        assert result.stats[0].messages_sent == 1
+        assert result.stats[0].bytes_sent == 100.0
+        assert result.stats[1].bytes_received == 100.0
+        assert result.stats[2].bytes_received == 100.0
+
+    def test_traced_as_multicast(self):
+        tracer = Tracer()
+
+        def program(rank):
+            if rank == 0:
+                yield Multicast((1,), 8.0, tag=3)
+            else:
+                yield Recv(src=0, tag=3)
+
+        run(2, program, tracer=tracer)
+        records = tracer.by_kind("multicast")
+        assert len(records) == 1
+        assert "dsts=1" in records[0].detail

@@ -1,0 +1,75 @@
+"""Unit tests for tracing and per-rank statistics."""
+
+import pytest
+
+from repro.network.model import UniformCostNetwork, ZeroCostNetwork
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Recv, Send
+from repro.sim.trace import RankStats, Tracer
+
+
+def test_rank_stats_derived_properties():
+    stats = RankStats(rank=0, compute_time=1.0, send_time=0.25, recv_wait_time=0.75)
+    assert stats.comm_time == pytest.approx(1.0)
+    assert stats.busy_time == pytest.approx(2.0)
+
+
+def test_tracer_records_all_event_kinds():
+    tracer = Tracer()
+    engine = Engine(2, UniformCostNetwork(0.01), [1e6] * 2, tracer=tracer)
+
+    def program(rank):
+        if rank == 0:
+            yield Compute(flops=1e3)
+            yield Send(1, 16.0, tag=4)
+        else:
+            yield Recv(src=0, tag=4)
+
+    engine.run(program)
+    kinds = {r.kind for r in tracer.records}
+    assert kinds == {"compute", "send", "recv"}
+    send = tracer.by_kind("send")[0]
+    assert "dst=1" in send.detail and "tag=4" in send.detail
+    assert send.end >= send.start
+
+
+def test_tracer_for_rank_orders_events():
+    tracer = Tracer()
+    engine = Engine(1, ZeroCostNetwork(), [1e6], tracer=tracer)
+
+    def program(rank):
+        yield Compute(seconds=0.1)
+        yield Compute(seconds=0.2)
+
+    engine.run(program)
+    records = tracer.for_rank(0)
+    assert [r.kind for r in records] == ["compute", "compute"]
+    assert records[0].end <= records[1].start
+
+
+def test_tracer_limit_drops_excess():
+    tracer = Tracer(limit=3)
+    engine = Engine(1, ZeroCostNetwork(), [1e6], tracer=tracer)
+
+    def program(rank):
+        for _ in range(10):
+            yield Compute(seconds=0.01)
+
+    engine.run(program)
+    assert len(tracer.records) == 3
+    assert tracer.dropped == 7
+
+
+def test_recv_trace_detail_includes_source():
+    tracer = Tracer()
+    engine = Engine(2, ZeroCostNetwork(), [1e6] * 2, tracer=tracer)
+
+    def program(rank):
+        if rank == 0:
+            yield Send(1, 32.0, tag=2)
+        else:
+            yield Recv()
+
+    engine.run(program)
+    recv = tracer.by_kind("recv")[0]
+    assert "src=0" in recv.detail and "nbytes=32" in recv.detail

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.what == "table1"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_nodes_override(self):
+        args = build_parser().parse_args(["table3", "--nodes", "2", "4"])
+        assert args.nodes == [2, 4]
+
+
+class TestCommands:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "sunblade-500" in out
+
+    def test_table2_output(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "speed-efficiency" in out
+        assert "310" in out
+
+    def test_table3_quick_nodes(self, capsys):
+        main(["table3", "--nodes", "2"])
+        out = capsys.readouterr().out
+        assert "required rank" in out
+
+    def test_table6_and_7(self, capsys):
+        main(["table7", "--nodes", "2", "4"])
+        out = capsys.readouterr().out
+        assert "Table 6" in out and "Table 7" in out
+        assert "->" in out
+
+    def test_fig1(self, capsys):
+        main(["fig1"])
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "verification run" in out
+
+    def test_fig2_custom_sampling(self, capsys):
+        main(["fig2", "--nodes", "2", "--samples", "4"])
+        out = capsys.readouterr().out
+        assert "Figure 2 (2 nodes)" in out
+        assert "trend read-offs" in out
+
+    def test_all_runs_every_table(self, capsys):
+        """The `all` command touches every regenerator (scaled down to
+        2/4 nodes to stay fast)."""
+        assert main(["all", "--nodes", "2", "4", "--samples", "4"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4",
+                       "Table 5", "Table 6", "Table 7", "Figure 1",
+                       "Figure 2"):
+            assert marker in out
+        assert "[fig2 done in" in out

@@ -1,0 +1,58 @@
+"""Tests for the CLI tool commands (predict / breakdown / memory)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPredict:
+    def test_ge_prediction_output(self, capsys):
+        assert main(["predict", "--app", "ge", "--nodes", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Automatic prediction (ge)" in out
+        assert "Predicted scalability" in out
+        assert "2 -> 4 nodes" in out
+
+    def test_custom_target(self, capsys):
+        main(["predict", "--app", "mm", "--nodes", "2", "4", "--target", "0.2"])
+        out = capsys.readouterr().out
+        assert "E_S=0.2" in out
+
+    def test_stencil_app(self, capsys):
+        main(["predict", "--app", "stencil", "--nodes", "2", "4"])
+        out = capsys.readouterr().out
+        assert "Automatic prediction (stencil)" in out
+
+
+class TestBreakdown:
+    def test_breakdown_output(self, capsys):
+        main(["breakdown", "--app", "ge", "--nodes", "2", "--size", "80"])
+        out = capsys.readouterr().out
+        assert "Per-rank breakdown" in out
+        assert "utilization [" in out
+        assert "E_S" in out
+
+    def test_breakdown_lists_all_ranks(self, capsys):
+        main(["breakdown", "--app", "mm", "--nodes", "4", "--size", "60"])
+        out = capsys.readouterr().out
+        for rank in range(4):
+            assert f"\n{rank} " in out or out.splitlines()
+
+
+class TestMemory:
+    def test_feasible_case(self, capsys):
+        main(["memory", "--app", "ge", "--nodes", "2", "--size", "500"])
+        out = capsys.readouterr().out
+        assert "Distributed memory feasibility" in out
+        assert "distributed run fits: True" in out
+
+    def test_infeasible_case_flags_blades(self, capsys):
+        main(["memory", "--app", "mm", "--nodes", "8", "--size", "8000"])
+        out = capsys.readouterr().out
+        assert "distributed run fits: False" in out
+        assert "False" in out
+
+
+def test_unknown_tool_rejected():
+    with pytest.raises(SystemExit):
+        main(["teleport"])

@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are the library's runnable documentation; these tests keep
+them green as the API evolves.  Each runs as a subprocess exactly the way
+a user would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(path: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(path):
+    result = run_example(path)
+    assert result.returncode == 0, (
+        f"{path.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{path.name} produced no output"
+    assert "Traceback" not in result.stderr
+
+
+def test_quickstart_reports_the_metric():
+    result = run_example(EXAMPLES_DIR / "quickstart.py")
+    assert "psi(C_2, C_4)" in result.stdout
+    assert "required N" in result.stdout
+
+
+def test_study_confirms_paper_comparison():
+    result = run_example(EXAMPLES_DIR / "heterogeneous_scalability_study.py")
+    assert "MM-Sunwulf combination is the more scalable" in result.stdout
