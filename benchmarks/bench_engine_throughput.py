@@ -5,6 +5,8 @@ regressions in the engine hot path are caught (the 32-node GE study
 simulates ~40M events and is directly gated by this number).
 """
 
+import json
+
 from conftest import write_result
 
 from repro.experiments.report import format_table
@@ -37,5 +39,19 @@ def test_engine_event_throughput(benchmark, results_dir):
         title=f"Engine throughput (GE, {NODES} nodes, N={N})",
     )
     write_result(results_dir, "engine_throughput", text)
+
+    # Machine-readable trajectory point so PRs can diff engine perf.
+    payload = {
+        "bench": "engine_throughput",
+        "app": "ge",
+        "nodes": NODES,
+        "n": N,
+        "events_per_run": events,
+        "mean_wall_seconds": seconds,
+        "events_per_second": throughput,
+    }
+    (results_dir / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
     assert throughput > 20_000  # regression floor; typically ~200k/s

@@ -16,6 +16,9 @@ together with every substrate its evaluation depends on:
 * :mod:`repro.npb` -- NPB-like kernels measuring marked speeds.
 * :mod:`repro.apps` -- the paper's parallel Gaussian elimination and
   matrix multiplication with heterogeneous data distributions.
+* :mod:`repro.obs` -- run observability: metrics registry, Chrome-trace
+  export, per-rank utilization / imbalance / overhead / critical-path
+  analyzers, and the ``repro profile`` engine.
 * :mod:`repro.overhead` -- machine-parameter fitting and overhead models.
 * :mod:`repro.experiments` -- drivers regenerating every evaluation table
   and figure.
@@ -31,7 +34,7 @@ Quickstart::
     print(record.measurement.speed_efficiency)
 """
 
-from . import apps, core, experiments, machine, mpi, network, npb, overhead, sim
+from . import apps, core, experiments, machine, mpi, network, npb, obs, overhead, sim
 from .core import (
     Measurement,
     MetricError,
@@ -66,6 +69,7 @@ __all__ = [
     "mpi",
     "network",
     "npb",
+    "obs",
     "overhead",
     "run_ge",
     "run_mm",

@@ -1,0 +1,11 @@
+"""``python -m repro`` — runs the command-line interface.
+
+Equivalent to the ``repro`` / ``repro-scalability`` console scripts.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,11 @@ Examples::
     repro-scalability table3 --nodes 2 4 8
     repro-scalability fig2 --samples 5
     repro-scalability all --quick
+    repro profile gaussian --nodes 4 --out /tmp/prof
+    repro table3 --nodes 2 4 --trace-out study-trace.json
+
+(``repro`` and ``repro-scalability`` are the same program; ``python -m
+repro`` works too.)
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from .experiments import figures, tables
@@ -170,12 +176,19 @@ def cmd_fig2(args: argparse.Namespace) -> None:
     )
 
 
-def _app_cluster(args: argparse.Namespace, nodes: int):
+def _cluster_for(app: str, nodes: int):
+    """App-specific Sunwulf configuration (canonical app name)."""
     from .machine import ge_configuration, mm_configuration
 
-    if args.app == "mm":
+    if app == "mm":
         return mm_configuration(nodes)
     return ge_configuration(nodes)
+
+
+def _app_cluster(args: argparse.Namespace, nodes: int):
+    from .experiments.runner import resolve_app
+
+    return _cluster_for(resolve_app(args.app), nodes)
 
 
 def cmd_predict(args: argparse.Namespace) -> None:
@@ -230,6 +243,33 @@ def cmd_breakdown(args: argparse.Namespace) -> None:
     print()
 
 
+def cmd_profile(args: argparse.Namespace) -> None:
+    """Profile one run: trace + metrics + analyzers (``repro profile <app>``)."""
+    from .experiments.runner import resolve_app
+    from .obs.profiler import profile_app
+
+    try:
+        app = resolve_app(args.app_name if args.app_name else args.app)
+    except KeyError as err:
+        raise SystemExit(f"error: {err.args[0]}") from None
+    cluster = _cluster_for(app, _node_counts(args)[0])
+    try:
+        report = profile_app(app, cluster, args.size, out_dir=args.out)
+    except OSError as err:
+        raise SystemExit(
+            f"error: cannot write profile artifacts to {args.out!r}: {err}"
+        ) from None
+    print(report.summary)
+    print()
+    if args.out:
+        print(
+            f"artifacts in {Path(args.out).resolve()}: "
+            "trace.json (chrome://tracing / Perfetto), metrics.json, "
+            "summary.txt"
+        )
+        print()
+
+
 def cmd_memory(args: argparse.Namespace) -> None:
     """Memory-feasibility report for one (app, configuration, N)."""
     from .machine.memory import distributed_feasibility, sequential_reference_feasible
@@ -271,6 +311,7 @@ TOOL_COMMANDS = {
     "predict": cmd_predict,
     "breakdown": cmd_breakdown,
     "memory": cmd_memory,
+    "profile": cmd_profile,
 }
 
 
@@ -295,7 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
         "what",
         choices=[*COMMANDS, *TOOL_COMMANDS, "all"],
         help="which table/figure to regenerate, or a tool command "
-             "(predict/breakdown/memory)",
+             "(predict/breakdown/memory/profile)",
+    )
+    parser.add_argument(
+        "app_name", nargs="?", default=None,
+        help="application name for `profile` (ge/gaussian, mm/matmul, "
+             "stencil/jacobi, fft); other commands take --app",
     )
     parser.add_argument(
         "--nodes", type=int, nargs="+", default=None,
@@ -310,28 +356,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="samples per efficiency curve for figures (default 6)",
     )
     parser.add_argument(
-        "--app", choices=["ge", "mm", "stencil"], default="ge",
+        "--app",
+        choices=["ge", "gaussian", "mm", "matmul", "stencil", "jacobi", "fft"],
+        default="ge",
         help="application for the tool commands (default: ge)",
     )
     parser.add_argument(
         "--size", type=int, default=300,
-        help="problem size N for breakdown/memory (default 300)",
+        help="problem size N for breakdown/memory/profile (default 300; "
+             "fft needs a power of two)",
     )
     parser.add_argument(
         "--target", type=float, default=0.3,
         help="target speed-efficiency for predict (default 0.3)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory for `profile` artifacts "
+             "(trace.json, metrics.json, summary.txt)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export a Chrome trace-event JSON of every simulated run the "
+             "command executes (open in chrome://tracing or Perfetto)",
     )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.what == "all":
-        cmd_all(args)
-    elif args.what in TOOL_COMMANDS:
-        TOOL_COMMANDS[args.what](args)
+    from .experiments.runner import resolve_app
+
+    args.app = resolve_app(args.app)  # normalize aliases once
+
+    def dispatch() -> None:
+        if args.what == "all":
+            cmd_all(args)
+        elif args.what in TOOL_COMMANDS:
+            TOOL_COMMANDS[args.what](args)
+        else:
+            COMMANDS[args.what](args)
+
+    if args.trace_out:
+        from .experiments.runner import collect_traces
+        from .obs.chrome_trace import write_chrome_trace
+
+        with collect_traces() as collector:
+            dispatch()
+        count = write_chrome_trace(args.trace_out, collector.runs)
+        print(
+            f"wrote {count} trace events from {len(collector.runs)} "
+            f"simulated run(s) to {args.trace_out}"
+        )
     else:
-        COMMANDS[args.what](args)
+        dispatch()
     return 0
 
 

@@ -50,7 +50,7 @@ def breakdown(record: RunRecord) -> list[RankBreakdown]:
                 compute=stats.compute_time,
                 send=stats.send_time,
                 recv_wait=stats.recv_wait_time,
-                tail_idle=max(0.0, makespan - stats.finish_time),
+                tail_idle=stats.idle_time(makespan),
             )
         )
     return result

@@ -20,6 +20,54 @@ from .tables import RequiredRankRow
 FORMAT_VERSION = 1
 
 
+# -- generic versioned documents --------------------------------------------
+
+def write_json_document(
+    path: str | Path,
+    kind: str,
+    payload: dict[str, Any],
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Write a versioned JSON document of the given ``kind``.
+
+    All persisted artifacts (studies, profile metrics, ...) share this
+    envelope: ``format_version`` + ``kind`` + ``metadata`` + the payload's
+    own keys, so readers can validate without knowing every format.
+    Parent directories are created as needed.
+    """
+    document = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "metadata": metadata or {},
+        **payload,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def read_json_document(path: str | Path, kind: str) -> dict[str, Any]:
+    """Read a versioned JSON document, validating envelope and ``kind``."""
+    path = Path(path)
+    if not path.exists():
+        raise MetricError(f"no document at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise MetricError(f"corrupt document {path}: {err}") from err
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise MetricError(
+            f"document {path} has format version {version}; this library "
+            f"reads version {FORMAT_VERSION}"
+        )
+    if document.get("kind") != kind:
+        raise MetricError(
+            f"{path} is a {document.get('kind')!r} document, expected {kind!r}"
+        )
+    return document
+
+
 # -- encoding ---------------------------------------------------------------
 
 def measurement_to_dict(measurement: Measurement) -> dict[str, Any]:
@@ -85,32 +133,17 @@ def save_study(
     metadata: dict[str, Any] | None = None,
 ) -> None:
     """Write a required-rank study to a JSON document."""
-    document = {
-        "format_version": FORMAT_VERSION,
-        "kind": "required-rank-study",
-        "metadata": metadata or {},
-        "rows": [row_to_dict(row) for row in rows],
-    }
-    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    write_json_document(
+        path,
+        kind="required-rank-study",
+        payload={"rows": [row_to_dict(row) for row in rows]},
+        metadata=metadata,
+    )
 
 
 def load_study(path: str | Path) -> tuple[list[RequiredRankRow], dict[str, Any]]:
     """Read a study back; returns (rows, metadata)."""
-    path = Path(path)
-    if not path.exists():
-        raise MetricError(f"no study file at {path}")
-    try:
-        document = json.loads(path.read_text())
-    except json.JSONDecodeError as err:
-        raise MetricError(f"corrupt study file {path}: {err}") from err
-    version = document.get("format_version")
-    if version != FORMAT_VERSION:
-        raise MetricError(
-            f"study file {path} has format version {version}; this library "
-            f"reads version {FORMAT_VERSION}"
-        )
-    if document.get("kind") != "required-rank-study":
-        raise MetricError(f"{path} is not a required-rank study document")
+    document = read_json_document(path, kind="required-rank-study")
     rows = [row_from_dict(entry) for entry in document["rows"]]
     return rows, document.get("metadata", {})
 

@@ -8,8 +8,9 @@ Measurement` whose ``(W, T, C)`` triple feeds every scalability metric.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 from ..apps.gaussian import GE_COMPUTE_EFFICIENCY, GEOptions, make_ge_program
 from ..apps.matmul import MM_COMPUTE_EFFICIENCY, MMOptions, make_mm_program
@@ -53,6 +54,67 @@ def marked_speed_of(cluster: ClusterSpec) -> SystemMarkedSpeed:
     return measure_cluster(cluster)
 
 
+# -- run tracing --------------------------------------------------------------
+
+@dataclass
+class TraceRun:
+    """One traced execution captured by a :class:`TraceCollector`."""
+
+    label: str
+    tracer: Tracer
+
+
+class TraceCollector:
+    """Gathers a fresh :class:`Tracer` per application run.
+
+    Activated with :func:`collect_traces`; the CLI's ``--trace-out`` flag
+    uses it to export a Chrome trace of every simulation a table/figure
+    command executed (one trace-viewer process per run).
+    """
+
+    def __init__(self, limit: int = 1_000_000):
+        self.limit = limit
+        self.runs: list[TraceRun] = []
+
+    def tracer_for(self, label: str) -> Tracer:
+        """Create, register and return the tracer for one labelled run."""
+        tracer = Tracer(limit=self.limit)
+        self.runs.append(TraceRun(label, tracer))
+        return tracer
+
+
+_ACTIVE_COLLECTOR: TraceCollector | None = None
+
+
+@contextmanager
+def collect_traces(
+    collector: TraceCollector | None = None,
+) -> Iterator[TraceCollector]:
+    """Trace every application run executed inside the ``with`` block.
+
+    Runs that pass an explicit ``tracer=`` keep it; every other
+    ``run_app``/``run_ge``/... call gets a fresh tracer registered on the
+    collector, labelled with app, problem size and cluster name.  Yields
+    the collector (a new one when none is given).  Reentrant: the previous
+    collector is restored on exit.
+    """
+    global _ACTIVE_COLLECTOR
+    active = collector if collector is not None else TraceCollector()
+    previous = _ACTIVE_COLLECTOR
+    _ACTIVE_COLLECTOR = active
+    try:
+        yield active
+    finally:
+        _ACTIVE_COLLECTOR = previous
+
+
+def _resolve_tracer(tracer: Tracer | None, label: str) -> Tracer | None:
+    """Explicit tracer wins; otherwise ask the active collector, if any."""
+    if tracer is not None or _ACTIVE_COLLECTOR is None:
+        return tracer
+    return _ACTIVE_COLLECTOR.tracer_for(label)
+
+
 def run_ge(
     cluster: ClusterSpec,
     n: int,
@@ -61,10 +123,12 @@ def run_ge(
     collectives: CollectiveConfig | None = None,
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
+    metrics: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run Gaussian elimination of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
+    tracer = _resolve_tracer(tracer, f"ge N={n} on {cluster.name}")
     options = GEOptions(
         n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
     )
@@ -77,6 +141,7 @@ def run_ge(
         program,
         config=collectives,
         tracer=tracer,
+        metrics=metrics,
     )
     measurement = Measurement(
         work=ge_workload(n),
@@ -103,10 +168,12 @@ def run_mm(
     collectives: CollectiveConfig | None = MM_COLLECTIVES,
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
+    metrics: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run matrix multiplication of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
+    tracer = _resolve_tracer(tracer, f"mm N={n} on {cluster.name}")
     options = MMOptions(
         n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
     )
@@ -119,6 +186,7 @@ def run_mm(
         program,
         config=collectives,
         tracer=tracer,
+        metrics=metrics,
     )
     measurement = Measurement(
         work=mm_workload(n),
@@ -138,10 +206,12 @@ def run_fft(
     collectives: CollectiveConfig | None = None,
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
+    metrics: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run the distributed 2-D FFT (``n`` must be a power of two)."""
     marked = marked if marked is not None else marked_speed_of(cluster)
+    tracer = _resolve_tracer(tracer, f"fft N={n} on {cluster.name}")
     options = FFTOptions(
         n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
     )
@@ -154,6 +224,7 @@ def run_fft(
         program,
         config=collectives,
         tracer=tracer,
+        metrics=metrics,
     )
     measurement = Measurement(
         work=fft_workload(n),
@@ -182,10 +253,12 @@ def run_stencil(
     collectives: CollectiveConfig | None = None,
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
+    metrics: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run the Jacobi stencil on an ``n x n`` grid for ``sweeps`` sweeps."""
     marked = marked if marked is not None else marked_speed_of(cluster)
+    tracer = _resolve_tracer(tracer, f"stencil N={n} on {cluster.name}")
     sweeps = default_stencil_sweeps(n) if sweeps is None else sweeps
     options = StencilOptions(
         n=n, sweeps=sweeps, speeds=tuple(marked.speeds),
@@ -200,6 +273,7 @@ def run_stencil(
         program,
         config=collectives,
         tracer=tracer,
+        metrics=metrics,
     )
     measurement = Measurement(
         work=stencil_workload(n, sweeps, residual_every),
@@ -219,13 +293,27 @@ APPLICATIONS = {
     "fft": run_fft,  # problem sizes must be powers of two
 }
 
+#: Long-form names accepted anywhere an application name is (CLI, run_app).
+APP_ALIASES = {
+    "gaussian": "ge",
+    "gauss": "ge",
+    "matmul": "mm",
+    "jacobi": "stencil",
+}
+
+
+def resolve_app(app: str) -> str:
+    """Canonical registry key for an application name or alias."""
+    app = APP_ALIASES.get(app, app)
+    if app not in APPLICATIONS:
+        raise KeyError(
+            f"unknown application {app!r}; available: "
+            f"{sorted(APPLICATIONS)} (aliases: {sorted(APP_ALIASES)})"
+        )
+    return app
+
 
 def run_app(app: str, cluster: ClusterSpec, n: int, **kwargs) -> RunRecord:
-    """Dispatch by application name ('ge' or 'mm')."""
-    try:
-        runner = APPLICATIONS[app]
-    except KeyError:
-        raise KeyError(
-            f"unknown application {app!r}; available: {sorted(APPLICATIONS)}"
-        ) from None
-    return runner(cluster, n, **kwargs)
+    """Dispatch by application name or alias ('ge'/'gaussian', 'mm'/'matmul',
+    'stencil'/'jacobi', 'fft')."""
+    return APPLICATIONS[resolve_app(app)](cluster, n, **kwargs)

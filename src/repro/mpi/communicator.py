@@ -236,9 +236,14 @@ def mpi_run(
     program: MPIProgram,
     config: CollectiveConfig | None = None,
     tracer: Tracer | None = None,
+    metrics: Any = None,
     max_events: int = 50_000_000,
 ) -> RunResult:
-    """Run an SPMD program on the simulated machine and network."""
+    """Run an SPMD program on the simulated machine and network.
+
+    ``metrics`` is an optional metrics sink (duck-typed, e.g.
+    :class:`repro.obs.MetricsRegistry`) forwarded to the engine.
+    """
 
     def factory(rank: int):
         return program(Comm(rank, nranks, config=config))
@@ -248,6 +253,7 @@ def mpi_run(
         network=network,
         flops_per_second=flops_per_second,
         tracer=tracer,
+        metrics=metrics,
         max_events=max_events,
     )
     return engine.run(factory)

@@ -1,0 +1,61 @@
+"""Run observability: metrics, Chrome-trace export, and run analyzers.
+
+The paper's Theorem 1 reduces scalability to the sequential and overhead
+terms ``(t0 + To)``; this package makes those terms *visible* for any
+simulated run:
+
+* :mod:`repro.obs.metrics` — a labelled Counter / Gauge / Histogram
+  registry the engine populates through its ``metrics=`` hook, including
+  wall-clock self-profiling of the engine itself.
+* :mod:`repro.obs.chrome_trace` — export :class:`~repro.sim.trace.Tracer`
+  records as Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.analysis` — per-rank utilization, load-imbalance index,
+  Theorem-1 overhead decomposition and a critical-path walk over the
+  trace's compute/send/recv dependencies.
+* :mod:`repro.obs.profiler` — the ``repro profile <app>`` engine room:
+  one traced+metered run, every analyzer, three artifacts on disk.
+"""
+
+from .analysis import (
+    CriticalPath,
+    MessageEdge,
+    OverheadDecomposition,
+    RankUtilization,
+    critical_path,
+    imbalance_index,
+    overhead_decomposition,
+    rank_utilization,
+)
+from .chrome_trace import chrome_trace_events, write_chrome_trace
+from .metrics import (
+    BYTES_BUCKETS,
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiler import ProfileReport, build_report, profile_app, write_report
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "Counter",
+    "CriticalPath",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MessageEdge",
+    "MetricsRegistry",
+    "OverheadDecomposition",
+    "ProfileReport",
+    "RankUtilization",
+    "build_report",
+    "chrome_trace_events",
+    "critical_path",
+    "imbalance_index",
+    "overhead_decomposition",
+    "profile_app",
+    "rank_utilization",
+    "write_chrome_trace",
+    "write_report",
+]

@@ -1,0 +1,109 @@
+"""Export :class:`~repro.sim.trace.Tracer` records as Chrome trace-event JSON.
+
+The output is the "JSON Array Format" understood by ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_: a flat list of event objects.  Each
+simulated run becomes one process (``pid``), each rank one thread (``tid``);
+``compute`` / ``send`` / ``recv`` / ``multicast`` records become complete
+duration events (``ph: "X"``) and ``log`` records become instant events
+(``ph: "i"``).  Virtual seconds are scaled to microseconds, the unit the
+trace viewers expect.
+
+Every emitted event carries the full ``ph``/``ts``/``dur``/``pid``/``tid``
+field set so downstream tooling can treat the array uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence, Union
+
+from ..sim.trace import Tracer
+
+#: Virtual seconds -> trace-viewer microseconds.
+MICROSECONDS: float = 1e6
+
+#: Accepted input: one tracer, or ``(label, tracer)`` pairs / TraceRun-likes.
+TraceInput = Union[Tracer, Sequence[Any]]
+
+
+def _runs(trace: TraceInput) -> list[tuple[str, Tracer]]:
+    """Normalize the input to a list of ``(label, tracer)`` pairs."""
+    if isinstance(trace, Tracer):
+        return [("run", trace)]
+    runs: list[tuple[str, Tracer]] = []
+    for item in trace:
+        if isinstance(item, Tracer):
+            runs.append((f"run {len(runs) + 1}", item))
+        elif hasattr(item, "label") and hasattr(item, "tracer"):
+            runs.append((item.label, item.tracer))
+        else:
+            label, tracer = item
+            runs.append((str(label), tracer))
+    return runs
+
+
+def chrome_trace_events(
+    trace: TraceInput, time_scale: float = MICROSECONDS
+) -> list[dict[str, Any]]:
+    """Convert traced runs to a list of Chrome trace-event dicts.
+
+    ``trace`` is a single :class:`Tracer` or an iterable of ``(label,
+    tracer)`` pairs (e.g. :class:`~repro.experiments.runner.TraceCollector`
+    ``.runs``); each run gets its own ``pid`` starting at 1.  Metadata
+    events name the processes after the run labels and the threads
+    ``rank <r>``.
+    """
+    events: list[dict[str, Any]] = []
+    for pid, (label, tracer) in enumerate(_runs(trace), start=1):
+        events.append({
+            "name": "process_name", "ph": "M", "ts": 0, "dur": 0,
+            "pid": pid, "tid": 0, "args": {"name": label},
+        })
+        named_ranks: set[int] = set()
+        for rec in tracer.records:
+            if rec.rank not in named_ranks:
+                named_ranks.add(rec.rank)
+                events.append({
+                    "name": "thread_name", "ph": "M", "ts": 0, "dur": 0,
+                    "pid": pid, "tid": rec.rank,
+                    "args": {"name": f"rank {rec.rank}"},
+                })
+            ts = rec.start * time_scale
+            if rec.kind == "log":
+                events.append({
+                    "name": rec.detail or "log", "cat": "log", "ph": "i",
+                    "ts": ts, "dur": 0, "pid": pid, "tid": rec.rank,
+                    "s": "t",
+                })
+            else:
+                event: dict[str, Any] = {
+                    "name": rec.kind, "cat": rec.kind, "ph": "X",
+                    "ts": ts, "dur": (rec.end - rec.start) * time_scale,
+                    "pid": pid, "tid": rec.rank,
+                }
+                if rec.detail:
+                    event["args"] = {"detail": rec.detail}
+                events.append(event)
+        if tracer.dropped:
+            events.append({
+                "name": f"{tracer.dropped} records dropped (tracer limit)",
+                "cat": "tracer", "ph": "i", "ts": 0, "dur": 0,
+                "pid": pid, "tid": 0, "s": "p",
+            })
+    return events
+
+
+def write_chrome_trace(
+    path: str | Path, trace: TraceInput, time_scale: float = MICROSECONDS
+) -> int:
+    """Write the trace-event array to ``path``; returns the event count.
+
+    The file is a bare JSON array (the canonical Chrome trace format), so
+    it loads directly in ``chrome://tracing`` and Perfetto.
+    """
+    events = chrome_trace_events(trace, time_scale=time_scale)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(events, indent=1) + "\n")
+    return len(events)

@@ -1,0 +1,248 @@
+"""Lightweight labelled metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the engine-facing half of the observability layer: attach a
+:class:`MetricsRegistry` to an :class:`~repro.sim.engine.Engine` (or any
+``run_*`` driver) via the ``metrics=`` keyword and it accumulates
+
+* per-rank, per-kind operation counters (``sim_ops_total``, ``sim_bytes_total``,
+  ``sim_flops_total``),
+* fixed-bucket histograms of operation durations and message sizes
+  (``sim_op_seconds``, ``sim_message_bytes``), and
+* engine self-profile gauges measured in *wall-clock* time
+  (``engine_events_per_second``, ``engine_heap_pushes``,
+  ``engine_stale_pop_ratio``, ...).
+
+Everything is plain Python with no external dependencies; ``to_dict`` /
+``to_json`` produce the stable document written to ``metrics.json`` by the
+``repro profile`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Iterator, Mapping
+
+#: Default histogram boundaries for durations in (virtual) seconds.
+DURATION_BUCKETS: tuple[float, ...] = (
+    1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0
+)
+
+#: Default histogram boundaries for message sizes in bytes.
+BYTES_BUCKETS: tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0
+)
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"Counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to an arbitrary level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-free, Prometheus-style buckets).
+
+    ``boundaries`` are upper bucket edges; an observation lands in the first
+    bucket whose edge is ``>= value``, with one implicit overflow bucket, so
+    ``counts`` has ``len(boundaries) + 1`` entries.
+    """
+
+    __slots__ = ("boundaries", "counts", "count", "sum")
+
+    def __init__(self, boundaries: tuple[float, ...] = DURATION_BUCKETS):
+        if not boundaries:
+            raise ValueError("Histogram needs at least one bucket boundary")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("Histogram boundaries must be sorted ascending")
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.counts = [0] * (len(boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly snapshot of the histogram."""
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled counters, gauges and histograms.
+
+    Instruments are identified by ``(name, labels)``; labels are arbitrary
+    keyword arguments (the engine uses ``rank=`` and ``kind=``).  The
+    registry also implements the engine's duck-typed metrics hooks
+    (:meth:`record_op`, :meth:`record_engine`), so it can be passed directly
+    as ``Engine(metrics=...)`` / ``run_app(..., metrics=...)``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DURATION_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use.
+
+        ``buckets`` only applies at creation; later calls return the
+        existing instrument unchanged.
+        """
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(buckets)
+        return inst
+
+    # -- engine hooks ------------------------------------------------------
+    def record_op(
+        self,
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        nbytes: float = 0.0,
+        flops: float = 0.0,
+    ) -> None:
+        """Engine hook: account one primitive operation.
+
+        Populates ``sim_ops_total{rank,kind}``, ``sim_op_seconds{rank,kind}``
+        and, when applicable, ``sim_bytes_total{rank,kind}``,
+        ``sim_message_bytes{kind}`` and ``sim_flops_total{rank}``.
+        """
+        self.counter("sim_ops_total", rank=rank, kind=kind).inc()
+        self.histogram("sim_op_seconds", rank=rank, kind=kind).observe(
+            end - start
+        )
+        if nbytes:
+            self.counter("sim_bytes_total", rank=rank, kind=kind).inc(nbytes)
+            self.histogram(
+                "sim_message_bytes", buckets=BYTES_BUCKETS, kind=kind
+            ).observe(nbytes)
+        if flops:
+            self.counter("sim_flops_total", rank=rank).inc(flops)
+
+    def record_engine(
+        self,
+        events: int,
+        wall_seconds: float,
+        heap_pushes: int,
+        stale_pops: int,
+        makespan: float,
+    ) -> None:
+        """Engine hook: record the run's wall-clock self-profile gauges."""
+        self.gauge("engine_events").set(events)
+        self.gauge("engine_wall_seconds").set(wall_seconds)
+        self.gauge("engine_events_per_second").set(
+            events / wall_seconds if wall_seconds > 0 else 0.0
+        )
+        self.gauge("engine_heap_pushes").set(heap_pushes)
+        self.gauge("engine_stale_pops").set(stale_pops)
+        self.gauge("engine_stale_pop_ratio").set(
+            stale_pops / heap_pushes if heap_pushes > 0 else 0.0
+        )
+        self.gauge("engine_makespan_seconds").set(makespan)
+
+    # -- introspection -----------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[str, dict[str, Any], Any]]:
+        """Yield ``(name, labels, instrument)`` for every instrument."""
+        for store in (self._counters, self._gauges, self._histograms):
+            for (name, key), inst in store.items():
+                yield name, dict(key), inst
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter or gauge (0 when absent)."""
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key) or self._gauges.get(key)
+        return inst.value if inst is not None else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Snapshot of every instrument, grouped by instrument type."""
+
+        def entry(name: str, key: LabelKey, payload: Any) -> dict[str, Any]:
+            return {"name": name, "labels": dict(key), **payload}
+
+        return {
+            "counters": [
+                entry(name, key, {"value": c.value})
+                for (name, key), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                entry(name, key, {"value": g.value})
+                for (name, key), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                entry(name, key, h.to_dict())
+                for (name, key), h in sorted(self._histograms.items())
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` snapshot serialized as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -24,6 +24,7 @@ The run is fully deterministic for a fixed program and network model.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Sequence
 
@@ -52,11 +53,25 @@ class RunResult:
     tracer: Tracer | None = None
     return_values: list[Any] = field(default_factory=list)
     undelivered_messages: int = 0
+    wall_seconds: float = 0.0
+    heap_pushes: int = 0
+    stale_pops: int = 0
 
     @property
     def makespan(self) -> float:
         """Virtual time at which the last process finished (the run time T)."""
         return max(self.finish_times) if self.finish_times else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Engine self-profile: simulated events per wall-clock second."""
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def stale_pop_ratio(self) -> float:
+        """Fraction of heap pops that were stale entries (scheduler waste)."""
+        total = self.heap_pushes
+        return self.stale_pops / total if total > 0 else 0.0
 
     @property
     def total_bytes(self) -> float:
@@ -95,6 +110,12 @@ class Engine:
         Effective compute speed of each rank for this program, in flops/s.
     tracer:
         Optional :class:`Tracer` collecting full event records.
+    metrics:
+        Optional metrics sink (e.g. :class:`repro.obs.MetricsRegistry`).
+        Duck-typed: the engine calls ``metrics.record_op(rank, kind, start,
+        end, nbytes=..., flops=...)`` once per traced primitive and
+        ``metrics.record_engine(events=..., wall_seconds=...,
+        heap_pushes=..., stale_pops=..., makespan=...)`` once per run.
     max_events:
         Safety limit on primitive operations processed.
     """
@@ -105,6 +126,7 @@ class Engine:
         network: Any,
         flops_per_second: Sequence[float],
         tracer: Tracer | None = None,
+        metrics: Any = None,
         max_events: int = 50_000_000,
     ):
         if nranks <= 0:
@@ -123,6 +145,7 @@ class Engine:
         self.network = network
         self.flops_per_second = [float(s) for s in flops_per_second]
         self.tracer = tracer
+        self.metrics = metrics
         self.max_events = max_events
 
     # ------------------------------------------------------------------
@@ -145,12 +168,16 @@ class Engine:
         live = self.nranks
         seq = 0
         events = 0
+        pushes = 0
+        stale = 0
         heap: list[tuple[float, int, int]] = []
+        wall_start = time.perf_counter()
 
         def push(proc: _Proc) -> None:
-            nonlocal seq
+            nonlocal seq, pushes
             heapq.heappush(heap, (proc.time, seq, proc.rank))
             seq += 1
+            pushes += 1
 
         for proc in procs:
             push(proc)
@@ -181,12 +208,17 @@ class Engine:
                     proc.rank, "recv", posted_at, proc.time,
                     f"src={msg.src} tag={msg.tag} nbytes={msg.nbytes:g}",
                 )
+            if self.metrics is not None:
+                self.metrics.record_op(
+                    proc.rank, "recv", posted_at, proc.time, nbytes=msg.nbytes
+                )
             proc.waiting = None
             proc.pending = msg
             push(proc)
 
         # Hot-loop local bindings (this loop runs once per primitive event).
         tracer = self.tracer
+        metrics = self.metrics
         fps = self.flops_per_second
         transfer = self.network.transfer
         nranks = self.nranks
@@ -205,6 +237,7 @@ class Engine:
             rank = heappop(heap)[2]
             proc = procs[rank]
             if proc.done or proc.waiting is not None:
+                stale += 1
                 continue  # stale heap entry
 
             send_back, proc.pending = proc.pending, None
@@ -250,6 +283,9 @@ class Engine:
                         rank, "send", start, proc.time,
                         f"dst={dst} tag={op.tag} nbytes={nbytes:g}",
                     )
+                if metrics is not None:
+                    metrics.record_op(rank, "send", start, proc.time,
+                                      nbytes=nbytes)
                 msg = Message(
                     src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
                     payload=op.payload, arrival=arrival, seq=seq,
@@ -281,6 +317,9 @@ class Engine:
                 stats[rank].compute_time += duration
                 if tracer is not None:
                     tracer.record(rank, "compute", start, proc.time)
+                if metrics is not None:
+                    metrics.record_op(rank, "compute", start, proc.time,
+                                      flops=flops if flops is not None else 0.0)
                 push(proc)
             elif cls is Multicast:
                 start = proc.time
@@ -325,6 +364,9 @@ class Engine:
                             rank, "multicast", start, proc.time,
                             f"dsts={len(remote)} tag={op.tag} nbytes={nbytes:g}",
                         )
+                    if metrics is not None:
+                        metrics.record_op(rank, "multicast", start, proc.time,
+                                          nbytes=nbytes)
                     for dst, arrival in deliveries:
                         msg = Message(
                             src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
@@ -346,6 +388,8 @@ class Engine:
             elif cls is Log:
                 if tracer is not None:
                     tracer.record(rank, "log", proc.time, proc.time, op.message)
+                if metrics is not None:
+                    metrics.record_op(rank, "log", proc.time, proc.time)
                 push(proc)
             elif isinstance(op, (Send, Recv, Compute, Multicast, Now, Log)):
                 # Subclassed primitives take the slow path: re-dispatch via
@@ -359,12 +403,25 @@ class Engine:
                     f"rank {rank} yielded unsupported object {op!r}"
                 )
 
+        wall = time.perf_counter() - wall_start
         undelivered = sum(len(box) for box in mailboxes)
-        return RunResult(
+        result = RunResult(
             finish_times=[p.time for p in procs],
             stats=stats,
             events=events,
             tracer=self.tracer,
             return_values=[p.value for p in procs],
             undelivered_messages=undelivered,
+            wall_seconds=wall,
+            heap_pushes=pushes,
+            stale_pops=stale,
         )
+        if metrics is not None:
+            metrics.record_engine(
+                events=events,
+                wall_seconds=wall,
+                heap_pushes=pushes,
+                stale_pops=stale,
+                makespan=result.makespan,
+            )
+        return result

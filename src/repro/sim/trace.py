@@ -36,6 +36,25 @@ class RankStats:
         """Compute plus communication time (excludes pure idling)."""
         return self.compute_time + self.comm_time
 
+    def idle_time(self, makespan: float) -> float:
+        """Time this rank spent idle against a run of length ``makespan``.
+
+        The engine advances a rank's clock only through compute, send and
+        receive-wait, so idle time is the tail between this rank's finish
+        and the makespan.  By construction ``compute_time + comm_time +
+        idle_time(makespan) == makespan`` (up to float rounding).
+        """
+        return max(0.0, makespan - self.busy_time)
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of the makespan this rank was busy (compute + comm).
+
+        Returns 0 for a zero-length run.
+        """
+        if makespan <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / makespan)
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -67,8 +86,13 @@ class Tracer:
         self.records.append(TraceRecord(rank, kind, start, end, detail))
 
     def by_kind(self, kind: str) -> list[TraceRecord]:
-        """All records of one kind ('compute', 'send', 'recv', 'log')."""
+        """All records of one kind ('compute', 'send', 'recv', 'multicast',
+        'log')."""
         return [r for r in self.records if r.kind == kind]
+
+    def kinds(self) -> list[str]:
+        """Sorted distinct kinds present among the stored records."""
+        return sorted({r.kind for r in self.records})
 
     def for_rank(self, rank: int) -> list[TraceRecord]:
         """All records emitted by one rank, in engine order."""

@@ -5,7 +5,10 @@ import pytest
 from repro.apps.workload import ge_workload, mm_workload
 from repro.experiments.runner import (
     APPLICATIONS,
+    APP_ALIASES,
+    collect_traces,
     marked_speed_of,
+    resolve_app,
     run_app,
     run_ge,
     run_mm,
@@ -79,6 +82,45 @@ class TestDispatch:
     def test_unknown_app_rejected(self, ge2_cluster):
         with pytest.raises(KeyError):
             run_app("sort", ge2_cluster, 50)
+
+    def test_aliases_resolve_to_registry_keys(self):
+        for alias, key in APP_ALIASES.items():
+            assert resolve_app(alias) == key
+            assert key in APPLICATIONS
+
+    def test_resolve_app_identity_and_rejection(self):
+        assert resolve_app("ge") == "ge"
+        with pytest.raises(KeyError):
+            resolve_app("sort")
+
+    def test_run_app_accepts_alias(self, ge2_cluster, ge2_marked):
+        record = run_app("gaussian", ge2_cluster, 50, marked=ge2_marked)
+        assert record.measurement.problem_size == 50
+
+
+class TestCollectTraces:
+    def test_runs_are_collected_with_labels(self, ge2_cluster, ge2_marked):
+        with collect_traces() as collector:
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+            run_mm(ge2_cluster, 20, marked=ge2_marked)
+        assert len(collector.runs) == 2
+        labels = [run.label for run in collector.runs]
+        assert any("ge" in lbl for lbl in labels)
+        assert all(run.tracer.records for run in collector.runs)
+
+    def test_explicit_tracer_wins_over_collector(self, ge2_cluster, ge2_marked):
+        mine = Tracer()
+        with collect_traces() as collector:
+            run_ge(ge2_cluster, 50, marked=ge2_marked, tracer=mine)
+        assert mine.records
+        # Explicitly traced runs keep their tracer and stay off the collector.
+        assert collector.runs == []
+
+    def test_no_collection_outside_context(self, ge2_cluster, ge2_marked):
+        with collect_traces() as collector:
+            pass
+        run_ge(ge2_cluster, 50, marked=ge2_marked)
+        assert collector.runs == []
 
 
 class TestMarkedSpeedOf:

@@ -1,0 +1,96 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.network.model import UniformCostNetwork, ZeroCostNetwork
+from repro.obs.chrome_trace import chrome_trace_events, write_chrome_trace
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Log, Recv, Send
+from repro.sim.trace import Tracer
+
+
+def traced_run():
+    tracer = Tracer()
+    engine = Engine(2, UniformCostNetwork(0.01), [1e6] * 2, tracer=tracer)
+
+    def program(rank):
+        if rank == 0:
+            yield Compute(flops=1e3)
+            yield Send(1, 64.0, tag=1)
+            yield Log("checkpoint")
+        else:
+            yield Recv(src=0, tag=1)
+
+    engine.run(program)
+    return tracer
+
+
+class TestEventShape:
+    def test_every_event_has_required_fields(self):
+        events = chrome_trace_events(traced_run())
+        assert events
+        for ev in events:
+            for key in ("ph", "ts", "dur", "pid", "tid"):
+                assert key in ev, f"missing {key} in {ev}"
+
+    def test_duration_events_for_ops(self):
+        events = chrome_trace_events(traced_run())
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"compute", "send", "recv"}
+        send = next(e for e in xs if e["name"] == "send")
+        assert send["dur"] > 0
+        assert send["args"]["detail"].startswith("dst=1")
+
+    def test_log_becomes_instant_event(self):
+        events = chrome_trace_events(traced_run())
+        instants = [e for e in events if e["ph"] == "i"]
+        assert any(e["name"] == "checkpoint" for e in instants)
+
+    def test_tid_is_rank_and_single_run_pid(self):
+        events = chrome_trace_events(traced_run())
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {1}
+        assert {e["tid"] for e in xs} == {0, 1}
+
+    def test_timestamps_scaled_to_microseconds(self):
+        tracer = traced_run()
+        events = chrome_trace_events(tracer)
+        compute = next(e for e in events if e["name"] == "compute")
+        rec = tracer.by_kind("compute")[0]
+        assert compute["ts"] == rec.start * 1e6
+        assert compute["dur"] == (rec.end - rec.start) * 1e6
+
+    def test_metadata_names_processes_and_threads(self):
+        events = chrome_trace_events([("my run", traced_run())])
+        metas = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "my run" for e in metas)
+        assert any(e["args"]["name"] == "rank 1" for e in metas)
+
+
+class TestMultiRun:
+    def test_each_run_gets_its_own_pid(self):
+        events = chrome_trace_events(
+            [("a", traced_run()), ("b", traced_run())]
+        )
+        assert {e["pid"] for e in events} == {1, 2}
+
+    def test_dropped_records_flagged(self):
+        tracer = Tracer(limit=1)
+        engine = Engine(1, ZeroCostNetwork(), [1e6], tracer=tracer)
+
+        def program(rank):
+            yield Compute(seconds=0.1)
+            yield Compute(seconds=0.1)
+
+        engine.run(program)
+        events = chrome_trace_events(tracer)
+        assert any("dropped" in e["name"] for e in events)
+
+
+class TestWrite:
+    def test_writes_bare_json_array(self, tmp_path):
+        path = tmp_path / "deep" / "trace.json"
+        count = write_chrome_trace(path, traced_run())
+        data = json.loads(path.read_text())
+        assert isinstance(data, list)
+        assert len(data) == count > 0

@@ -1,0 +1,162 @@
+"""Tests for the metrics registry and its engine integration."""
+
+import json
+
+import pytest
+
+from repro.network.model import UniformCostNetwork, ZeroCostNetwork
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Log, Multicast, Recv, Send
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_overwrites(self):
+        g = Gauge()
+        g.set(4.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+    def test_histogram_buckets(self):
+        h = Histogram(boundaries=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # 0.5 and 1.0 land at/below the first edge, 5.0 in the second
+        # bucket, 100.0 in the overflow bucket.
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.5)
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(2.0, 1.0))
+
+    def test_histogram_to_dict_roundtrips_json(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(0.5)
+        assert json.loads(json.dumps(h.to_dict()))["count"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", rank=0) is reg.counter("x", rank=0)
+        assert reg.counter("x", rank=0) is not reg.counter("x", rank=1)
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", rank=3).inc(7)
+        assert reg.value("hits", rank=3) == 7
+        assert reg.value("hits", rank=4) == 0
+
+    def test_to_dict_groups_by_type(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(0.1)
+        doc = reg.to_dict()
+        assert {e["name"] for e in doc["counters"]} == {"c"}
+        assert {e["name"] for e in doc["gauges"]} == {"g"}
+        assert doc["histograms"][0]["count"] == 1
+
+    def test_iter_yields_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c", rank=1).inc()
+        reg.gauge("g").set(2)
+        names = {name for name, _, _ in reg}
+        assert names == {"c", "g"}
+
+
+class TestEngineIntegration:
+    def run_program(self, program, nranks=2, network=None):
+        reg = MetricsRegistry()
+        net = network if network is not None else UniformCostNetwork(0.01)
+        result = Engine(nranks, net, [1e6] * nranks, metrics=reg).run(program)
+        return reg, result
+
+    def test_ops_counted_per_rank_and_kind(self):
+        def program(rank):
+            if rank == 0:
+                yield Compute(flops=1e3)
+                yield Send(1, 16.0, tag=1)
+            else:
+                yield Recv(src=0, tag=1)
+
+        reg, _ = self.run_program(program)
+        assert reg.value("sim_ops_total", rank=0, kind="compute") == 1
+        assert reg.value("sim_ops_total", rank=0, kind="send") == 1
+        assert reg.value("sim_ops_total", rank=1, kind="recv") == 1
+        assert reg.value("sim_bytes_total", rank=0, kind="send") == 16.0
+        assert reg.value("sim_bytes_total", rank=1, kind="recv") == 16.0
+        assert reg.value("sim_flops_total", rank=0) == 1e3
+
+    def test_multicast_and_log_recorded(self):
+        def program(rank):
+            if rank == 0:
+                yield Log("hello")
+                yield Multicast((1, 2), 8.0, tag=2)
+            else:
+                yield Recv(src=0, tag=2)
+
+        reg, _ = self.run_program(program, nranks=3)
+        assert reg.value("sim_ops_total", rank=0, kind="multicast") == 1
+        assert reg.value("sim_ops_total", rank=0, kind="log") == 1
+
+    def test_message_bytes_histogram_uses_byte_buckets(self):
+        def program(rank):
+            if rank == 0:
+                yield Send(1, 100.0, tag=1)
+            else:
+                yield Recv(src=0, tag=1)
+
+        reg, _ = self.run_program(program)
+        hist = reg.histogram("sim_message_bytes", kind="send")
+        assert hist.boundaries == BYTES_BUCKETS
+        assert hist.count == 1
+
+    def test_engine_self_profile_gauges(self):
+        def program(rank):
+            for _ in range(5):
+                yield Compute(seconds=0.01)
+
+        reg, result = self.run_program(program, nranks=1,
+                                       network=ZeroCostNetwork())
+        assert reg.value("engine_events") == result.events == 5
+        assert reg.value("engine_heap_pushes") == result.heap_pushes
+        assert reg.value("engine_makespan_seconds") == pytest.approx(0.05)
+        assert reg.value("engine_wall_seconds") == result.wall_seconds > 0
+        assert reg.value("engine_events_per_second") == pytest.approx(
+            result.events_per_second
+        )
+        assert 0 <= reg.value("engine_stale_pop_ratio") <= 1
+
+    def test_op_durations_observed(self):
+        def program(rank):
+            yield Compute(seconds=0.5)
+
+        reg, _ = self.run_program(program, nranks=1,
+                                  network=ZeroCostNetwork())
+        hist = reg.histogram("sim_op_seconds", rank=0, kind="compute")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.5)

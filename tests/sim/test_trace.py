@@ -73,3 +73,52 @@ def test_recv_trace_detail_includes_source():
     engine.run(program)
     recv = tracer.by_kind("recv")[0]
     assert "src=0" in recv.detail and "nbytes=32" in recv.detail
+
+
+def test_rank_stats_idle_and_utilization():
+    stats = RankStats(rank=0, compute_time=1.0, send_time=0.25, recv_wait_time=0.75)
+    assert stats.idle_time(4.0) == pytest.approx(2.0)
+    assert stats.utilization(4.0) == pytest.approx(0.5)
+    # Degenerate makespans.
+    assert stats.idle_time(1.0) == 0.0
+    assert stats.utilization(0.0) == 0.0
+
+
+def test_tracer_kinds_lists_multicast():
+    from repro.sim.events import Multicast
+
+    tracer = Tracer()
+    engine = Engine(3, UniformCostNetwork(0.01), [1e6] * 3, tracer=tracer)
+
+    def program(rank):
+        if rank == 0:
+            yield Compute(flops=1e3)
+            yield Multicast((1, 2), 8.0, tag=1)
+        else:
+            yield Recv(src=0, tag=1)
+
+    engine.run(program)
+    assert tracer.kinds() == ["compute", "multicast", "recv"]
+    assert tracer.by_kind("multicast")[0].detail.startswith("dsts=2")
+
+
+def test_tracer_limit_boundary_under_multicast_fanout():
+    """Hitting the record limit mid-fan-out: stored vs dropped must account
+    for every record the run would have produced."""
+    from repro.sim.events import Multicast
+
+    tracer = Tracer(limit=2)
+    engine = Engine(4, UniformCostNetwork(0.01), [1e6] * 4, tracer=tracer)
+
+    def program(rank):
+        if rank == 0:
+            yield Multicast((1, 2, 3), 8.0, tag=1)
+        else:
+            yield Recv(src=0, tag=1)
+
+    engine.run(program)
+    # 4 records total (1 multicast + 3 recv); limit keeps the first 2.
+    assert len(tracer.records) == 2
+    assert tracer.dropped == 2
+    assert tracer.records[0].kind == "multicast"
+    assert len(tracer.records) + tracer.dropped == 4

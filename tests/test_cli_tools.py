@@ -1,4 +1,6 @@
-"""Tests for the CLI tool commands (predict / breakdown / memory)."""
+"""Tests for the CLI tool commands (predict / breakdown / memory / profile)."""
+
+import json
 
 import pytest
 
@@ -51,6 +53,63 @@ class TestMemory:
         out = capsys.readouterr().out
         assert "distributed run fits: False" in out
         assert "False" in out
+
+
+class TestProfile:
+    def test_profile_writes_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        assert main(
+            ["profile", "gaussian", "--nodes", "2", "--size", "60",
+             "--out", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "profile: ge" in text
+        assert "undelivered messages = 0" in text
+        assert "critical path" in text
+        for name in ("trace.json", "metrics.json", "summary.txt"):
+            assert (out / name).exists(), name
+        events = json.loads((out / "trace.json").read_text())
+        assert isinstance(events, list)
+        assert all(
+            key in ev for ev in events
+            for key in ("ph", "ts", "dur", "pid", "tid")
+        )
+
+    def test_profile_without_out_dir(self, capsys):
+        assert main(["profile", "mm", "--nodes", "2", "--size", "40"]) == 0
+        text = capsys.readouterr().out
+        assert "profile: mm" in text
+        assert "Overhead decomposition" in text
+
+    def test_profile_app_flag_fallback(self, capsys):
+        assert main(
+            ["profile", "--app", "stencil", "--nodes", "2", "--size", "24"]
+        ) == 0
+        assert "profile: stencil" in capsys.readouterr().out
+
+    def test_profile_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "quicksort", "--nodes", "2"])
+
+
+class TestTraceOut:
+    def test_table_command_exports_trace(self, capsys, tmp_path):
+        path = tmp_path / "study.json"
+        assert main(["table2", "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "trace events" in out
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events
+        # Every traced run is a separate trace-viewer process.
+        assert {e["ph"] for e in events} >= {"M", "X"}
+
+    def test_breakdown_with_trace_out(self, capsys, tmp_path):
+        path = tmp_path / "bd.json"
+        assert main(
+            ["breakdown", "--app", "ge", "--nodes", "2", "--size", "60",
+             "--trace-out", str(path)]
+        ) == 0
+        assert path.exists()
 
 
 def test_unknown_tool_rejected():

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.mpi",
     "repro.network",
     "repro.npb",
+    "repro.obs",
     "repro.overhead",
     "repro.sim",
 ]
