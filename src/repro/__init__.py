@@ -18,7 +18,9 @@ together with every substrate its evaluation depends on:
   matrix multiplication with heterogeneous data distributions.
 * :mod:`repro.obs` -- run observability: metrics registry, Chrome-trace
   export, per-rank utilization / imbalance / overhead / critical-path
-  analyzers, and the ``repro profile`` engine.
+  analyzers, the ``repro profile`` engine, structured JSONL run logging,
+  the persistent run ledger, and cross-run regression checking
+  (``repro history`` / ``repro compare`` / ``repro baseline``).
 * :mod:`repro.overhead` -- machine-parameter fitting and overhead models.
 * :mod:`repro.experiments` -- drivers regenerating every evaluation table
   and figure.

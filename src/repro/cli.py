@@ -8,6 +8,9 @@ Examples::
     repro-scalability all --quick
     repro profile gaussian --nodes 4 --out /tmp/prof
     repro table3 --nodes 2 4 --trace-out study-trace.json
+    repro history --app ge --limit 10
+    repro compare latest 20260805T120000-ge-n300-ab12cd34
+    repro baseline set latest && repro baseline check
 
 (``repro`` and ``repro-scalability`` are the same program; ``python -m
 repro`` works too.)
@@ -16,8 +19,10 @@ repro`` works too.)
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Sequence
 
@@ -246,6 +251,7 @@ def cmd_breakdown(args: argparse.Namespace) -> None:
 def cmd_profile(args: argparse.Namespace) -> None:
     """Profile one run: trace + metrics + analyzers (``repro profile <app>``)."""
     from .experiments.runner import resolve_app
+    from .obs.ledger import RunLedger
     from .obs.profiler import profile_app
 
     try:
@@ -268,6 +274,14 @@ def cmd_profile(args: argparse.Namespace) -> None:
             "summary.txt"
         )
         print()
+    ledger = RunLedger(getattr(args, "ledger", None))
+    try:
+        run_id = ledger.record_report(report, cluster=cluster)
+    except OSError as err:
+        print(f"warning: could not record run in ledger {ledger.root}: {err}")
+    else:
+        print(f"ledger: recorded run {run_id} in {ledger.root}")
+    print()
 
 
 def cmd_memory(args: argparse.Namespace) -> None:
@@ -292,6 +306,189 @@ def cmd_memory(args: argparse.Namespace) -> None:
         f"measurable on some node: {seq}"
     )
     print()
+
+
+# -- run-ledger commands (history / compare / baseline) -----------------------
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """List the run ledger (``repro history``)."""
+    from .obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    entries = ledger.history(app=args.app, source=args.source,
+                             limit=args.limit)
+    if not entries:
+        print(
+            f"ledger {ledger.root} has no matching runs "
+            "(record one with `repro profile <app>`)"
+        )
+        return 0
+
+    def fmt(value, pattern="{:.6g}"):
+        return pattern.format(value) if value is not None else "-"
+
+    _print(
+        format_table(
+            ["run id", "created (UTC)", "source", "app", "N", "cluster",
+             "makespan (s)", "E_S"],
+            [
+                (e.run_id, e.created_utc, e.source, e.app,
+                 e.problem_size if e.problem_size is not None else "-",
+                 e.cluster, fmt(e.makespan), fmt(e.speed_efficiency, "{:.4f}"))
+                for e in entries
+            ],
+            title=f"Run ledger {ledger.root} (newest first)",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Metric-by-metric delta table between two runs (``repro compare``)."""
+    from .core.types import MetricError
+    from .obs.ledger import RunLedger
+    from .obs.regression import compare_records
+
+    ledger = RunLedger(args.ledger)
+    try:
+        baseline = ledger.resolve(args.run_a)
+        candidate = ledger.resolve(args.run_b)
+    except MetricError as err:
+        raise SystemExit(f"error: {err}") from None
+    report = compare_records(baseline, candidate)
+    _print(report.format())
+    if args.check and report.verdict == "FAIL":
+        return 1
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    """Freeze / check a named perf baseline (``repro baseline set|check``)."""
+    from .core.types import MetricError
+    from .obs.ledger import RunLedger
+    from .obs.regression import (
+        baseline_path,
+        compare_records,
+        load_baseline,
+        save_baseline,
+    )
+
+    ledger = RunLedger(args.ledger)
+    try:
+        record = ledger.resolve(args.run)
+    except MetricError as err:
+        raise SystemExit(f"error: {err}") from None
+
+    if args.action == "set":
+        path = save_baseline(record, name=args.name, root=args.baselines)
+        print(
+            f"baseline {args.name!r} set to run "
+            f"{record.get('run_id', '?')} at {path}"
+        )
+        print()
+        return 0
+
+    baseline = load_baseline(name=args.name, root=args.baselines)
+    if baseline is None:
+        print(
+            f"WARN: no baseline {args.name!r} at "
+            f"{baseline_path(args.name, args.baselines)}; nothing to check "
+            "(create one with `repro baseline set`)"
+        )
+        print()
+        return 0
+    report = compare_records(baseline, record)
+    _print(report.format(
+        title=f"Baseline check ({args.name!r}) against "
+              f"{record.get('run_id', '?')}"
+    ))
+    if report.verdict == "FAIL":
+        failed = ", ".join(d.name for d in report.failed)
+        print(f"FAIL: metric regression past threshold: {failed}")
+        print()
+        return 0 if args.warn_only else 1
+    return 0
+
+
+#: Ledger commands routed to their own parser (multi-positional grammar).
+LEDGER_COMMANDS = ("history", "compare", "baseline")
+
+
+def build_ledger_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run-ledger tools: history, comparison, perf baselines.",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger directory (default: $REPRO_LEDGER_DIR or .repro/ledger)",
+    )
+    # Also accepted after the subcommand; SUPPRESS keeps a pre-subcommand
+    # value from being overwritten by the subparser's default.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--ledger", default=argparse.SUPPRESS, metavar="DIR",
+        help=argparse.SUPPRESS,
+    )
+    sub = parser.add_subparsers(dest="ledger_command", required=True)
+
+    history = sub.add_parser("history", help="list recorded runs",
+                             parents=[common])
+    history.add_argument("--app", default=None,
+                         help="only runs of this application")
+    history.add_argument("--source", default=None,
+                         choices=["run", "profile", "bench"],
+                         help="only runs recorded by this source")
+    history.add_argument("--limit", type=int, default=20,
+                         help="show at most this many runs (default 20)")
+    history.set_defaults(func=cmd_history)
+
+    compare = sub.add_parser(
+        "compare", help="metric-by-metric delta table between two runs",
+        parents=[common],
+    )
+    compare.add_argument(
+        "run_a", help="baseline run: id/prefix, 'latest', or a JSON path"
+    )
+    compare.add_argument(
+        "run_b", help="candidate run: id/prefix, 'latest', or a JSON path"
+    )
+    compare.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero when the comparison verdict is FAIL",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    baseline = sub.add_parser(
+        "baseline", help="freeze or check a named perf baseline",
+        parents=[common],
+    )
+    baseline.add_argument("action", choices=["set", "check"])
+    baseline.add_argument(
+        "run", nargs="?", default="latest",
+        help="run to freeze/check: id/prefix, 'latest' (default), or a "
+             "JSON path (run record or BENCH_*.json)",
+    )
+    baseline.add_argument("--name", default="default",
+                          help="baseline name (default: 'default')")
+    baseline.add_argument(
+        "--baselines", default=None, metavar="DIR",
+        help="baseline directory (default: $REPRO_BASELINE_DIR or "
+             ".repro/baselines)",
+    )
+    baseline.add_argument(
+        "--warn-only", action="store_true",
+        help="report FAIL verdicts but exit zero (first-run CI mode)",
+    )
+    baseline.set_defaults(func=cmd_baseline)
+    return parser
+
+
+def ledger_main(argv: Sequence[str]) -> int:
+    args = build_ledger_parser().parse_args(argv)
+    if getattr(args, "baselines", None) is None:
+        args.baselines = os.environ.get("REPRO_BASELINE_DIR")
+    return args.func(args)
 
 
 COMMANDS = {
@@ -330,6 +527,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate the evaluation tables/figures of 'Scalability of "
             "Heterogeneous Computing' (Sun, Chen, Wu; ICPP 2005) on the "
             "simulated Sunwulf cluster."
+        ),
+        epilog=(
+            "Run-ledger commands have their own grammar: "
+            "`repro history [--app A]`, `repro compare RUN_A RUN_B`, "
+            "`repro baseline set|check [RUN]`; see `repro history --help`."
         ),
     )
     parser.add_argument(
@@ -380,10 +582,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="export a Chrome trace-event JSON of every simulated run the "
              "command executes (open in chrome://tracing or Perfetto)",
     )
+    parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or "
+             ".repro/ledger); `profile` always records there, and giving "
+             "the flag on any other command records every simulated run "
+             "it executes (inspect with `repro history`)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] in LEDGER_COMMANDS:
+        return ledger_main(argv)
     args = build_parser().parse_args(argv)
     from .experiments.runner import resolve_app
 
@@ -397,19 +609,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             COMMANDS[args.what](args)
 
-    if args.trace_out:
-        from .experiments.runner import collect_traces
+    collector = None
+    with ExitStack() as stack:
+        if args.trace_out:
+            from .experiments.runner import collect_traces
+
+            collector = stack.enter_context(collect_traces())
+        if args.ledger and args.what != "profile":
+            # `profile` records its full analyzer report itself.
+            from .experiments.runner import ledger_recording
+            from .obs.ledger import RunLedger
+
+            stack.enter_context(ledger_recording(RunLedger(args.ledger)))
+        dispatch()
+    if collector is not None:
         from .obs.chrome_trace import write_chrome_trace
 
-        with collect_traces() as collector:
-            dispatch()
         count = write_chrome_trace(args.trace_out, collector.runs)
         print(
             f"wrote {count} trace events from {len(collector.runs)} "
             f"simulated run(s) to {args.trace_out}"
         )
-    else:
-        dispatch()
     return 0
 
 

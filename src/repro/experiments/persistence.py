@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
@@ -30,15 +31,26 @@ def write_json_document(
 ) -> None:
     """Write a versioned JSON document of the given ``kind``.
 
-    All persisted artifacts (studies, profile metrics, ...) share this
-    envelope: ``format_version`` + ``kind`` + ``metadata`` + the payload's
-    own keys, so readers can validate without knowing every format.
+    All persisted artifacts (studies, profile metrics, run records, ...)
+    share this envelope: ``format_version`` + ``kind`` + ``metadata`` +
+    the payload's own keys, so readers can validate without knowing every
+    format.  ``metadata`` is automatically stamped with ``created_utc``
+    and the writing ``repro_version`` (callers may override either;
+    readers ignore unknown fields, so old documents stay loadable).
     Parent directories are created as needed.
     """
+    from .. import __version__
+
+    metadata = dict(metadata or {})
+    metadata.setdefault(
+        "created_utc",
+        datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    metadata.setdefault("repro_version", __version__)
     document = {
         "format_version": FORMAT_VERSION,
         "kind": kind,
-        "metadata": metadata or {},
+        "metadata": metadata,
         **payload,
     }
     path = Path(path)
@@ -57,9 +69,10 @@ def read_json_document(path: str | Path, kind: str) -> dict[str, Any]:
         raise MetricError(f"corrupt document {path}: {err}") from err
     version = document.get("format_version")
     if version != FORMAT_VERSION:
+        found = "no format version" if version is None else f"version {version!r}"
         raise MetricError(
-            f"document {path} has format version {version}; this library "
-            f"reads version {FORMAT_VERSION}"
+            f"document {path}: expected format version {FORMAT_VERSION}, "
+            f"found {found}"
         )
     if document.get("kind") != kind:
         raise MetricError(

@@ -70,10 +70,16 @@ class TraceCollector:
     Activated with :func:`collect_traces`; the CLI's ``--trace-out`` flag
     uses it to export a Chrome trace of every simulation a table/figure
     command executed (one trace-viewer process per run).
+
+    Each tracer stops *storing* records at ``limit`` but keeps counting;
+    :attr:`dropped` totals the overflow across runs and
+    :meth:`warn_if_dropped` surfaces it once through the structured
+    logger, so a truncated trace is never silent.
     """
 
-    def __init__(self, limit: int = 1_000_000):
+    def __init__(self, limit: int = 1_000_000, log: Any = None):
         self.limit = limit
+        self.log = log
         self.runs: list[TraceRun] = []
 
     def tracer_for(self, label: str) -> Tracer:
@@ -81,6 +87,30 @@ class TraceCollector:
         tracer = Tracer(limit=self.limit)
         self.runs.append(TraceRun(label, tracer))
         return tracer
+
+    @property
+    def dropped(self) -> int:
+        """Records dropped past the per-run limit, totalled over all runs."""
+        return sum(run.tracer.dropped for run in self.runs)
+
+    def warn_if_dropped(self) -> int:
+        """Emit a once-per-collector structured warning when records were
+        dropped; returns the dropped count."""
+        dropped = self.dropped
+        if dropped:
+            log = self.log
+            if log is None:
+                from ..obs.structlog import stderr_logger
+
+                log = self.log = stderr_logger()
+            log.warn_once(
+                "trace.records_dropped",
+                "trace.records_dropped",
+                dropped=dropped,
+                limit=self.limit,
+                runs=len(self.runs),
+            )
+        return dropped
 
 
 _ACTIVE_COLLECTOR: TraceCollector | None = None
@@ -96,7 +126,8 @@ def collect_traces(
     ``run_app``/``run_ge``/... call gets a fresh tracer registered on the
     collector, labelled with app, problem size and cluster name.  Yields
     the collector (a new one when none is given).  Reentrant: the previous
-    collector is restored on exit.
+    collector is restored on exit.  On exit the collector warns (once,
+    via the structured logger) when any run overflowed its trace limit.
     """
     global _ACTIVE_COLLECTOR
     active = collector if collector is not None else TraceCollector()
@@ -106,6 +137,7 @@ def collect_traces(
         yield active
     finally:
         _ACTIVE_COLLECTOR = previous
+        active.warn_if_dropped()
 
 
 def _resolve_tracer(tracer: Tracer | None, label: str) -> Tracer | None:
@@ -113,6 +145,39 @@ def _resolve_tracer(tracer: Tracer | None, label: str) -> Tracer | None:
     if tracer is not None or _ACTIVE_COLLECTOR is None:
         return tracer
     return _ACTIVE_COLLECTOR.tracer_for(label)
+
+
+# -- run-ledger recording ------------------------------------------------------
+
+_ACTIVE_LEDGER: Any = None
+
+
+@contextmanager
+def ledger_recording(ledger: Any = None) -> Iterator[Any]:
+    """Record every application run inside the ``with`` block in a ledger.
+
+    ``ledger`` is a :class:`repro.obs.RunLedger` (a fresh one at the
+    default root when omitted).  Every ``run_app``/``run_ge``/... call
+    appends one run record; see :mod:`repro.obs.ledger`.  Reentrant like
+    :func:`collect_traces`.
+    """
+    global _ACTIVE_LEDGER
+    if ledger is None:
+        from ..obs.ledger import RunLedger
+
+        ledger = RunLedger()
+    previous = _ACTIVE_LEDGER
+    _ACTIVE_LEDGER = ledger
+    try:
+        yield ledger
+    finally:
+        _ACTIVE_LEDGER = previous
+
+
+def _ledger_record(app: str, cluster: ClusterSpec, record: "RunRecord") -> None:
+    """Append the run to the active ledger, if one is recording."""
+    if _ACTIVE_LEDGER is not None:
+        _ACTIVE_LEDGER.record_run(app, cluster, record, source="run")
 
 
 def run_ge(
@@ -124,11 +189,14 @@ def run_ge(
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
     metrics: Any = None,
+    log: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run Gaussian elimination of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
     tracer = _resolve_tracer(tracer, f"ge N={n} on {cluster.name}")
+    if log is not None:
+        log = log.bind(app="ge", n=n, cluster=cluster.name)
     options = GEOptions(
         n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
     )
@@ -142,6 +210,7 @@ def run_ge(
         config=collectives,
         tracer=tracer,
         metrics=metrics,
+        log=log,
     )
     measurement = Measurement(
         work=ge_workload(n),
@@ -150,7 +219,9 @@ def run_ge(
         problem_size=n,
         label=cluster.name,
     )
-    return RunRecord(measurement, run, run.return_values[0])
+    record = RunRecord(measurement, run, run.return_values[0])
+    _ledger_record("ge", cluster, record)
+    return record
 
 
 #: Default collective algorithms for MM: the bulk B replication uses the
@@ -169,11 +240,14 @@ def run_mm(
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
     metrics: Any = None,
+    log: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run matrix multiplication of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
     tracer = _resolve_tracer(tracer, f"mm N={n} on {cluster.name}")
+    if log is not None:
+        log = log.bind(app="mm", n=n, cluster=cluster.name)
     options = MMOptions(
         n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
     )
@@ -187,6 +261,7 @@ def run_mm(
         config=collectives,
         tracer=tracer,
         metrics=metrics,
+        log=log,
     )
     measurement = Measurement(
         work=mm_workload(n),
@@ -195,7 +270,9 @@ def run_mm(
         problem_size=n,
         label=cluster.name,
     )
-    return RunRecord(measurement, run, run.return_values[0])
+    record = RunRecord(measurement, run, run.return_values[0])
+    _ledger_record("mm", cluster, record)
+    return record
 
 
 def run_fft(
@@ -207,11 +284,14 @@ def run_fft(
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
     metrics: Any = None,
+    log: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run the distributed 2-D FFT (``n`` must be a power of two)."""
     marked = marked if marked is not None else marked_speed_of(cluster)
     tracer = _resolve_tracer(tracer, f"fft N={n} on {cluster.name}")
+    if log is not None:
+        log = log.bind(app="fft", n=n, cluster=cluster.name)
     options = FFTOptions(
         n=n, speeds=tuple(marked.speeds), numeric=numeric, seed=seed
     )
@@ -225,6 +305,7 @@ def run_fft(
         config=collectives,
         tracer=tracer,
         metrics=metrics,
+        log=log,
     )
     measurement = Measurement(
         work=fft_workload(n),
@@ -233,7 +314,9 @@ def run_fft(
         problem_size=n,
         label=cluster.name,
     )
-    return RunRecord(measurement, run, run.return_values[0])
+    record = RunRecord(measurement, run, run.return_values[0])
+    _ledger_record("fft", cluster, record)
+    return record
 
 
 def default_stencil_sweeps(n: int) -> int:
@@ -254,11 +337,14 @@ def run_stencil(
     marked: SystemMarkedSpeed | None = None,
     tracer: Tracer | None = None,
     metrics: Any = None,
+    log: Any = None,
     seed: int = 0,
 ) -> RunRecord:
     """Run the Jacobi stencil on an ``n x n`` grid for ``sweeps`` sweeps."""
     marked = marked if marked is not None else marked_speed_of(cluster)
     tracer = _resolve_tracer(tracer, f"stencil N={n} on {cluster.name}")
+    if log is not None:
+        log = log.bind(app="stencil", n=n, cluster=cluster.name)
     sweeps = default_stencil_sweeps(n) if sweeps is None else sweeps
     options = StencilOptions(
         n=n, sweeps=sweeps, speeds=tuple(marked.speeds),
@@ -274,6 +360,7 @@ def run_stencil(
         config=collectives,
         tracer=tracer,
         metrics=metrics,
+        log=log,
     )
     measurement = Measurement(
         work=stencil_workload(n, sweeps, residual_every),
@@ -282,7 +369,9 @@ def run_stencil(
         problem_size=n,
         label=cluster.name,
     )
-    return RunRecord(measurement, run, run.return_values[0])
+    record = RunRecord(measurement, run, run.return_values[0])
+    _ledger_record("stencil", cluster, record)
+    return record
 
 
 #: Application registry used by sweeps and the CLI.

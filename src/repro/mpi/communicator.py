@@ -237,12 +237,15 @@ def mpi_run(
     config: CollectiveConfig | None = None,
     tracer: Tracer | None = None,
     metrics: Any = None,
+    log: Any = None,
     max_events: int = 50_000_000,
 ) -> RunResult:
     """Run an SPMD program on the simulated machine and network.
 
-    ``metrics`` is an optional metrics sink (duck-typed, e.g.
-    :class:`repro.obs.MetricsRegistry`) forwarded to the engine.
+    ``metrics`` is an optional metrics sink and ``log`` an optional
+    structured logger (both duck-typed, e.g.
+    :class:`repro.obs.MetricsRegistry` / :class:`repro.obs.StructLogger`)
+    forwarded to the engine.
     """
 
     def factory(rank: int):
@@ -254,6 +257,7 @@ def mpi_run(
         flops_per_second=flops_per_second,
         tracer=tracer,
         metrics=metrics,
+        log=log,
         max_events=max_events,
     )
     return engine.run(factory)

@@ -14,6 +14,14 @@ simulated run:
   trace's compute/send/recv dependencies.
 * :mod:`repro.obs.profiler` — the ``repro profile <app>`` engine room:
   one traced+metered run, every analyzer, three artifacts on disk.
+* :mod:`repro.obs.structlog` — run-scoped structured JSONL event logging
+  (rank/op/phase fields), attachable to the engine and the runners.
+* :mod:`repro.obs.ledger` — the persistent run ledger: every recorded run
+  becomes a versioned JSON document plus an append-only index line, with
+  git SHA / platform / cluster-hash provenance (``repro history``).
+* :mod:`repro.obs.regression` — cross-run comparison with per-metric
+  WARN/FAIL thresholds and named baselines (``repro compare``,
+  ``repro baseline check``, the CI perf gate).
 """
 
 from .analysis import (
@@ -35,27 +43,66 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .ledger import (
+    LedgerEntry,
+    RunLedger,
+    bench_to_record,
+    cluster_spec_hash,
+    default_ledger_root,
+    environment_info,
+    git_sha,
+    load_record_file,
+)
 from .profiler import ProfileReport, build_report, profile_app, write_report
+from .regression import (
+    DEFAULT_SPECS,
+    ComparisonReport,
+    MetricDelta,
+    MetricSpec,
+    check_against_baseline,
+    compare_records,
+    load_baseline,
+    save_baseline,
+)
+from .structlog import StructLogger, stderr_logger
 
 __all__ = [
     "BYTES_BUCKETS",
+    "ComparisonReport",
     "Counter",
     "CriticalPath",
+    "DEFAULT_SPECS",
     "DURATION_BUCKETS",
     "Gauge",
     "Histogram",
+    "LedgerEntry",
     "MessageEdge",
+    "MetricDelta",
+    "MetricSpec",
     "MetricsRegistry",
     "OverheadDecomposition",
     "ProfileReport",
     "RankUtilization",
+    "RunLedger",
+    "StructLogger",
+    "bench_to_record",
     "build_report",
+    "check_against_baseline",
     "chrome_trace_events",
+    "cluster_spec_hash",
+    "compare_records",
     "critical_path",
+    "default_ledger_root",
+    "environment_info",
+    "git_sha",
     "imbalance_index",
+    "load_baseline",
+    "load_record_file",
     "overhead_decomposition",
     "profile_app",
     "rank_utilization",
+    "save_baseline",
+    "stderr_logger",
     "write_chrome_trace",
     "write_report",
 ]

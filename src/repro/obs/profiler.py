@@ -54,8 +54,11 @@ class ProfileReport:
     out_dir: Path | None = None
 
 
-def _app_compute_efficiency(app: str) -> float:
-    """The achievable-fraction ``f`` each runner applies, by app name."""
+def app_compute_efficiency(app: str) -> float:
+    """The achievable-fraction ``f`` each runner applies, by app name.
+
+    Raises ``KeyError`` for apps outside the built-in registry.
+    """
     from ..apps import (
         FFT_COMPUTE_EFFICIENCY,
         GE_COMPUTE_EFFICIENCY,
@@ -248,7 +251,7 @@ def profile_app(
         tracer,
         metrics=metrics,
         compute_efficiency=run_kwargs.get(
-            "compute_efficiency", _app_compute_efficiency(app)
+            "compute_efficiency", app_compute_efficiency(app)
         ),
         cluster_name=cluster.name,
     )

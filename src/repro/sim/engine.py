@@ -116,6 +116,11 @@ class Engine:
         end, nbytes=..., flops=...)`` once per traced primitive and
         ``metrics.record_engine(events=..., wall_seconds=...,
         heap_pushes=..., stale_pops=..., makespan=...)`` once per run.
+    log:
+        Optional structured logger (e.g. :class:`repro.obs.StructLogger`).
+        Duck-typed: the engine calls ``log.event(name, **fields)`` at run
+        start and completion (run-level events only; attach the logger as
+        ``metrics=`` instead for per-operation JSONL).
     max_events:
         Safety limit on primitive operations processed.
     """
@@ -127,6 +132,7 @@ class Engine:
         flops_per_second: Sequence[float],
         tracer: Tracer | None = None,
         metrics: Any = None,
+        log: Any = None,
         max_events: int = 50_000_000,
     ):
         if nranks <= 0:
@@ -146,6 +152,7 @@ class Engine:
         self.flops_per_second = [float(s) for s in flops_per_second]
         self.tracer = tracer
         self.metrics = metrics
+        self.log = log
         self.max_events = max_events
 
     # ------------------------------------------------------------------
@@ -161,6 +168,9 @@ class Engine:
                 )
         if hasattr(self.network, "reset"):
             self.network.reset()
+
+        if self.log is not None:
+            self.log.event("engine.run_start", nranks=self.nranks)
 
         procs = [_Proc(rank, gen) for rank, gen in enumerate(gens)]
         stats = [RankStats(rank) for rank in range(self.nranks)]
@@ -423,5 +433,16 @@ class Engine:
                 heap_pushes=pushes,
                 stale_pops=stale,
                 makespan=result.makespan,
+            )
+        if self.log is not None:
+            self.log.event(
+                "engine.run_complete",
+                nranks=self.nranks,
+                events=events,
+                makespan=result.makespan,
+                wall_seconds=wall,
+                heap_pushes=pushes,
+                stale_pops=stale,
+                undelivered_messages=undelivered,
             )
         return result

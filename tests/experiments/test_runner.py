@@ -131,3 +131,74 @@ class TestMarkedSpeedOf:
     def test_mm2_total(self, mm2_cluster):
         marked = marked_speed_of(mm2_cluster)
         assert marked.total_mflops == pytest.approx(180.0, rel=0.02)
+
+
+class TestResolveAppMessage:
+    def test_unknown_app_message_lists_choices(self):
+        with pytest.raises(KeyError) as excinfo:
+            resolve_app("sort")
+        message = excinfo.value.args[0]
+        assert "unknown application 'sort'" in message
+        assert "'ge'" in message and "'fft'" in message
+        assert "aliases" in message and "'gaussian'" in message
+
+    def test_unresolvable_alias_target_reported(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            resolve_app("quicksort")
+
+
+class TestTraceDropping:
+    def test_dropped_counted_past_limit(self, ge2_cluster, ge2_marked):
+        from repro.experiments.runner import TraceCollector
+
+        collector = TraceCollector(limit=10)
+        with collect_traces(collector):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        (run,) = collector.runs
+        assert len(run.tracer.records) == 10
+        assert run.tracer.dropped > 0
+        assert collector.dropped == run.tracer.dropped
+
+    def test_exit_warns_once_via_structured_log(self, ge2_cluster,
+                                                ge2_marked):
+        from repro.experiments.runner import TraceCollector
+        from repro.obs.structlog import StructLogger
+
+        log = StructLogger()
+        collector = TraceCollector(limit=10, log=log)
+        with collect_traces(collector):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        warnings = [
+            e for e in log.events if e["event"] == "trace.records_dropped"
+        ]
+        assert len(warnings) == 1
+        assert warnings[0]["level"] == "warning"
+        assert warnings[0]["dropped"] == collector.dropped
+        assert warnings[0]["limit"] == 10
+        # Re-checking never duplicates the warning.
+        collector.warn_if_dropped()
+        assert len([
+            e for e in log.events if e["event"] == "trace.records_dropped"
+        ]) == 1
+
+    def test_no_warning_when_nothing_dropped(self, ge2_cluster, ge2_marked):
+        from repro.experiments.runner import TraceCollector
+        from repro.obs.structlog import StructLogger
+
+        log = StructLogger()
+        collector = TraceCollector(log=log)
+        with collect_traces(collector):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        assert collector.dropped == 0
+        assert collector.warn_if_dropped() == 0
+        assert log.events == []
+
+    def test_default_warning_goes_to_stderr(self, ge2_cluster, ge2_marked,
+                                            capsys):
+        from repro.experiments.runner import TraceCollector
+
+        collector = TraceCollector(limit=10)
+        with collect_traces(collector):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        err = capsys.readouterr().err
+        assert "trace.records_dropped" in err

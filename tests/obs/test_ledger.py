@@ -1,0 +1,246 @@
+"""Tests for the persistent run ledger."""
+
+import json
+
+import pytest
+
+from repro.core import MetricError
+from repro.experiments import ledger_recording, run_ge
+from repro.machine import ge_configuration
+from repro.obs.ledger import (
+    RUN_RECORD_KIND,
+    RunLedger,
+    bench_to_record,
+    cluster_spec_hash,
+    default_ledger_root,
+    environment_info,
+    git_sha,
+    load_record_file,
+)
+from repro.obs.structlog import StructLogger
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ge_configuration(2)
+
+
+@pytest.fixture(scope="module")
+def record(cluster):
+    return run_ge(cluster, 40)
+
+
+class TestProvenance:
+    def test_git_sha_of_this_repo(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_git_sha_outside_a_repo(self, tmp_path):
+        assert git_sha(cwd=tmp_path) is None
+
+    def test_cluster_hash_is_stable_and_sensitive(self, cluster):
+        assert cluster_spec_hash(cluster) == cluster_spec_hash(cluster)
+        other = ge_configuration(4)
+        assert cluster_spec_hash(cluster) != cluster_spec_hash(other)
+        assert len(cluster_spec_hash(cluster)) == 16
+
+    def test_environment_info_fields(self):
+        env = environment_info()
+        assert set(env) == {"git_sha", "python", "platform", "repro_version"}
+        assert env["python"].count(".") == 2
+
+    def test_default_root_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "elsewhere"))
+        assert default_ledger_root() == tmp_path / "elsewhere"
+
+
+class TestRecordRun:
+    def test_record_and_load(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record)
+        assert "-ge-n40-" in run_id
+
+        loaded = ledger.load(run_id)
+        assert loaded["kind"] == RUN_RECORD_KIND
+        assert loaded["app"] == "ge"
+        assert loaded["problem_size"] == 40
+        assert loaded["cluster"]["name"] == cluster.name
+        assert loaded["cluster"]["spec_hash"] == cluster_spec_hash(cluster)
+        metrics = loaded["metrics"]
+        assert metrics["makespan"] == pytest.approx(record.run.makespan)
+        assert metrics["speed_efficiency"] == pytest.approx(
+            record.measurement.speed_efficiency
+        )
+        assert 0.0 <= metrics["imbalance_index"]
+        # Theorem-1 residual: To = max(0, T - ideal - t0).
+        assert metrics["theorem1_overhead"] == pytest.approx(max(
+            0.0,
+            metrics["makespan"] - metrics["theorem1_ideal_compute"]
+            - metrics["theorem1_t0"],
+        ))
+
+    def test_index_line_matches_record(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record)
+        (entry,) = ledger.history()
+        assert entry.run_id == run_id
+        assert entry.app == "ge"
+        assert entry.source == "run"
+        assert entry.makespan == pytest.approx(record.run.makespan)
+
+    def test_record_emits_structured_event(self, tmp_path, cluster, record):
+        log = StructLogger()
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record, log=log)
+        (event,) = [e for e in log.events if e["event"] == "ledger.recorded"]
+        assert event["run_id"] == run_id
+
+    def test_extra_metrics_merged(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run(
+            "ge", cluster, record, extra_metrics={"custom": 3.0}
+        )
+        assert ledger.load(run_id)["metrics"]["custom"] == 3.0
+
+
+class TestHistory:
+    def test_newest_first_with_filters(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        first = ledger.record_run("ge", cluster, record)
+        second = ledger.record_run("mm", cluster, record, source="profile")
+        third = ledger.record_run("ge", cluster, record)
+
+        assert [e.run_id for e in ledger.history()] == [third, second, first]
+        assert [e.run_id for e in ledger.history(app="ge")] == [third, first]
+        assert [e.run_id for e in ledger.history(source="profile")] == [second]
+        assert len(ledger.history(limit=1)) == 1
+
+    def test_empty_ledger(self, tmp_path):
+        ledger = RunLedger(tmp_path / "nothing")
+        assert ledger.history() == []
+        assert ledger.latest() is None
+
+    def test_torn_index_line_skipped(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record)
+        with ledger.index_path.open("a") as handle:
+            handle.write('{"run_id": "torn-')  # interrupted append
+        assert [e.run_id for e in ledger.history()] == [run_id]
+
+
+class TestLoadAndResolve:
+    def test_unique_prefix(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record)
+        assert ledger.load(run_id[:-2])["run_id"] == run_id
+
+    def test_missing_run_id(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        with pytest.raises(MetricError, match="no run 'nope'"):
+            ledger.load("nope")
+
+    def test_ambiguous_prefix(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        a = ledger.record_run("ge", cluster, record)
+        b = ledger.record_run("ge", cluster, record)
+        shared = ""
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            shared += x
+        with pytest.raises(MetricError, match="ambiguous"):
+            ledger.load(shared)
+
+    def test_resolve_latest_and_empty(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        with pytest.raises(MetricError, match="empty"):
+            ledger.resolve("latest")
+        run_id = ledger.record_run("ge", cluster, record)
+        assert ledger.resolve("latest")["run_id"] == run_id
+
+    def test_resolve_json_path(self, tmp_path, cluster, record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record)
+        path = ledger.runs_dir / f"{run_id}.json"
+        assert ledger.resolve(str(path))["run_id"] == run_id
+
+
+class TestBenchRecords:
+    PAYLOAD = {
+        "bench": "engine_throughput",
+        "app": "ge",
+        "n": 200,
+        "nodes": 4,
+        "events_per_second": 50000.0,
+        "mean_wall_seconds": 0.8,
+        "events_per_run": 40000,
+    }
+
+    def test_bench_to_record_metrics(self):
+        record = bench_to_record(self.PAYLOAD)
+        assert record["source"] == "bench"
+        assert record["app"] == "ge"
+        assert record["metrics"]["events_per_second"] == 50000.0
+        assert record["metrics"]["mean_wall_seconds"] == 0.8
+        assert record["bench"] == self.PAYLOAD
+
+    def test_record_bench_roundtrip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_bench(self.PAYLOAD)
+        loaded = ledger.load(run_id)
+        assert loaded["source"] == "bench"
+        assert loaded["metrics"]["events_per_second"] == 50000.0
+
+    def test_load_record_file_raw_bench(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(self.PAYLOAD))
+        record = load_record_file(path)
+        assert record["source"] == "bench"
+        assert record["metrics"]["mean_wall_seconds"] == 0.8
+
+
+class TestLoadRecordFile:
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(MetricError, match="corrupt"):
+            load_record_file(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MetricError, match="cannot read"):
+            load_record_file(tmp_path / "absent.json")
+
+    def test_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(MetricError, match="JSON object"):
+            load_record_file(path)
+
+    def test_unrecognized_object(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(MetricError, match="neither"):
+            load_record_file(path)
+
+    def test_unenveloped_record_with_metrics(self, tmp_path):
+        path = tmp_path / "hand.json"
+        path.write_text('{"run_id": "hand", "metrics": {"makespan": 1.0}}')
+        assert load_record_file(path)["metrics"]["makespan"] == 1.0
+
+
+class TestAmbientRecording:
+    def test_runs_recorded_inside_context(self, tmp_path, cluster):
+        ledger = RunLedger(tmp_path / "ledger")
+        with ledger_recording(ledger):
+            run_ge(cluster, 40)
+            run_ge(cluster, 50)
+        entries = ledger.history()
+        assert len(entries) == 2
+        assert {e.problem_size for e in entries} == {40, 50}
+        assert all(e.source == "run" for e in entries)
+
+    def test_no_recording_outside_context(self, tmp_path, cluster,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        run_ge(cluster, 40)
+        assert RunLedger().history() == []
