@@ -22,6 +22,10 @@ together with every substrate its evaluation depends on:
   the persistent run ledger, and cross-run regression checking
   (``repro history`` / ``repro compare`` / ``repro baseline``).
 * :mod:`repro.overhead` -- machine-parameter fitting and overhead models.
+* :mod:`repro.faults` -- deterministic fault injection (slowdowns, crashes,
+  link degradation, message loss) and scalability-under-faults analysis:
+  availability-weighted ``C_eff``, fault-adjusted speed-efficiency, and
+  degraded ψ (``repro faults run|sweep``).
 * :mod:`repro.experiments` -- drivers regenerating every evaluation table
   and figure.
 
@@ -36,7 +40,19 @@ Quickstart::
     print(record.measurement.speed_efficiency)
 """
 
-from . import apps, core, experiments, machine, mpi, network, npb, obs, overhead, sim
+from . import (
+    apps,
+    core,
+    experiments,
+    faults,
+    machine,
+    mpi,
+    network,
+    npb,
+    obs,
+    overhead,
+    sim,
+)
 from .core import (
     Measurement,
     MetricError,
@@ -66,6 +82,7 @@ __all__ = [
     "apps",
     "core",
     "experiments",
+    "faults",
     "machine",
     "marked_speed_of",
     "mpi",

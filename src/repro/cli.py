@@ -11,6 +11,10 @@ Examples::
     repro history --app ge --limit 10
     repro compare latest 20260805T120000-ge-n300-ab12cd34
     repro baseline set latest && repro baseline check
+    repro faults run --smoke
+    repro faults run --app ge --slowdown 0.5 --trace-out faulted.json
+    repro faults sweep --app ge --severities 0 0.2 0.4 0.6
+    repro version
 
 (``repro`` and ``repro-scalability`` are the same program; ``python -m
 repro`` works too.)
@@ -410,6 +414,252 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- fault-injection commands (faults run / faults sweep) ---------------------
+
+def _load_or_build_schedule(args: argparse.Namespace, nranks: int):
+    """Resolve the schedule source flags of ``repro faults run``."""
+    from .core.types import MetricError
+    from .faults import FaultSchedule, FaultScheduleError, uniform_slowdown
+
+    if args.schedule:
+        try:
+            return FaultSchedule.load(args.schedule)
+        except (MetricError, FaultScheduleError) as err:
+            raise SystemExit(f"error: {err}") from None
+    if args.slowdown is not None:
+        if not 0.0 <= args.slowdown < 1.0:
+            raise SystemExit(
+                f"error: --slowdown must be in [0, 1), got {args.slowdown}"
+            )
+        return uniform_slowdown(nranks, args.slowdown)
+    raise SystemExit(
+        "error: give a fault source: --schedule PATH, --slowdown SEV, "
+        "or --smoke"
+    )
+
+
+def cmd_faults_run(args: argparse.Namespace) -> int:
+    """Run one application under a fault schedule (``repro faults run``)."""
+    from .experiments.runner import RunRecord, resolve_app, run_app
+    from .faults import FaultSchedule, NodeCrash, run_app_under_faults
+    from .sim.trace import Tracer
+
+    try:
+        app = resolve_app(args.app)
+    except KeyError as err:
+        raise SystemExit(f"error: {err.args[0]}") from None
+    cluster = _cluster_for(app, args.nodes)
+
+    baseline: RunRecord | bool = not args.no_baseline
+    if args.smoke:
+        # Canned crash+restart scenario: crash the last rank at 30% of the
+        # fault-free makespan, bring it back after 10% + 5% recompute.  The
+        # baseline run doubles as the degraded-psi anchor.
+        base = run_app(app, cluster, args.size, seed=args.seed)
+        t = base.run.makespan
+        schedule = FaultSchedule((
+            NodeCrash(rank=cluster.nranks - 1, at=0.3 * t,
+                      restart_delay=0.1 * t, recompute_seconds=0.05 * t),
+        ))
+        baseline = base
+    else:
+        schedule = _load_or_build_schedule(args, cluster.nranks)
+
+    tracer = Tracer() if args.trace_out else None
+    faulty = run_app_under_faults(
+        app, cluster, args.size, schedule,
+        baseline=baseline, tracer=tracer, seed=args.seed,
+    )
+
+    m = faulty.faulted.measurement
+    print(
+        f"{app} at N={args.size} on {cluster.name} under "
+        f"{len(schedule)} fault event(s) "
+        f"[profile {faulty.fault_profile_hash}]"
+    )
+    rows = [
+        ("makespan T' (s)", f"{faulty.makespan:.4f}"),
+        ("C_eff (Mflop/s)", f"{faulty.c_eff / 1e6:.1f}"),
+        ("availability min", f"{min(faulty.availabilities):.4f}"),
+        ("E_S (marked C)", f"{m.speed_efficiency:.4f}"),
+        ("E_S^fault (C_eff)", f"{faulty.fault_speed_efficiency:.4f}"),
+    ]
+    if faulty.baseline is not None:
+        rows[0:0] = [
+            ("baseline T (s)", f"{faulty.baseline.run.makespan:.4f}"),
+        ]
+        rows.append(("degraded psi", f"{faulty.psi:.4f}"))
+    print()
+    _print(format_table(["metric", "value"], rows, title="Faulted run"))
+    events = faulty.injector.events
+    if events:
+        _print(format_table(
+            ["t (s)", "rank", "kind", "detail"],
+            [
+                (f"{e.time:.4f}", e.rank if e.rank >= 0 else "net",
+                 e.kind, e.detail)
+                for e in events
+            ],
+            title="Fault events",
+        ))
+
+    if tracer is not None:
+        from .obs.chrome_trace import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out, tracer)
+        print(f"wrote {count} trace events to {args.trace_out}")
+        print()
+    if args.smoke or args.ledger is not None:
+        from .obs.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger)
+        try:
+            run_id = faulty.to_ledger(ledger)
+        except OSError as err:
+            print(
+                f"warning: could not record run in ledger {ledger.root}: "
+                f"{err}"
+            )
+        else:
+            print(f"ledger: recorded run {run_id} in {ledger.root}")
+        print()
+    return 0
+
+
+def cmd_faults_sweep(args: argparse.Namespace) -> int:
+    """psi-vs-fault-intensity table (``repro faults sweep``)."""
+    from .experiments.runner import resolve_app
+    from .faults import (
+        psi_is_monotone_nonincreasing,
+        render_sweep,
+        slowdown_sweep,
+    )
+
+    try:
+        app = resolve_app(args.app)
+    except KeyError as err:
+        raise SystemExit(f"error: {err.args[0]}") from None
+    for severity in args.severities:
+        if not 0.0 <= severity < 1.0:
+            raise SystemExit(
+                f"error: severities must be in [0, 1), got {severity}"
+            )
+    cluster = _cluster_for(app, args.nodes)
+    rows = slowdown_sweep(
+        app, cluster, args.size, severities=args.severities, seed=args.seed
+    )
+    _print(render_sweep(
+        rows,
+        title=f"Scalability under faults ({app}, N={args.size}, "
+              f"{cluster.name})",
+    ))
+    monotone = psi_is_monotone_nonincreasing(rows)
+    print(f"psi monotone non-increasing with severity: {monotone}")
+    print()
+    if args.out:
+        import json as _json
+        from dataclasses import asdict
+
+        payload = {
+            "app": app,
+            "cluster": cluster.name,
+            "problem_size": args.size,
+            "rows": [asdict(r) for r in sorted(rows, key=lambda r: r.severity)],
+            "psi_monotone_nonincreasing": monotone,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"wrote sweep data to {out}")
+        print()
+    return 0
+
+
+def build_faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description=(
+            "Fault injection: run applications under deterministic fault "
+            "schedules and measure scalability under faults."
+        ),
+    )
+    sub = parser.add_subparsers(dest="faults_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run one application under a fault schedule",
+    )
+    run.add_argument(
+        "--app",
+        choices=["ge", "gaussian", "mm", "matmul", "stencil", "jacobi", "fft"],
+        default="ge", help="application to run (default: ge)",
+    )
+    run.add_argument("--nodes", type=int, default=2,
+                     help="Sunwulf node count (default 2)")
+    run.add_argument("--size", type=int, default=300,
+                     help="problem size N (default 300)")
+    run.add_argument(
+        "--schedule", default=None, metavar="PATH",
+        help="fault-schedule JSON document to inject "
+             "(see repro.faults.FaultSchedule.save)",
+    )
+    run.add_argument(
+        "--slowdown", type=float, default=None, metavar="SEV",
+        help="uniform whole-run slowdown of the given severity on every rank",
+    )
+    run.add_argument(
+        "--smoke", action="store_true",
+        help="canned crash+restart scenario (crash at 30%% of the fault-free "
+             "makespan, restart after 10%% + 5%% recompute) recorded to the "
+             "ledger; the CI smoke step",
+    )
+    run.add_argument("--seed", type=int, default=0,
+                     help="workload seed (default 0)")
+    run.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the fault-free baseline run (degraded psi unavailable)",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace of the faulted run (fault track included)",
+    )
+    run.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="record the run in this ledger (default ledger with --smoke)",
+    )
+    run.set_defaults(func=cmd_faults_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="psi-vs-fault-intensity table (uniform slowdown scan)",
+    )
+    sweep.add_argument(
+        "--app",
+        choices=["ge", "gaussian", "mm", "matmul", "stencil", "jacobi", "fft"],
+        default="ge", help="application to sweep (default: ge)",
+    )
+    sweep.add_argument("--nodes", type=int, default=2,
+                       help="Sunwulf node count (default 2)")
+    sweep.add_argument("--size", type=int, default=300,
+                       help="problem size N (default 300)")
+    sweep.add_argument(
+        "--severities", type=float, nargs="+",
+        default=[0.0, 0.2, 0.4, 0.6],
+        help="slowdown severities to scan (default: 0.0 0.2 0.4 0.6)",
+    )
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="workload seed (default 0)")
+    sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the sweep rows as JSON",
+    )
+    sweep.set_defaults(func=cmd_faults_sweep)
+    return parser
+
+
+def faults_main(argv: Sequence[str]) -> int:
+    args = build_faults_parser().parse_args(argv)
+    return args.func(args)
+
+
 #: Ledger commands routed to their own parser (multi-positional grammar).
 LEDGER_COMMANDS = ("history", "compare", "baseline")
 
@@ -437,7 +687,7 @@ def build_ledger_parser() -> argparse.ArgumentParser:
     history.add_argument("--app", default=None,
                          help="only runs of this application")
     history.add_argument("--source", default=None,
-                         choices=["run", "profile", "bench"],
+                         choices=["run", "profile", "bench", "faults"],
                          help="only runs recorded by this source")
     history.add_argument("--limit", type=int, default=20,
                          help="show at most this many runs (default 20)")
@@ -531,7 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Run-ledger commands have their own grammar: "
             "`repro history [--app A]`, `repro compare RUN_A RUN_B`, "
-            "`repro baseline set|check [RUN]`; see `repro history --help`."
+            "`repro baseline set|check [RUN]`; see `repro history --help`. "
+            "Fault injection: `repro faults run|sweep` "
+            "(see `repro faults --help`)."
         ),
     )
     parser.add_argument(
@@ -594,6 +846,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] in ("version", "--version", "-V"):
+        from . import __version__
+
+        # The same string write_json_document stamps into every document.
+        print(f"repro {__version__}")
+        return 0
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
     if argv and argv[0] in LEDGER_COMMANDS:
         return ledger_main(argv)
     args = build_parser().parse_args(argv)

@@ -191,6 +191,7 @@ def run_ge(
     metrics: Any = None,
     log: Any = None,
     seed: int = 0,
+    launcher: Any = None,
 ) -> RunRecord:
     """Run Gaussian elimination of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -202,7 +203,7 @@ def run_ge(
     )
     program = make_ge_program(options)
     effective = [s * compute_efficiency for s in marked.speeds]
-    run = mpi_run(
+    run = (launcher or mpi_run)(
         cluster.nranks,
         cluster.build_network(),
         effective,
@@ -242,6 +243,7 @@ def run_mm(
     metrics: Any = None,
     log: Any = None,
     seed: int = 0,
+    launcher: Any = None,
 ) -> RunRecord:
     """Run matrix multiplication of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -253,7 +255,7 @@ def run_mm(
     )
     program = make_mm_program(options)
     effective = [s * compute_efficiency for s in marked.speeds]
-    run = mpi_run(
+    run = (launcher or mpi_run)(
         cluster.nranks,
         cluster.build_network(),
         effective,
@@ -286,6 +288,7 @@ def run_fft(
     metrics: Any = None,
     log: Any = None,
     seed: int = 0,
+    launcher: Any = None,
 ) -> RunRecord:
     """Run the distributed 2-D FFT (``n`` must be a power of two)."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -297,7 +300,7 @@ def run_fft(
     )
     program = make_fft_program(options)
     effective = [s * compute_efficiency for s in marked.speeds]
-    run = mpi_run(
+    run = (launcher or mpi_run)(
         cluster.nranks,
         cluster.build_network(),
         effective,
@@ -339,6 +342,7 @@ def run_stencil(
     metrics: Any = None,
     log: Any = None,
     seed: int = 0,
+    launcher: Any = None,
 ) -> RunRecord:
     """Run the Jacobi stencil on an ``n x n`` grid for ``sweeps`` sweeps."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -352,7 +356,7 @@ def run_stencil(
     )
     program = make_stencil_program(options)
     effective = [s * compute_efficiency for s in marked.speeds]
-    run = mpi_run(
+    run = (launcher or mpi_run)(
         cluster.nranks,
         cluster.build_network(),
         effective,

@@ -1,0 +1,42 @@
+"""Exception types for the fault-injection and resilience subsystem."""
+
+from __future__ import annotations
+
+from ..sim.errors import SimulationError
+
+
+class FaultError(SimulationError):
+    """Base class for fault-injection errors."""
+
+
+class RankFailedError(FaultError):
+    """Raised *into* a simulated process when its node crashes fail-stop.
+
+    The injector throws this exception at the victim's current yield point
+    (the generator's suspended ``yield``).  A resilient program may catch it
+    and degrade gracefully; an uncaught ``RankFailedError`` terminates the
+    rank at the crash time (the injector absorbs it, so the run itself
+    completes and the rank simply stops participating).
+    """
+
+    def __init__(self, rank: int, at: float):
+        self.rank = rank
+        self.at = at
+        super().__init__(f"rank {rank} failed at t={at:g}s")
+
+
+class MessageLostError(FaultError):
+    """Raised by reliable transfer primitives after retries are exhausted."""
+
+    def __init__(self, dst: int, tag: int, attempts: int):
+        self.dst = dst
+        self.tag = tag
+        self.attempts = attempts
+        super().__init__(
+            f"no acknowledgement from rank {dst} (tag={tag}) "
+            f"after {attempts} attempts"
+        )
+
+
+class FaultScheduleError(FaultError):
+    """Raised for structurally invalid fault schedules or events."""

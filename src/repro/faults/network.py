@@ -1,0 +1,152 @@
+"""A network-model wrapper that applies link faults from a schedule.
+
+:class:`FaultyNetworkModel` wraps *any* model satisfying the engine's
+network protocol (``transfer``, optional ``multicast``/``reset``) and
+perturbs its answers:
+
+* :class:`~repro.faults.schedule.LinkDegradation` windows stretch the
+  sender occupation (``1/bandwidth_factor``) and the in-flight transit
+  time (``latency_factor``) of matching transfers.
+* :class:`~repro.faults.schedule.MessageLoss` rules drop matching
+  transfers deterministically by returning ``arrival = math.inf`` -- the
+  engine's loss sentinel: the sender is charged normally, nothing is ever
+  delivered, and the loss is counted in ``RankStats.messages_lost``.
+
+Window membership is decided by the transfer's *request* time, so the
+perturbation is causal under the engine's smallest-clock scheduling, and
+drop counters advance in virtual-time order, making every decision
+deterministic and replayable.
+
+Native ``multicast`` is forwarded with degradation applied but is never
+dropped (a shared-bus broadcast is one physical frame; per-destination
+loss only arises on the unicast fallback path, where it falls out of
+``transfer`` naturally).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .schedule import FaultSchedule
+
+
+class FaultyNetworkModel:
+    """Perturb an inner network model according to a :class:`FaultSchedule`.
+
+    ``injector`` is an optional :class:`~repro.faults.injection.FaultInjector`
+    that records drop/degradation events for the fault trace.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        schedule: FaultSchedule,
+        injector: Any = None,
+    ):
+        self.inner = inner
+        self.schedule = schedule
+        self.injector = injector
+        self._degradations = schedule.link_faults()
+        self._losses = schedule.losses()
+        self._match_counts = [0] * len(self._losses)
+        self._drop_counts = [0] * len(self._losses)
+        # Only advertise multicast when the inner model has it: the engine
+        # discovers the capability with getattr().
+        if hasattr(inner, "multicast"):
+            self.multicast = self._multicast
+
+    # -- engine protocol ---------------------------------------------------
+    def reset(self) -> None:
+        if hasattr(self.inner, "reset"):
+            self.inner.reset()
+        self._match_counts = [0] * len(self._losses)
+        self._drop_counts = [0] * len(self._losses)
+
+    def transfer(
+        self, src: int, dst: int, nbytes: float, start: float
+    ) -> tuple[float, float]:
+        sender_done, arrival = self.inner.transfer(src, dst, nbytes, start)
+        sender_done, arrival = self._degrade(
+            src, dst, start, sender_done, arrival
+        )
+        if self._should_drop(src, dst, start):
+            if self.injector is not None:
+                self.injector.record_loss(src, dst, nbytes, start)
+            return sender_done, math.inf
+        return sender_done, arrival
+
+    def _multicast(
+        self, src: int, dsts: tuple[int, ...], nbytes: float, start: float
+    ) -> tuple[float, float]:
+        sender_done, arrival = self.inner.multicast(src, dsts, nbytes, start)
+        # Only degradations without a dst filter apply to a shared
+        # broadcast frame; pair-specific rules target unicast links.
+        bw, lat = self._factors(src, None, start)
+        if bw != 1.0 or lat != 1.0:
+            occupation = (sender_done - start) / bw
+            transit = max(0.0, arrival - sender_done) * lat
+            sender_done = start + occupation
+            arrival = sender_done + transit
+        return sender_done, arrival
+
+    # -- internals ---------------------------------------------------------
+    def _factors(
+        self, src: int, dst: int | None, start: float
+    ) -> tuple[float, float]:
+        """Combined (bandwidth_factor, latency_factor) for a transfer."""
+        bw = 1.0
+        lat = 1.0
+        for deg in self._degradations:
+            if deg.src is not None and deg.src != src:
+                continue
+            if dst is None:
+                # Broadcast: only rules without a dst filter apply.
+                if deg.dst is not None:
+                    continue
+            elif deg.dst is not None and deg.dst != dst:
+                continue
+            if not deg.onset <= start < deg.until:
+                continue
+            bw *= deg.bandwidth_factor
+            lat *= deg.latency_factor
+        return bw, lat
+
+    def _degrade(
+        self,
+        src: int,
+        dst: int,
+        start: float,
+        sender_done: float,
+        arrival: float,
+    ) -> tuple[float, float]:
+        bw, lat = self._factors(src, dst, start)
+        if bw == 1.0 and lat == 1.0:
+            return sender_done, arrival
+        occupation = (sender_done - start) / bw
+        transit = max(0.0, arrival - sender_done) * lat
+        new_done = start + occupation
+        return new_done, new_done + transit
+
+    def _should_drop(self, src: int, dst: int, start: float) -> bool:
+        dropped = False
+        for idx, rule in enumerate(self._losses):
+            if not rule.matches(src, dst, start):
+                continue
+            k = self._match_counts[idx]
+            self._match_counts[idx] = k + 1
+            if k % rule.every != rule.offset:
+                continue
+            if (
+                rule.max_drops is not None
+                and self._drop_counts[idx] >= rule.max_drops
+            ):
+                continue
+            self._drop_counts[idx] += 1
+            dropped = True
+        return dropped
+
+    @property
+    def drops(self) -> int:
+        """Total messages dropped so far (all rules)."""
+        return sum(self._drop_counts)

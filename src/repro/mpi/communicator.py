@@ -107,12 +107,21 @@ class Comm:
         yield Send(dst, size, tag=tag, payload=payload)
 
     def recv(
-        self, src: int = ANY_SOURCE, tag: int = ANY_TAG
-    ) -> Generator[Any, Any, Message]:
-        """Blocking receive; returns the :class:`Message`."""
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Generator[Any, Any, Message | None]:
+        """Blocking receive; returns the :class:`Message`.
+
+        With ``timeout=`` (virtual seconds) the receive gives up after that
+        long without a matching message and returns ``None`` instead -- the
+        building block for the retry/backoff primitives in
+        :mod:`repro.mpi.resilience`.
+        """
         self._check_peer(src, wildcard_ok=True)
         self._check_user_tag(tag)
-        msg = yield Recv(src=src, tag=tag)
+        msg = yield Recv(src=src, tag=tag, timeout=timeout)
         return msg
 
     # -- collectives -------------------------------------------------------

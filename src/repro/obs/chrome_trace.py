@@ -5,7 +5,10 @@ The output is the "JSON Array Format" understood by ``chrome://tracing`` and
 simulated run becomes one process (``pid``), each rank one thread (``tid``);
 ``compute`` / ``send`` / ``recv`` / ``multicast`` records become complete
 duration events (``ph: "X"``) and ``log`` records become instant events
-(``ph: "i"``).  Virtual seconds are scaled to microseconds, the unit the
+(``ph: "i"``).  ``fault`` records (appended by the fault injector) render
+as their own instant-event track: category ``fault``, named after the
+fault kind, so slowdowns / crashes / restarts / drops line up against the
+rank timelines.  Virtual seconds are scaled to microseconds, the unit the
 trace viewers expect.
 
 Every emitted event carries the full ``ph``/``ts``/``dur``/``pid``/``tid``
@@ -73,6 +76,12 @@ def chrome_trace_events(
             if rec.kind == "log":
                 events.append({
                     "name": rec.detail or "log", "cat": "log", "ph": "i",
+                    "ts": ts, "dur": 0, "pid": pid, "tid": rec.rank,
+                    "s": "t",
+                })
+            elif rec.kind == "fault":
+                events.append({
+                    "name": rec.detail or "fault", "cat": "fault", "ph": "i",
                     "ts": ts, "dur": 0, "pid": pid, "tid": rec.rank,
                     "s": "t",
                 })

@@ -254,9 +254,15 @@ class RunLedger:
         source: str = "run",
         compute_efficiency: float | None = None,
         extra_metrics: dict[str, float] | None = None,
+        fault: dict[str, Any] | None = None,
         log: "StructLogger | None" = None,
     ) -> str:
-        """Persist one executed :class:`RunRecord`; returns the run id."""
+        """Persist one executed :class:`RunRecord`; returns the run id.
+
+        ``fault`` attaches a fault block to the record (profile hash plus
+        the fault metric surface) for runs executed under a fault schedule;
+        such records conventionally use ``source="faults"``.
+        """
         if compute_efficiency is None:
             compute_efficiency = _app_compute_efficiency(app)
         metrics = _run_metrics(record, compute_efficiency)
@@ -264,7 +270,7 @@ class RunLedger:
             metrics.update(extra_metrics)
         m = record.measurement
         run_id = _new_run_id(app, m.problem_size)
-        payload = {
+        payload: dict[str, Any] = {
             "run_id": run_id,
             "created_utc": _utc_now(),
             "source": source,
@@ -279,6 +285,8 @@ class RunLedger:
             "env": environment_info(),
             "metrics": metrics,
         }
+        if fault is not None:
+            payload["fault"] = fault
         return self._write(run_id, payload, log=log)
 
     def record_report(

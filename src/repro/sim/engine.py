@@ -16,7 +16,13 @@ Timing semantics:
   destination mailbox with the given arrival time.
 * ``Recv`` completes at ``max(post_time, arrival)`` of the first matching
   message (smallest arrival, ties broken by deposit sequence); if no match
-  exists, the process blocks until a matching send occurs.
+  exists, the process blocks until a matching send occurs.  A receive posted
+  with ``timeout=`` resumes with ``None`` at ``post_time + timeout`` when no
+  match arrived in time.
+* A network model may signal *in-transit loss* by returning
+  ``arrival == math.inf`` from ``transfer``: the sender is charged normally
+  (``sender_done``), but the message is never deposited at the destination
+  and is counted in ``RankStats.messages_lost`` of the sender.
 
 The run is fully deterministic for a fixed program and network model.
 """
@@ -24,6 +30,7 @@ The run is fully deterministic for a fixed program and network model.
 from __future__ import annotations
 
 import heapq
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Sequence
@@ -36,6 +43,10 @@ from .errors import (
 )
 from .events import Compute, Log, Message, Multicast, Now, Recv, Send
 from .trace import RankStats, Tracer
+
+#: Sentinel arrival time a network model returns for a message lost in
+#: transit (the engine then never delivers it).
+_INF = math.inf
 
 #: A simulated process: a generator yielding SimOp objects, receiving results.
 Program = Generator[Any, Any, Any]
@@ -78,12 +89,17 @@ class RunResult:
         """Total bytes injected into the network across all ranks."""
         return sum(s.bytes_sent for s in self.stats)
 
+    @property
+    def messages_lost(self) -> int:
+        """Messages dropped in transit by the network model (all ranks)."""
+        return sum(s.messages_lost for s in self.stats)
+
 
 class _Proc:
     """Book-keeping for one simulated process."""
 
     __slots__ = ("rank", "gen", "time", "done", "waiting", "block_start",
-                 "pending", "value")
+                 "pending", "value", "resume_seq", "deadline_seq")
 
     def __init__(self, rank: int, gen: Program):
         self.rank = rank
@@ -94,6 +110,8 @@ class _Proc:
         self.block_start = 0.0
         self.pending: Any = None  # value to feed the generator on next resume
         self.value: Any = None  # generator return value
+        self.resume_seq = -1  # heap seq of this process's live resume entry
+        self.deadline_seq: int | None = None  # heap seq of a pending timeout
 
 
 class Engine:
@@ -186,6 +204,7 @@ class Engine:
         def push(proc: _Proc) -> None:
             nonlocal seq, pushes
             heapq.heappush(heap, (proc.time, seq, proc.rank))
+            proc.resume_seq = seq
             seq += 1
             pushes += 1
 
@@ -223,6 +242,7 @@ class Engine:
                     proc.rank, "recv", posted_at, proc.time, nbytes=msg.nbytes
                 )
             proc.waiting = None
+            proc.deadline_seq = None  # cancel any pending receive timeout
             proc.pending = msg
             push(proc)
 
@@ -244,11 +264,31 @@ class Engine:
                         if p.waiting is not None and not p.done
                     }
                 )
-            rank = heappop(heap)[2]
+            entry_time, entry_seq, rank = heappop(heap)
             proc = procs[rank]
-            if proc.done or proc.waiting is not None:
+            if proc.waiting is not None and entry_seq == proc.deadline_seq:
+                # Receive timeout fires: resume the blocked process with
+                # None at the deadline instant.
+                op = proc.waiting
+                posted_at = proc.block_start
+                proc.time = entry_time
+                stats[rank].recv_wait_time += entry_time - posted_at
+                if tracer is not None:
+                    tracer.record(
+                        rank, "recv-timeout", posted_at, entry_time,
+                        f"src={op.src} tag={op.tag} timeout={op.timeout:g}",
+                    )
+                if metrics is not None:
+                    metrics.record_op(rank, "recv-timeout", posted_at,
+                                      entry_time)
+                proc.waiting = None
+                proc.deadline_seq = None
+                proc.pending = None
+                push(proc)
+                continue
+            if proc.done or proc.waiting is not None or entry_seq != proc.resume_seq:
                 stale += 1
-                continue  # stale heap entry
+                continue  # stale heap entry (consumed resume or dead timeout)
 
             send_back, proc.pending = proc.pending, None
             try:
@@ -296,17 +336,23 @@ class Engine:
                 if metrics is not None:
                     metrics.record_op(rank, "send", start, proc.time,
                                       nbytes=nbytes)
-                msg = Message(
-                    src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
-                    payload=op.payload, arrival=arrival, seq=seq,
-                )
-                seq += 1
-                dst_proc = procs[dst]
-                waiting = dst_proc.waiting
-                if waiting is not None and msg.matches(waiting.src, waiting.tag):
-                    complete_recv(dst_proc, msg, dst_proc.block_start)
+                if arrival == _INF:
+                    # Lost in transit: sender paid, nothing is delivered.
+                    st.messages_lost += 1
                 else:
-                    mailboxes[dst].append(msg)
+                    msg = Message(
+                        src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
+                        payload=op.payload, arrival=arrival, seq=seq,
+                    )
+                    seq += 1
+                    dst_proc = procs[dst]
+                    waiting = dst_proc.waiting
+                    if waiting is not None and msg.matches(
+                        waiting.src, waiting.tag
+                    ):
+                        complete_recv(dst_proc, msg, dst_proc.block_start)
+                    else:
+                        mailboxes[dst].append(msg)
                 push(proc)
             elif cls is Recv:
                 msg = pop_match(rank, op.src, op.tag)
@@ -315,6 +361,13 @@ class Engine:
                 else:
                     proc.waiting = op
                     proc.block_start = proc.time
+                    if op.timeout is not None:
+                        heapq.heappush(
+                            heap, (proc.time + op.timeout, seq, rank)
+                        )
+                        proc.deadline_seq = seq
+                        seq += 1
+                        pushes += 1
             elif cls is Compute:
                 start = proc.time
                 flops = op.flops
@@ -346,11 +399,15 @@ class Engine:
                 if not remote:
                     push(proc)
                 else:
+                    lost = 0
                     if native is not None:
                         sender_done, arrival = native(
                             rank, tuple(remote), nbytes, start
                         )
-                        deliveries = [(dst, arrival) for dst in remote]
+                        if arrival == _INF:
+                            lost = len(remote)  # whole broadcast frame lost
+                        else:
+                            deliveries = [(dst, arrival) for dst in remote]
                     else:
                         # Fallback: serialized unicasts (switched network).
                         sender_done = start
@@ -358,7 +415,10 @@ class Engine:
                             sender_done, arrival = transfer(
                                 rank, dst, nbytes, sender_done
                             )
-                            deliveries.append((dst, arrival))
+                            if arrival == _INF:
+                                lost += 1
+                            else:
+                                deliveries.append((dst, arrival))
                     if sender_done < start:
                         raise ProtocolError(
                             "network model returned a time before the "
@@ -369,6 +429,7 @@ class Engine:
                     st.send_time += sender_done - start
                     st.bytes_sent += nbytes  # one physical transmission
                     st.messages_sent += 1
+                    st.messages_lost += lost
                     if tracer is not None:
                         tracer.record(
                             rank, "multicast", start, proc.time,
@@ -434,6 +495,24 @@ class Engine:
                 stale_pops=stale,
                 makespan=result.makespan,
             )
+        if undelivered and self.log is not None:
+            # Messages still sitting in mailboxes at exit usually indicate a
+            # protocol bug (mismatched tags, a receive that never ran).
+            # Surface it once per logger rather than only under profiling.
+            warn_once = getattr(self.log, "warn_once", None)
+            if warn_once is not None:
+                warn_once(
+                    "engine.undelivered_messages",
+                    "engine.undelivered_messages",
+                    undelivered_messages=undelivered,
+                    nranks=self.nranks,
+                )
+            else:
+                self.log.event(
+                    "engine.undelivered_messages",
+                    undelivered_messages=undelivered,
+                    nranks=self.nranks,
+                )
         if self.log is not None:
             self.log.event(
                 "engine.run_complete",

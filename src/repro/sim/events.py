@@ -146,19 +146,40 @@ class Multicast(SimOp):
 
 
 class Recv(SimOp):
-    """Blocking receive matching ``src`` and ``tag`` (wildcards allowed)."""
+    """Blocking receive matching ``src`` and ``tag`` (wildcards allowed).
 
-    __slots__ = ("src", "tag")
+    ``timeout`` bounds the blocking wait in virtual seconds: when no matching
+    message has been delivered within ``timeout`` of posting the receive, the
+    operation resumes with ``None`` instead of a :class:`Message`.  The
+    default (``timeout=None``) blocks forever, exactly as before.
+    """
 
-    def __init__(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+    __slots__ = ("src", "tag", "timeout")
+
+    def __init__(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ):
         if src < ANY_SOURCE:
             raise InvalidOperationError(f"Recv src must be >= -1, got {src}")
         if tag < ANY_TAG:
             raise InvalidOperationError(f"Recv tag must be >= -1, got {tag}")
+        if timeout is not None and timeout <= 0:
+            raise InvalidOperationError(
+                f"Recv timeout must be positive, got {timeout}"
+            )
         self.src = src
         self.tag = tag
+        self.timeout = timeout
 
     def __repr__(self) -> str:
+        if self.timeout is not None:
+            return (
+                f"Recv(src={self.src}, tag={self.tag}, "
+                f"timeout={self.timeout!r})"
+            )
         return f"Recv(src={self.src}, tag={self.tag})"
 
     def __eq__(self, other: object) -> bool:
@@ -166,6 +187,7 @@ class Recv(SimOp):
             isinstance(other, Recv)
             and self.src == other.src
             and self.tag == other.tag
+            and self.timeout == other.timeout
         )
 
 

@@ -23,6 +23,7 @@ class RankStats:
     bytes_received: float = 0.0
     messages_sent: int = 0
     messages_received: int = 0
+    messages_lost: int = 0
     flops: float = 0.0
     finish_time: float = 0.0
 

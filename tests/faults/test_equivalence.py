@@ -1,0 +1,73 @@
+"""Fault-free equivalence and deterministic replay (acceptance tests).
+
+An *empty* fault schedule must reproduce the plain engine bit for bit --
+the injector passes raw generators through and leaves the network model
+unwrapped, so there is no float arithmetic to drift.  And any *non-empty*
+schedule must replay identically: same seed + schedule => same makespan,
+degraded psi and fault-event trace across independent runs.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_app
+from repro.faults.run import run_app_under_faults
+from repro.faults.schedule import FaultSchedule, random_schedule
+from repro.machine.sunwulf import ge_configuration, mm_configuration
+
+N_BY_APP = {"ge": 120, "mm": 48, "stencil": 64, "fft": 64}
+
+
+def cluster_for(app):
+    return mm_configuration(2) if app == "mm" else ge_configuration(2)
+
+
+class TestEmptyScheduleBitIdentical:
+    @pytest.mark.parametrize("app", sorted(N_BY_APP))
+    def test_run_result_identical_to_plain_engine(self, app):
+        n = N_BY_APP[app]
+        cluster = cluster_for(app)
+        plain = run_app(app, cluster, n)
+        faulty = run_app_under_faults(
+            app, cluster, n, FaultSchedule(), baseline=False
+        )
+        assert faulty.faulted.run.finish_times == plain.run.finish_times
+        assert faulty.faulted.run.makespan == plain.run.makespan  # exact
+        assert faulty.faulted.run.stats == plain.run.stats
+        assert faulty.faulted.run.events == plain.run.events
+        assert faulty.faulted.measurement == plain.measurement
+
+    def test_empty_schedule_psi_is_one(self):
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults("ge", cluster, 120, FaultSchedule())
+        assert faulty.psi == pytest.approx(1.0)
+        assert faulty.injector.events == []
+
+
+class TestDeterministicReplay:
+    def replay(self):
+        cluster = ge_configuration(2)
+        schedule = random_schedule(
+            cluster.nranks, seed=7, horizon=0.1,
+            n_slowdowns=2, n_crashes=1, n_link_faults=1,
+        )
+        return run_app_under_faults("ge", cluster, 120, schedule)
+
+    def test_same_schedule_same_everything(self):
+        a = self.replay()
+        b = self.replay()
+        assert a.makespan == b.makespan  # bit-identical, not approx
+        assert a.psi == b.psi
+        assert a.availabilities == b.availabilities
+        assert a.fault_profile_hash == b.fault_profile_hash
+        trace_a = [(e.time, e.rank, e.kind, e.detail)
+                   for e in a.injector.events]
+        trace_b = [(e.time, e.rank, e.kind, e.detail)
+                   for e in b.injector.events]
+        assert trace_a == trace_b
+        assert trace_a, "schedule produced no fault events"
+
+    def test_different_seed_different_profile(self):
+        cluster = ge_configuration(2)
+        a = random_schedule(cluster.nranks, seed=7, horizon=0.1)
+        b = random_schedule(cluster.nranks, seed=8, horizon=0.1)
+        assert a.profile_hash() != b.profile_hash()

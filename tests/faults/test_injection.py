@@ -1,0 +1,197 @@
+"""Program-wrapper fault injection: piecewise timing, crashes, availability."""
+
+import pytest
+
+from repro.faults.errors import RankFailedError
+from repro.faults.injection import FaultInjector, faulty_program_factory
+from repro.faults.schedule import FaultSchedule, NodeCrash, NodeSlowdown
+from repro.network.model import ZeroCostNetwork
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Recv, Send
+from repro.sim.trace import Tracer
+
+RATE = 1e6  # flops per second for every rank in these tests
+
+
+def run_with_faults(programs, schedule, tracer=None, injector=None):
+    """Run rank->generator factories under a schedule; returns (result, inj)."""
+    nranks = len(programs)
+    speeds = [RATE] * nranks
+    if injector is None:
+        injector = FaultInjector(schedule)
+    wrapped = faulty_program_factory(
+        lambda rank: programs[rank](), schedule, speeds, injector
+    )
+    engine = Engine(nranks, ZeroCostNetwork(), speeds, tracer=tracer)
+    result = engine.run(wrapped)
+    if tracer is not None:
+        injector.annotate_tracer(tracer)
+    return result, injector
+
+
+def compute_program(flops):
+    def program():
+        yield Compute(flops=flops)
+        return "done"
+
+    return program
+
+
+class TestSlowdownTiming:
+    def test_whole_run_slowdown_stretches_compute(self):
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.5),
+        ))
+        result, _ = run_with_faults([compute_program(1e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(2.0)
+
+    def test_windowed_slowdown_piecewise_rate(self):
+        # 2e6 flops at 1e6 f/s; half rate inside [0.5, 1.5):
+        # 0.5e6 by t=0.5, +0.5e6 by t=1.5, remaining 1e6 in 1.0s -> 2.5.
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.5, duration=1.0, severity=0.5),
+        ))
+        result, _ = run_with_faults([compute_program(2e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(2.5)
+
+    def test_overlapping_slowdowns_compound(self):
+        # Two 0.5-severity windows over the whole run: rate 0.25e6 -> 4s.
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.5),
+            NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.5),
+        ))
+        result, _ = run_with_faults([compute_program(1e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(4.0)
+
+    def test_slowdown_after_finish_is_noop(self):
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=10.0, duration=1.0, severity=0.9),
+        ))
+        result, _ = run_with_faults([compute_program(1e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(1.0)
+
+    def test_fixed_seconds_compute_not_slowed(self):
+        def program():
+            yield Compute(seconds=1.0)
+            return None
+
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.9),
+        ))
+        result, _ = run_with_faults([program], schedule)
+        assert result.finish_times[0] == pytest.approx(1.0)
+
+    def test_unaffected_rank_gets_raw_generator(self):
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.5),
+        ))
+        sentinel = compute_program(1e6)()
+        build = faulty_program_factory(
+            lambda rank: sentinel, schedule, [RATE, RATE],
+            FaultInjector(schedule),
+        )
+        assert build(1) is sentinel  # pass-through, not wrapped
+        assert build(0) is not sentinel
+
+
+class TestCrashRestart:
+    def test_downtime_inserted_at_crash_instant(self):
+        # 1e6 flops done at t=1; down for 0.5 + 0.25; finish 2e6 at 2.75.
+        schedule = FaultSchedule((
+            NodeCrash(rank=0, at=1.0, restart_delay=0.5,
+                      recompute_seconds=0.25),
+        ))
+        result, injector = run_with_faults([compute_program(2e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(2.75)
+        assert injector.downtime[0] == pytest.approx(0.75)
+        assert 0 not in injector.failed_at
+
+    def test_crash_after_finish_is_noop(self):
+        schedule = FaultSchedule((
+            NodeCrash(rank=0, at=5.0, restart_delay=1.0),
+        ))
+        result, injector = run_with_faults([compute_program(1e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(1.0)
+        assert injector.downtime == {}
+
+    def test_restart_events_recorded(self):
+        schedule = FaultSchedule((
+            NodeCrash(rank=0, at=1.0, restart_delay=0.5),
+        ))
+        _, injector = run_with_faults([compute_program(2e6)], schedule)
+        kinds = [e.kind for e in injector.events]
+        assert "crash" in kinds and "restart" in kinds
+
+
+class TestFailStop:
+    def test_uncaught_failstop_silently_ends_rank(self):
+        schedule = FaultSchedule((NodeCrash(rank=0, at=1.0),))
+        result, injector = run_with_faults(
+            [compute_program(5e6), compute_program(3e6)], schedule
+        )
+        assert result.finish_times[0] == pytest.approx(1.0)
+        assert result.finish_times[1] == pytest.approx(3.0)
+        assert injector.failed_at == {0: pytest.approx(1.0)}
+        assert result.return_values[0] is None
+
+    def test_program_may_catch_rank_failed_error(self):
+        def program():
+            try:
+                yield Compute(flops=5e6)
+            except RankFailedError as err:
+                assert err.rank == 0
+                return "salvaged"
+            return "unreachable"
+
+        schedule = FaultSchedule((NodeCrash(rank=0, at=1.0),))
+        result, _ = run_with_faults([program], schedule)
+        assert result.return_values[0] == "salvaged"
+        assert result.finish_times[0] == pytest.approx(1.0)
+
+    def test_peer_recv_timeout_survives_failstop(self):
+        def victim():
+            yield Compute(flops=5e6)
+            yield Send(dst=1, nbytes=8.0)
+
+        def survivor():
+            msg = yield Recv(src=0, timeout=2.0)
+            return "timeout" if msg is None else "got it"
+
+        schedule = FaultSchedule((NodeCrash(rank=0, at=1.0),))
+        result, _ = run_with_faults([victim, survivor], schedule)
+        assert result.return_values[1] == "timeout"
+        assert result.finish_times[1] == pytest.approx(2.0)
+
+
+class TestAvailability:
+    def test_failstop_availability_is_uptime_fraction(self):
+        schedule = FaultSchedule((NodeCrash(rank=0, at=1.0),))
+        _, injector = run_with_faults(
+            [compute_program(5e6), compute_program(4e6)], schedule
+        )
+        a = injector.availabilities(2, makespan=4.0)
+        assert a == [pytest.approx(0.25), pytest.approx(1.0)]
+
+    def test_restart_availability_subtracts_downtime(self):
+        schedule = FaultSchedule((
+            NodeCrash(rank=0, at=1.0, restart_delay=0.5,
+                      recompute_seconds=0.25),
+        ))
+        result, injector = run_with_faults([compute_program(2e6)], schedule)
+        (a,) = injector.availabilities(1, result.makespan)
+        assert a == pytest.approx(1.0 - 0.75 / 2.75)
+
+
+class TestTraceAnnotation:
+    def test_fault_records_appended_sorted(self):
+        tracer = Tracer()
+        schedule = FaultSchedule((
+            NodeCrash(rank=0, at=1.0, restart_delay=0.5),
+            NodeSlowdown(rank=0, onset=0.0, duration=1.0, severity=0.5),
+        ))
+        run_with_faults([compute_program(2e6)], schedule, tracer=tracer)
+        faults = [r for r in tracer.records if r.kind == "fault"]
+        assert faults, "no fault records annotated"
+        times = [r.start for r in faults]
+        assert times == sorted(times)
+        assert all(r.start == r.end for r in faults)

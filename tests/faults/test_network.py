@@ -1,0 +1,154 @@
+"""FaultyNetworkModel: link degradation arithmetic and deterministic loss."""
+
+import math
+
+import pytest
+
+from repro.faults.injection import FaultInjector
+from repro.faults.network import FaultyNetworkModel
+from repro.faults.schedule import FaultSchedule, LinkDegradation, MessageLoss
+from repro.network.model import ZeroCostNetwork
+from repro.sim.engine import Engine
+from repro.sim.events import Recv, Send
+
+
+class StubNetwork:
+    """Fixed occupation (0.5 s) and transit (0.5 s) for any transfer."""
+
+    def transfer(self, src, dst, nbytes, start):
+        return start + 0.5, start + 1.0
+
+    def multicast(self, src, dsts, nbytes, start):
+        return start + 0.5, start + 1.0
+
+
+class TestDegradation:
+    def test_bandwidth_factor_stretches_occupation(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5),
+        )))
+        sender_done, arrival = net.transfer(0, 1, 8.0, 0.0)
+        assert sender_done == pytest.approx(1.0)  # 0.5 / 0.5
+        assert arrival == pytest.approx(1.5)      # transit unchanged
+
+    def test_latency_factor_stretches_transit(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, latency_factor=3.0),
+        )))
+        sender_done, arrival = net.transfer(0, 1, 8.0, 0.0)
+        assert sender_done == pytest.approx(0.5)
+        assert arrival == pytest.approx(2.0)      # 0.5 + 0.5*3
+
+    def test_combined_factors(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5,
+                            latency_factor=2.0),
+        )))
+        sender_done, arrival = net.transfer(0, 1, 8.0, 0.0)
+        assert (sender_done, arrival) == (pytest.approx(1.0),
+                                          pytest.approx(2.0))
+
+    def test_window_membership_by_request_time(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            LinkDegradation(onset=1.0, duration=1.0, bandwidth_factor=0.5),
+        )))
+        assert net.transfer(0, 1, 8.0, 0.5) == (1.0, 1.5)   # before window
+        assert net.transfer(0, 1, 8.0, 1.5)[0] == pytest.approx(2.5)
+        assert net.transfer(0, 1, 8.0, 2.0) == (2.5, 3.0)   # after window
+
+    def test_pair_filter(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5,
+                            src=0, dst=1),
+        )))
+        assert net.transfer(0, 1, 8.0, 0.0)[0] == pytest.approx(1.0)
+        assert net.transfer(1, 0, 8.0, 0.0)[0] == pytest.approx(0.5)
+
+    def test_overlapping_degradations_compound(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5),
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5),
+        )))
+        assert net.transfer(0, 1, 8.0, 0.0)[0] == pytest.approx(2.0)
+
+    def test_multicast_degraded_by_broadcast_rules_only(self):
+        sched = FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5),
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5,
+                            dst=1),  # pair rule: must not touch broadcast
+        ))
+        net = FaultyNetworkModel(StubNetwork(), sched)
+        sender_done, arrival = net.multicast(0, (1, 2), 8.0, 0.0)
+        assert sender_done == pytest.approx(1.0)
+        assert arrival == pytest.approx(1.5)
+
+    def test_multicast_only_advertised_when_inner_has_it(self):
+        sched = FaultSchedule((
+            LinkDegradation(onset=0.0, duration=None, bandwidth_factor=0.5),
+        ))
+        assert hasattr(FaultyNetworkModel(StubNetwork(), sched), "multicast")
+        assert not hasattr(
+            FaultyNetworkModel(ZeroCostNetwork(), sched), "multicast"
+        )
+
+
+class TestLoss:
+    def test_every_other_message_dropped(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            MessageLoss(every=2, offset=0),
+        )))
+        arrivals = [net.transfer(0, 1, 8.0, float(i))[1] for i in range(4)]
+        assert [a == math.inf for a in arrivals] == [True, False, True, False]
+        assert net.drops == 2
+
+    def test_max_drops_caps_rule(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            MessageLoss(every=1, max_drops=2),
+        )))
+        arrivals = [net.transfer(0, 1, 8.0, float(i))[1] for i in range(4)]
+        assert [a == math.inf for a in arrivals] == [True, True, False, False]
+
+    def test_loss_counter_per_matching_pair(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            MessageLoss(src=0, dst=1, every=2, offset=0),
+        )))
+        assert net.transfer(1, 0, 8.0, 0.0)[1] != math.inf  # no match
+        assert net.transfer(0, 1, 8.0, 1.0)[1] == math.inf  # k=0 dropped
+        assert net.transfer(0, 1, 8.0, 2.0)[1] != math.inf  # k=1 kept
+
+    def test_reset_zeroes_counters(self):
+        net = FaultyNetworkModel(StubNetwork(), FaultSchedule((
+            MessageLoss(every=2, offset=0),
+        )))
+        net.transfer(0, 1, 8.0, 0.0)
+        net.reset()
+        assert net.transfer(0, 1, 8.0, 0.0)[1] == math.inf  # k back to 0
+        assert net.drops == 1
+
+    def test_injector_records_losses(self):
+        sched = FaultSchedule((MessageLoss(every=1),))
+        injector = FaultInjector(sched)
+        net = FaultyNetworkModel(StubNetwork(), sched, injector)
+        net.transfer(0, 1, 8.0, 0.0)
+        assert injector.messages_dropped == 1
+
+
+class TestEngineIntegration:
+    def test_lost_message_charges_sender_and_times_out_receiver(self):
+        def sender():
+            yield Send(dst=1, nbytes=8.0)
+            return "sent"
+
+        def receiver():
+            msg = yield Recv(src=0, timeout=2.0)
+            return "lost" if msg is None else "delivered"
+
+        sched = FaultSchedule((MessageLoss(src=0, dst=1, every=1),))
+        net = FaultyNetworkModel(StubNetwork(), sched)
+        engine = Engine(2, net, [1e6, 1e6])
+        result = engine.run([sender(), receiver()])
+        assert result.return_values == ["sent", "lost"]
+        assert result.finish_times[0] == pytest.approx(0.5)  # occupation paid
+        assert result.finish_times[1] == pytest.approx(2.0)
+        assert result.messages_lost == 1
+        assert result.undelivered_messages == 0

@@ -1,0 +1,183 @@
+"""Resilience primitives: reliable transfers and checkpoint-restart."""
+
+import pytest
+
+from repro.faults.errors import FaultError, MessageLostError
+from repro.faults.network import FaultyNetworkModel
+from repro.faults.run import faulty_mpi_run
+from repro.faults.schedule import FaultSchedule, MessageLoss, NodeCrash
+from repro.mpi.resilience import (
+    ResilientRunResult,
+    default_checkpoint_cost,
+    reliable_recv,
+    reliable_send,
+    resilient_run,
+)
+from repro.network.model import UniformCostNetwork
+from repro.sim.events import Compute
+
+
+def ping_program(loss_schedule, **send_kwargs):
+    """Rank 0 reliable-sends one payload to rank 1, which acks."""
+
+    def program(comm):
+        if comm.rank == 0:
+            retries = yield from reliable_send(
+                comm, 1, nbytes=8.0, **send_kwargs
+            )
+            return retries
+        msg = yield from reliable_recv(comm, src=0)
+        return msg.nbytes
+
+    return program
+
+
+class TestReliableTransfer:
+    def test_clean_channel_no_retransmissions(self):
+        result = faulty_mpi_run(
+            2, UniformCostNetwork(0.01), [1e6, 1e6],
+            ping_program(None), FaultSchedule(),
+        )
+        assert result.return_values == [0, 8.0]
+
+    def test_recovers_from_one_drop(self):
+        # First data frame dropped; retransmission delivers.
+        schedule = FaultSchedule((
+            MessageLoss(src=0, dst=1, every=1, max_drops=1),
+        ))
+        result = faulty_mpi_run(
+            2, UniformCostNetwork(0.01), [1e6, 1e6],
+            ping_program(schedule, ack_timeout=0.1),
+            schedule,
+        )
+        assert result.return_values == [1, 8.0]
+        assert result.messages_lost == 1
+
+    def test_exhausted_retries_raise(self):
+        schedule = FaultSchedule((MessageLoss(src=0, dst=1, every=1),))
+
+        def program(comm):
+            if comm.rank == 0:
+                try:
+                    yield from reliable_send(
+                        comm, 1, nbytes=8.0, ack_timeout=0.1, max_retries=2
+                    )
+                except MessageLostError as err:
+                    assert err.attempts == 3
+                    return "gave up"
+                return "impossible"
+            # The receiver never sees anything; bounded wait then exit.
+            msg = yield from comm.recv(src=0, timeout=5.0)
+            return msg
+
+        result = faulty_mpi_run(
+            2, UniformCostNetwork(0.01), [1e6, 1e6], program, schedule
+        )
+        assert result.return_values[0] == "gave up"
+        assert result.return_values[1] is None
+
+    def test_backoff_delays_retransmission(self):
+        schedule = FaultSchedule((
+            MessageLoss(src=0, dst=1, every=1, max_drops=1),
+        ))
+        fast = faulty_mpi_run(
+            2, UniformCostNetwork(0.01), [1e6, 1e6],
+            ping_program(schedule, ack_timeout=0.1, backoff=0.0), schedule,
+        )
+        slow = faulty_mpi_run(
+            2, UniformCostNetwork(0.01), [1e6, 1e6],
+            ping_program(schedule, ack_timeout=0.1, backoff=0.5), schedule,
+        )
+        assert slow.makespan == pytest.approx(fast.makespan + 0.5)
+
+
+def serial_program(seconds):
+    def program(comm):
+        yield Compute(seconds=seconds)
+        return comm.rank
+
+    return program
+
+
+class TestResilientRun:
+    """Hand-checked timeline: T=10, interval=2, ckpt=0.5."""
+
+    def run(self, crashes, **kwargs):
+        schedule = FaultSchedule(tuple(crashes))
+        defaults = dict(checkpoint_interval=2.0, t_ckpt=0.5)
+        defaults.update(kwargs)
+        return resilient_run(
+            1, UniformCostNetwork(0.0), [1e6], serial_program(10.0),
+            schedule, **defaults,
+        )
+
+    def test_no_crash_pays_checkpoints_only(self):
+        res = self.run([])
+        # Checkpoints at progress 2,4,6,8 (not at completion): 10 + 4*0.5.
+        assert res.makespan == pytest.approx(12.0)
+        assert res.checkpoints_written == 4
+        assert res.restarts == 0
+        assert res.lost_work == 0.0
+        assert res.resilience_overhead == pytest.approx(2.0)
+        assert res.efficiency == pytest.approx(10.0 / 12.0)
+
+    def test_single_crash_rolls_back_to_durable(self):
+        # Wall 5.0 = progress 4 + 2 full checkpoint writes: durable=4.
+        res = self.run([NodeCrash(rank=0, at=5.0, restart_delay=1.0)])
+        assert res.restarts == 1
+        assert res.lost_work == pytest.approx(0.0)
+        assert res.restart_downtime == pytest.approx(1.0)
+        # Resume at wall 6 from progress 4: 6 more useful + 2 ckpts = 13.
+        assert res.makespan == pytest.approx(13.0)
+
+    def test_crash_mid_segment_loses_partial_work(self):
+        # Wall 3.0 = progress 2 done + ckpt written (2.5) + 0.5 into seg 2.
+        res = self.run([NodeCrash(rank=0, at=3.0, restart_delay=0.0)])
+        assert res.lost_work == pytest.approx(0.5)
+        assert res.makespan == pytest.approx(3.0 + 8.0 + 3 * 0.5)
+
+    def test_crash_during_checkpoint_write_uses_previous(self):
+        # Wall 4.6 is inside the second checkpoint write (4.5..5.0):
+        # durable stays 2, losing the 4.6-wall's 2..4 progress.
+        res = self.run([NodeCrash(rank=0, at=4.6, restart_delay=0.0)])
+        assert res.lost_work == pytest.approx(2.0)
+
+    def test_crash_storm_exceeds_max_restarts(self):
+        crashes = [
+            NodeCrash(rank=0, at=float(t), restart_delay=0.0)
+            for t in range(1, 10)
+        ]
+        with pytest.raises(FaultError):
+            self.run(crashes, max_restarts=3)
+
+    def test_crash_after_completion_ignored(self):
+        res = self.run([NodeCrash(rank=0, at=50.0, restart_delay=1.0)])
+        assert res.restarts == 0
+        assert res.makespan == pytest.approx(12.0)
+
+    def test_callable_t_ckpt_needs_work(self):
+        with pytest.raises(FaultError):
+            self.run([], t_ckpt=default_checkpoint_cost)
+        res = self.run([], t_ckpt=default_checkpoint_cost, work=1e6)
+        assert res.checkpoint_cost == pytest.approx(
+            default_checkpoint_cost(1e6)
+        )
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(FaultError):
+            self.run([], checkpoint_interval=0.0)
+
+    def test_result_type(self):
+        assert isinstance(self.run([]), ResilientRunResult)
+
+
+class TestCheckpointCostModel:
+    def test_monotone_in_work(self):
+        assert default_checkpoint_cost(2e9) > default_checkpoint_cost(1e9)
+
+    def test_zero_work_is_latency_floor(self):
+        assert default_checkpoint_cost(0.0) == pytest.approx(0.01)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            default_checkpoint_cost(-1.0)

@@ -1,0 +1,162 @@
+"""Fault drivers and degraded-metric analysis (acceptance: sweep shape)."""
+
+import pytest
+
+from repro.core.types import MetricError
+from repro.faults.analysis import (
+    FaultSweepRow,
+    availability_weighted_speed,
+    degraded_psi,
+    fault_speed_efficiency,
+    psi_is_monotone_nonincreasing,
+)
+from repro.faults.run import (
+    render_sweep,
+    run_app_under_faults,
+    slowdown_sweep,
+)
+from repro.faults.schedule import (
+    FaultSchedule,
+    NodeCrash,
+    NodeSlowdown,
+    uniform_slowdown,
+)
+from repro.machine.sunwulf import ge_configuration
+from repro.obs.ledger import RunLedger
+
+
+class TestAnalysisFunctions:
+    def test_c_eff_weighted_sum(self):
+        assert availability_weighted_speed(
+            [100.0, 200.0], [1.0, 0.5]
+        ) == pytest.approx(200.0)
+
+    def test_c_eff_validates_lengths(self):
+        with pytest.raises(MetricError):
+            availability_weighted_speed([100.0], [1.0, 0.5])
+
+    def test_c_eff_validates_range(self):
+        with pytest.raises(MetricError):
+            availability_weighted_speed([100.0], [1.5])
+
+    def test_fault_speed_efficiency(self):
+        assert fault_speed_efficiency(1e6, 2.0, 1e6) == pytest.approx(0.5)
+
+    def test_degraded_psi_identity_when_unfaulted(self):
+        assert degraded_psi(1e6, 1e6, 2.0, 2.0) == pytest.approx(1.0)
+
+    def test_degraded_psi_is_overhead_ratio(self):
+        # W=1e6, C=1e6 -> ideal compute 1.0; T=2 -> To=1; T'=3 -> To'=2.
+        assert degraded_psi(1e6, 1e6, 2.0, 3.0) == pytest.approx(0.5)
+
+    def test_monotone_check(self):
+        def row(severity, psi):
+            return FaultSweepRow(
+                severity=severity, baseline_makespan=1.0, makespan=1.0,
+                c_eff=1.0, speed_efficiency=1.0,
+                fault_speed_efficiency=1.0, psi=psi,
+            )
+
+        assert psi_is_monotone_nonincreasing(
+            [row(0.0, 1.0), row(0.2, 0.8), row(0.4, 0.8)]
+        )
+        assert not psi_is_monotone_nonincreasing(
+            [row(0.0, 0.8), row(0.2, 0.9)]
+        )
+
+
+class TestFaultyRun:
+    def test_slowdown_degrades_psi_not_c_eff(self):
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults(
+            "ge", cluster, 120, uniform_slowdown(cluster.nranks, 0.5)
+        )
+        assert faulty.psi < 1.0
+        assert faulty.makespan > faulty.baseline.run.makespan
+        # A slowdown costs time, not availability.
+        assert faulty.availabilities == [1.0] * cluster.nranks
+        assert faulty.c_eff == pytest.approx(faulty.marked.total)
+
+    def test_crash_restart_lowers_availability(self):
+        cluster = ge_configuration(2)
+        base = run_app_under_faults(
+            "ge", cluster, 120, FaultSchedule(), baseline=False
+        )
+        t = base.makespan
+        schedule = FaultSchedule((
+            NodeCrash(rank=1, at=0.3 * t, restart_delay=0.2 * t),
+        ))
+        faulty = run_app_under_faults("ge", cluster, 120, schedule)
+        assert min(faulty.availabilities) < 1.0
+        assert faulty.c_eff < faulty.marked.total
+        assert faulty.fault_speed_efficiency > \
+            faulty.faulted.speed_efficiency  # judged against less capacity
+
+    def test_psi_requires_baseline(self):
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults(
+            "ge", cluster, 120, FaultSchedule(), baseline=False
+        )
+        with pytest.raises(MetricError):
+            faulty.psi
+
+    def test_fault_metrics_block(self):
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults(
+            "ge", cluster, 120, uniform_slowdown(cluster.nranks, 0.3)
+        )
+        metrics = faulty.fault_metrics()
+        assert metrics["fault_events"] == float(cluster.nranks)
+        assert metrics["degraded_psi"] == pytest.approx(faulty.psi)
+        assert metrics["availability_min"] == 1.0
+
+    def test_to_ledger_records_fault_block(self, tmp_path):
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults(
+            "ge", cluster, 120, uniform_slowdown(cluster.nranks, 0.3)
+        )
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = faulty.to_ledger(ledger)
+        record = ledger.load(run_id)
+        assert record["source"] == "faults"
+        assert record["fault"]["profile_hash"] == faulty.fault_profile_hash
+        assert len(record["fault"]["schedule"]["events"]) == cluster.nranks
+        assert record["metrics"]["degraded_psi"] == pytest.approx(faulty.psi)
+        assert ledger.history(source="faults")
+
+    def test_schedule_validated_against_cluster(self):
+        from repro.faults.errors import FaultScheduleError
+
+        cluster = ge_configuration(2)  # 2 ranks
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=99, onset=0.0, duration=None, severity=0.5),
+        ))
+        with pytest.raises(FaultScheduleError):
+            run_app_under_faults("ge", cluster, 120, schedule)
+
+
+class TestSlowdownSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # The acceptance configuration: SunWulf GE preset.
+        return slowdown_sweep(
+            "ge", ge_configuration(2), 120,
+            severities=(0.0, 0.2, 0.4, 0.6),
+        )
+
+    def test_psi_monotone_nonincreasing(self, rows):
+        assert psi_is_monotone_nonincreasing(rows)
+
+    def test_zero_severity_anchor(self, rows):
+        assert rows[0].psi == pytest.approx(1.0)
+        assert rows[0].slowdown == pytest.approx(1.0)
+
+    def test_severity_strictly_degrades(self, rows):
+        assert rows[-1].psi < rows[0].psi
+        assert rows[-1].makespan > rows[0].makespan
+
+    def test_render_sweep_table(self, rows):
+        text = render_sweep(rows)
+        assert "severity" in text and "psi" in text
+        assert "0.60" in text
+        assert "Scalability under faults" in text

@@ -1,0 +1,111 @@
+"""CLI tests: `repro faults run|sweep` and the version commands."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+from repro.obs.ledger import RunLedger
+
+
+class TestVersion:
+    @pytest.mark.parametrize("argv", [["version"], ["--version"], ["-V"]])
+    def test_prints_package_version(self, capsys, argv):
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_matches_document_stamp(self, tmp_path):
+        from repro.experiments.persistence import write_json_document
+
+        path = tmp_path / "doc.json"
+        write_json_document(path, "test-doc", {})
+        stamped = json.loads(path.read_text())["metadata"]["repro_version"]
+        assert stamped == __version__
+
+
+class TestFaultsRun:
+    def test_smoke_records_crash_restart_ledger_entry(self, capsys, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        code = main(["faults", "run", "--smoke", "--nodes", "2",
+                     "--size", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded psi" in out
+        assert "crash" in out and "restart" in out
+        entries = RunLedger(tmp_path / "ledger").history(source="faults")
+        assert len(entries) == 1
+        record = RunLedger(tmp_path / "ledger").load(entries[0].run_id)
+        assert record["fault"]["profile_hash"]
+        (event,) = record["fault"]["schedule"]["events"]
+        assert event["type"] == "crash"
+        assert event["restart_delay"] > 0
+
+    def test_uniform_slowdown_flag(self, capsys):
+        code = main(["faults", "run", "--app", "ge", "--nodes", "2",
+                     "--size", "120", "--slowdown", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # One slowdown per rank (the 2-node GE ensemble runs 3 ranks).
+        assert "3 fault event(s)" in out
+        assert "degraded psi" in out
+
+    def test_schedule_file(self, capsys, tmp_path):
+        from repro.faults import FaultSchedule, NodeSlowdown
+
+        sched = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.4),
+        ))
+        path = tmp_path / "sched.json"
+        sched.save(path)
+        code = main(["faults", "run", "--app", "ge", "--size", "120",
+                     "--schedule", str(path)])
+        assert code == 0
+        assert sched.profile_hash() in capsys.readouterr().out
+
+    def test_trace_out_includes_fault_track(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["faults", "run", "--size", "120", "--slowdown", "0.3",
+              "--trace-out", str(trace)])
+        events = json.loads(trace.read_text())
+        assert any(e.get("cat") == "fault" for e in events)
+
+    def test_missing_fault_source_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "run", "--size", "120"])
+
+    def test_bad_slowdown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "run", "--size", "120", "--slowdown", "1.5"])
+
+    def test_no_baseline_skips_psi(self, capsys):
+        code = main(["faults", "run", "--size", "120", "--slowdown", "0.3",
+                     "--no-baseline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded psi" not in out
+        assert "makespan T'" in out
+
+
+class TestFaultsSweep:
+    def test_table_and_monotone_verdict(self, capsys):
+        code = main(["faults", "sweep", "--app", "ge", "--nodes", "2",
+                     "--size", "120", "--severities", "0", "0.3", "0.6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "psi monotone non-increasing with severity: True" in out
+        assert "0.30" in out
+
+    def test_out_json(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        main(["faults", "sweep", "--size", "120",
+              "--severities", "0", "0.5", "--out", str(out_path)])
+        data = json.loads(out_path.read_text())
+        assert data["psi_monotone_nonincreasing"] is True
+        assert [r["severity"] for r in data["rows"]] == [0.0, 0.5]
+        assert data["rows"][1]["psi"] < 1.0
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "sweep", "--severities", "0", "2.0"])
