@@ -10,8 +10,9 @@ resyncs after sends -- and rewrites ``Compute`` operations on the fly:
 * ``Compute(flops=f)`` is split into piecewise segments at slowdown-window
   and crash boundaries; inside a window the effective rate is
   ``rate * prod(1 - severity)`` over the active windows, charged as
-  ``Compute(seconds=...)`` so the engine's smallest-clock causality is
-  untouched.
+  ``Compute(flops=..., seconds=...)`` — the duration-override form — so the
+  engine's smallest-clock causality is untouched *and* the rank's flops
+  accounting stays exact (``RankStats.flops`` matches the unfaulted run).
 * ``Compute(seconds=s)`` (fixed software overhead) is rate-independent and
   only split at crash instants.
 * A fail-stop :class:`~repro.faults.schedule.NodeCrash` throws
@@ -122,10 +123,16 @@ class FaultInjector:
         return out
 
     def annotate_tracer(self, tracer: Any) -> None:
-        """Append the fault events to a tracer as a ``fault`` track."""
+        """Append the fault events to a tracer as a ``fault`` track.
+
+        Network-level events (``rank == -1``, e.g. ``link.degraded``) keep
+        their negative rank; the Chrome exporter renders those on a
+        dedicated ``network`` pseudo-track rather than folding them into
+        rank 0's timeline.
+        """
         for ev in sorted(self.events, key=lambda e: (e.time, e.rank, e.kind)):
             tracer.record(
-                max(0, ev.rank), "fault", ev.time, ev.time,
+                ev.rank, "fault", ev.time, ev.time,
                 f"{ev.kind} {ev.detail}".strip(),
             )
 
@@ -281,11 +288,11 @@ def _inject(
                                 t += remaining / rate
                             else:
                                 dt = remaining / rate_eff
-                                yield Compute(seconds=dt)
+                                yield Compute(flops=remaining, seconds=dt)
                                 t += dt
                             remaining = 0.0
                         else:
-                            yield Compute(seconds=bound - t)
+                            yield Compute(flops=capacity, seconds=bound - t)
                             remaining -= capacity
                             t = bound
                 else:

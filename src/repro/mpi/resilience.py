@@ -45,7 +45,6 @@ def reliable_send(
     ack_timeout: float = 1.0,
     max_retries: int = 3,
     backoff: float = 0.0,
-    ack_nbytes: float = ACK_NBYTES,
 ):
     """Send with positive acknowledgement and bounded retry.
 
@@ -53,7 +52,9 @@ def reliable_send(
     seconds, sleeping ``backoff * 2**(attempt-1)`` between tries, and
     raises :class:`~repro.faults.errors.MessageLostError` after
     ``max_retries`` retransmissions.  Returns the number of
-    retransmissions that were needed (0 = first try succeeded).
+    retransmissions that were needed (0 = first try succeeded).  The ack
+    frame's size is chosen by the receiving side (``reliable_recv``'s
+    ``ack_nbytes``).
     """
     attempt = 0
     while True:

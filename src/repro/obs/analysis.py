@@ -268,7 +268,10 @@ def critical_path(tracer: Tracer) -> CriticalPath:
     Requires a tracer that recorded the whole run; on a truncated trace the
     walk stops where the chain breaks and ``complete`` is False.
     """
-    timeline = [r for r in tracer.records if r.kind != "log"]
+    # "log" and "fault" records are zero-span annotations (the latter are
+    # appended by the fault injector, possibly with rank -1 for network
+    # events) — they are not engine ops and must not join the dependency walk.
+    timeline = [r for r in tracer.records if r.kind not in ("log", "fault")]
     if not timeline:
         return CriticalPath(records=[], edges=[], end=0.0,
                             complete=not tracer.dropped)

@@ -8,7 +8,9 @@ duration events (``ph: "X"``) and ``log`` records become instant events
 (``ph: "i"``).  ``fault`` records (appended by the fault injector) render
 as their own instant-event track: category ``fault``, named after the
 fault kind, so slowdowns / crashes / restarts / drops line up against the
-rank timelines.  Virtual seconds are scaled to microseconds, the unit the
+rank timelines.  Records with a negative rank (network-level fault events)
+go to a dedicated ``network`` pseudo-thread (tid :data:`NETWORK_TID`)
+instead of being folded into rank 0.  Virtual seconds are scaled to microseconds, the unit the
 trace viewers expect.
 
 Every emitted event carries the full ``ph``/``ts``/``dur``/``pid``/``tid``
@@ -25,6 +27,11 @@ from ..sim.trace import Tracer
 
 #: Virtual seconds -> trace-viewer microseconds.
 MICROSECONDS: float = 1e6
+
+#: Thread id of the ``network`` pseudo-track: records with a negative rank
+#: (network-level fault events like ``link.degraded``) land here, safely
+#: above any plausible real rank id so the track sorts after the ranks.
+NETWORK_TID: int = 1_000_000
 
 #: Accepted input: one tracer, or ``(label, tracer)`` pairs / TraceRun-likes.
 TraceInput = Union[Tracer, Sequence[Any]]
@@ -63,33 +70,37 @@ def chrome_trace_events(
             "name": "process_name", "ph": "M", "ts": 0, "dur": 0,
             "pid": pid, "tid": 0, "args": {"name": label},
         })
-        named_ranks: set[int] = set()
+        named_tids: set[int] = set()
         for rec in tracer.records:
-            if rec.rank not in named_ranks:
-                named_ranks.add(rec.rank)
+            tid = rec.rank if rec.rank >= 0 else NETWORK_TID
+            if tid not in named_tids:
+                named_tids.add(tid)
                 events.append({
                     "name": "thread_name", "ph": "M", "ts": 0, "dur": 0,
-                    "pid": pid, "tid": rec.rank,
-                    "args": {"name": f"rank {rec.rank}"},
+                    "pid": pid, "tid": tid,
+                    "args": {
+                        "name": f"rank {rec.rank}" if rec.rank >= 0
+                        else "network",
+                    },
                 })
             ts = rec.start * time_scale
             if rec.kind == "log":
                 events.append({
                     "name": rec.detail or "log", "cat": "log", "ph": "i",
-                    "ts": ts, "dur": 0, "pid": pid, "tid": rec.rank,
+                    "ts": ts, "dur": 0, "pid": pid, "tid": tid,
                     "s": "t",
                 })
             elif rec.kind == "fault":
                 events.append({
                     "name": rec.detail or "fault", "cat": "fault", "ph": "i",
-                    "ts": ts, "dur": 0, "pid": pid, "tid": rec.rank,
+                    "ts": ts, "dur": 0, "pid": pid, "tid": tid,
                     "s": "t",
                 })
             else:
                 event: dict[str, Any] = {
                     "name": rec.kind, "cat": rec.kind, "ph": "X",
                     "ts": ts, "dur": (rec.end - rec.start) * time_scale,
-                    "pid": pid, "tid": rec.rank,
+                    "pid": pid, "tid": tid,
                 }
                 if rec.detail:
                     event["args"] = {"detail": rec.detail}

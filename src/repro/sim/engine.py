@@ -10,7 +10,10 @@ start time can be requested afterwards.
 
 Timing semantics:
 
-* ``Compute(flops=f)`` advances the clock by ``f / flops_per_second[rank]``.
+* ``Compute(flops=f)`` advances the clock by ``f / flops_per_second[rank]``;
+  ``Compute(flops=f, seconds=s)`` advances it by ``s`` while still crediting
+  ``f`` flops to the rank's stats (an explicit duration override, used e.g.
+  by fault injection to model degraded rates without losing work accounting).
 * ``Send`` asks the network model for ``(sender_done, arrival)`` and advances
   the sender's clock to ``sender_done``; the message is deposited in the
   destination mailbox with the given arrival time.
@@ -18,7 +21,9 @@ Timing semantics:
   message (smallest arrival, ties broken by deposit sequence); if no match
   exists, the process blocks until a matching send occurs.  A receive posted
   with ``timeout=`` resumes with ``None`` at ``post_time + timeout`` when no
-  match arrived in time.
+  match arrived in time; a matching message whose arrival lies *past* the
+  deadline does not complete the timed receive — it stays in the mailbox
+  for a later receive (arrival exactly at the deadline is delivered).
 * A network model may signal *in-transit loss* by returning
   ``arrival == math.inf`` from ``transfer``: the sender is charged normally
   (``sender_done``), but the message is never deposited at the destination
@@ -211,13 +216,20 @@ class Engine:
         for proc in procs:
             push(proc)
 
-        def pop_match(rank: int, src: int, tag: int) -> Message | None:
-            """Remove and return the matching message with smallest arrival."""
+        def pop_match(
+            rank: int, src: int, tag: int, deadline: float = _INF
+        ) -> Message | None:
+            """Remove and return the matching message with smallest arrival.
+
+            Messages arriving after ``deadline`` are left in place: a timed
+            receive must not be completed by a message that only turns up
+            past its deadline.
+            """
             box = mailboxes[rank]
             best_idx = -1
             best_key: tuple[float, int] | None = None
             for idx, msg in enumerate(box):
-                if msg.matches(src, tag):
+                if msg.matches(src, tag) and msg.arrival <= deadline:
                     key = (msg.arrival, msg.seq)
                     if best_key is None or key < best_key:
                         best_key = key
@@ -347,15 +359,26 @@ class Engine:
                     seq += 1
                     dst_proc = procs[dst]
                     waiting = dst_proc.waiting
-                    if waiting is not None and msg.matches(
-                        waiting.src, waiting.tag
+                    if (
+                        waiting is not None
+                        and msg.matches(waiting.src, waiting.tag)
+                        and (
+                            waiting.timeout is None
+                            or arrival
+                            <= dst_proc.block_start + waiting.timeout
+                        )
                     ):
                         complete_recv(dst_proc, msg, dst_proc.block_start)
                     else:
+                        # No eligible waiter (none posted, no match, or the
+                        # arrival is past a timed receive's deadline).
                         mailboxes[dst].append(msg)
                 push(proc)
             elif cls is Recv:
-                msg = pop_match(rank, op.src, op.tag)
+                msg = pop_match(
+                    rank, op.src, op.tag,
+                    _INF if op.timeout is None else proc.time + op.timeout,
+                )
                 if msg is not None:
                     complete_recv(proc, msg, proc.time)
                 else:
@@ -371,10 +394,12 @@ class Engine:
             elif cls is Compute:
                 start = proc.time
                 flops = op.flops
-                if flops is None:
-                    duration = op.seconds
+                seconds = op.seconds
+                if seconds is not None:
+                    duration = seconds  # fixed cost or explicit override
                 else:
                     duration = flops / fps[rank]
+                if flops is not None:
                     stats[rank].flops += flops
                 proc.time = start + duration
                 stats[rank].compute_time += duration
@@ -446,8 +471,14 @@ class Engine:
                         seq += 1
                         dst_proc = procs[dst]
                         waiting = dst_proc.waiting
-                        if waiting is not None and msg.matches(
-                            waiting.src, waiting.tag
+                        if (
+                            waiting is not None
+                            and msg.matches(waiting.src, waiting.tag)
+                            and (
+                                waiting.timeout is None
+                                or arrival
+                                <= dst_proc.block_start + waiting.timeout
+                            )
                         ):
                             complete_recv(dst_proc, msg, dst_proc.block_start)
                         else:

@@ -32,9 +32,17 @@ class SimOp:
 class Compute(SimOp):
     """Advance the local clock by a computation.
 
-    Exactly one of ``flops`` (converted to time through the per-rank compute
-    speed) or ``seconds`` (a fixed duration, used for modelling constant
-    software overheads) must be given.
+    Three forms, selected by which arguments are given (at least one):
+
+    * ``Compute(flops=f)`` — work converted to time through the per-rank
+      compute speed.
+    * ``Compute(seconds=s)`` — a fixed duration, for modelling constant
+      software overheads (no flops are accounted).
+    * ``Compute(flops=f, seconds=s)`` — an explicit duration *override*:
+      the clock advances by ``s`` while ``f`` flops are still credited to
+      the rank's work accounting.  Used when the effective rate differs
+      from the rank's nominal speed (e.g. fault-injected slowdowns), so
+      flops-based metrics stay exact under degradation.
 
     Implemented as a plain slotted class (not a dataclass): these objects
     are created once per simulated event and constructor cost dominates the
@@ -44,17 +52,20 @@ class Compute(SimOp):
     __slots__ = ("flops", "seconds")
 
     def __init__(self, flops: float | None = None, seconds: float | None = None):
-        if (flops is None) == (seconds is None):
+        if flops is None and seconds is None:
             raise InvalidOperationError(
-                "Compute requires exactly one of flops= or seconds="
+                "Compute requires flops= and/or seconds="
             )
-        value = flops if flops is not None else seconds
-        if value is None or value < 0:
-            raise InvalidOperationError("Compute amount must be non-negative")
+        if flops is not None and flops < 0:
+            raise InvalidOperationError("Compute flops must be non-negative")
+        if seconds is not None and seconds < 0:
+            raise InvalidOperationError("Compute seconds must be non-negative")
         self.flops = flops
         self.seconds = seconds
 
     def __repr__(self) -> str:
+        if self.flops is not None and self.seconds is not None:
+            return f"Compute(flops={self.flops!r}, seconds={self.seconds!r})"
         if self.seconds is not None:
             return f"Compute(seconds={self.seconds!r})"
         return f"Compute(flops={self.flops!r})"

@@ -182,6 +182,29 @@ class TestAvailability:
         assert a == pytest.approx(1.0 - 0.75 / 2.75)
 
 
+class TestFlopsAccounting:
+    """Degraded segments keep exact flops stats (duration-override form)."""
+
+    def test_slowed_rank_credits_full_flops(self):
+        schedule = FaultSchedule((
+            NodeSlowdown(rank=0, onset=0.5, duration=1.0, severity=0.5),
+        ))
+        result, _ = run_with_faults([compute_program(2e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(2.5)
+        assert result.stats[0].flops == pytest.approx(2e6)
+
+    def test_crash_restart_credits_full_flops(self):
+        schedule = FaultSchedule((
+            NodeCrash(rank=0, at=1.0, restart_delay=0.5,
+                      recompute_seconds=0.25),
+        ))
+        result, _ = run_with_faults([compute_program(2e6)], schedule)
+        assert result.finish_times[0] == pytest.approx(2.75)
+        assert result.stats[0].flops == pytest.approx(2e6)
+        # Downtime is charged as pure seconds, never as work.
+        assert result.stats[0].compute_time == pytest.approx(2.75)
+
+
 class TestTraceAnnotation:
     def test_fault_records_appended_sorted(self):
         tracer = Tracer()
@@ -195,3 +218,22 @@ class TestTraceAnnotation:
         times = [r.start for r in faults]
         assert times == sorted(times)
         assert all(r.start == r.end for r in faults)
+
+    def test_network_events_keep_negative_rank(self):
+        # Network-level faults must not be folded onto rank 0's track;
+        # they keep rank -1 and the Chrome exporter gives them their own
+        # "network" pseudo-thread.
+        from repro.faults.schedule import LinkDegradation
+
+        tracer = Tracer()
+        schedule = FaultSchedule((
+            LinkDegradation(onset=0.0, duration=1.0, bandwidth_factor=0.5),
+        ))
+        injector = FaultInjector(schedule)
+        injector.annotate_tracer(tracer)
+        link = [r for r in tracer.records if "link.degraded" in r.detail]
+        assert link and all(r.rank == -1 for r in link)
+        assert not [
+            r for r in tracer.records
+            if r.kind == "fault" and r.rank == 0
+        ]

@@ -76,6 +76,19 @@ class TestReliableTransfer:
         assert result.return_values[0] == "gave up"
         assert result.return_values[1] is None
 
+    def test_delayed_ack_fires_timeout_and_retransmits(self):
+        # On a cost-1.0 network the ack arrives at t=2.0, far past the
+        # t=1.1 ack deadline: the timeout must fire and trigger one
+        # retransmission, after which the (by then mailboxed) ack is
+        # accepted.  A timed receive completed by a past-deadline message
+        # would instead report 0 retries and never exercise retry/backoff.
+        result = faulty_mpi_run(
+            2, UniformCostNetwork(1.0), [1e6, 1e6],
+            ping_program(None, ack_timeout=0.1), FaultSchedule(),
+        )
+        assert result.return_values[0] == 1
+        assert result.return_values[1] == 8.0
+
     def test_backoff_delays_retransmission(self):
         schedule = FaultSchedule((
             MessageLoss(src=0, dst=1, every=1, max_drops=1),

@@ -3,7 +3,11 @@
 import json
 
 from repro.network.model import UniformCostNetwork, ZeroCostNetwork
-from repro.obs.chrome_trace import chrome_trace_events, write_chrome_trace
+from repro.obs.chrome_trace import (
+    NETWORK_TID,
+    chrome_trace_events,
+    write_chrome_trace,
+)
 from repro.sim.engine import Engine
 from repro.sim.events import Compute, Log, Recv, Send
 from repro.sim.trace import Tracer
@@ -65,6 +69,22 @@ class TestEventShape:
         metas = [e for e in events if e["ph"] == "M"]
         assert any(e["args"]["name"] == "my run" for e in metas)
         assert any(e["args"]["name"] == "rank 1" for e in metas)
+
+
+class TestNetworkTrack:
+    def test_negative_rank_records_get_network_pseudo_thread(self):
+        # Network-level fault records (rank -1, e.g. link.degraded) render
+        # on a dedicated "network" track, not on rank 0's timeline.
+        tracer = traced_run()
+        tracer.record(-1, "fault", 0.2, 0.2, "link.degraded factor=0.5")
+        events = chrome_trace_events(tracer)
+        net = [e for e in events if e["tid"] == NETWORK_TID]
+        assert any(e.get("cat") == "fault" and e["ph"] == "i" for e in net)
+        metas = [e for e in net if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "network" for e in metas)
+        assert not [
+            e for e in events if e.get("cat") == "fault" and e["tid"] == 0
+        ]
 
 
 class TestMultiRun:

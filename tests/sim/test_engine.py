@@ -59,6 +59,19 @@ class TestCompute:
         assert result.makespan == pytest.approx(0.5)
         assert result.stats[0].compute_time == pytest.approx(0.5)
 
+    def test_duration_override_charges_seconds_credits_flops(self):
+        # Compute(flops=f, seconds=s): the clock advances by s (not
+        # f/speed) while the f flops still land in the rank's stats.
+        engine = make_engine(1, speeds=[1e6])
+
+        def program(rank):
+            yield Compute(flops=1e6, seconds=2.0)
+
+        result = engine.run(program)
+        assert result.makespan == pytest.approx(2.0)
+        assert result.stats[0].flops == 1e6
+        assert result.stats[0].compute_time == pytest.approx(2.0)
+
     def test_different_speeds_per_rank(self):
         engine = make_engine(2, speeds=[1e6, 4e6])
 

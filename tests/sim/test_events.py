@@ -29,17 +29,27 @@ class TestCompute:
     def test_zero_flops_allowed(self):
         assert Compute(flops=0.0).flops == 0.0
 
-    def test_requires_exactly_one_argument(self):
+    def test_requires_at_least_one_argument(self):
         with pytest.raises(InvalidOperationError):
             Compute()
-        with pytest.raises(InvalidOperationError):
-            Compute(flops=1.0, seconds=1.0)
+
+    def test_duration_override_form(self):
+        # Both arguments: seconds is the charged duration, flops is the
+        # work credited to the rank's stats (used by fault injection).
+        op = Compute(flops=100.0, seconds=2.0)
+        assert op.flops == 100.0
+        assert op.seconds == 2.0
+        assert "flops" in repr(op) and "seconds" in repr(op)
 
     def test_negative_rejected(self):
         with pytest.raises(InvalidOperationError):
             Compute(flops=-1.0)
         with pytest.raises(InvalidOperationError):
             Compute(seconds=-0.1)
+        with pytest.raises(InvalidOperationError):
+            Compute(flops=-1.0, seconds=1.0)
+        with pytest.raises(InvalidOperationError):
+            Compute(flops=1.0, seconds=-1.0)
 
     def test_equality(self):
         assert Compute(flops=5.0) == Compute(flops=5.0)

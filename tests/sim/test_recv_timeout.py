@@ -100,6 +100,92 @@ class TestTimeoutSemantics:
         assert rec.rank == 1
         assert (rec.start, rec.end) == (0.0, 1.0)
 
+    def test_waiting_recv_not_completed_by_late_arrival(self):
+        # The receive is already blocked (waiting path) when the send
+        # happens; the message's arrival (t=10.5) lies past the deadline
+        # (t=2.0), so the receive must resume with None at the deadline,
+        # not with the message at its arrival.
+        def sender():
+            yield Compute(seconds=0.5)
+            yield Send(dst=1, nbytes=8.0)
+
+        def receiver():
+            msg = yield Recv(src=0, timeout=2.0)
+            return msg
+
+        engine = Engine(2, UniformCostNetwork(10.0), [1e6, 1e6])
+        result = engine.run([sender(), receiver()])
+        assert result.return_values[1] is None
+        assert result.finish_times[1] == pytest.approx(2.0)
+
+    def test_mailbox_message_past_deadline_not_delivered(self):
+        # The message is already in the mailbox (sent at t=0, arrival
+        # t=10) when the timed receive is posted; it must not satisfy a
+        # receive whose deadline (t=2.1) precedes the arrival.
+        def sender():
+            yield Send(dst=1, nbytes=8.0)
+
+        def receiver():
+            yield Compute(seconds=0.1)  # let the send happen first
+            msg = yield Recv(src=0, timeout=2.0)
+            return msg
+
+        engine = Engine(2, UniformCostNetwork(10.0), [1e6, 1e6])
+        result = engine.run([sender(), receiver()])
+        assert result.return_values[1] is None
+        assert result.finish_times[1] == pytest.approx(2.1)
+
+    def test_late_message_stays_available_for_later_recv(self):
+        # A message past one receive's deadline is not lost: it stays in
+        # the mailbox and completes the next (untimed) receive.
+        def sender():
+            yield Send(dst=1, nbytes=8.0)
+
+        def receiver():
+            yield Compute(seconds=0.1)
+            first = yield Recv(src=0, timeout=1.0)
+            second = yield Recv(src=0)
+            return (first, second.nbytes)
+
+        engine = Engine(2, UniformCostNetwork(10.0), [1e6, 1e6])
+        result = engine.run([sender(), receiver()])
+        assert result.return_values[1] == (None, 8.0)
+        assert result.finish_times[1] == pytest.approx(10.0)
+
+    def test_mailbox_arrival_exactly_at_deadline_delivered(self):
+        # Arrival t=1.0 equals the deadline (posted t=0.5, timeout 0.5):
+        # boundary arrivals are delivered, matching the waiting-path race
+        # semantics above.
+        def sender():
+            yield Send(dst=1, nbytes=8.0)
+
+        def receiver():
+            yield Compute(seconds=0.5)
+            msg = yield Recv(src=0, timeout=0.5)
+            return "got it" if msg is not None else "timed out"
+
+        engine = Engine(2, UniformCostNetwork(1.0), [1e6, 1e6])
+        result = engine.run([sender(), receiver()])
+        assert result.return_values[1] == "got it"
+        assert result.finish_times[1] == pytest.approx(1.0)
+
+    def test_multicast_late_arrival_does_not_complete_timed_recv(self):
+        # Same deadline rule on the multicast delivery path.
+        from repro.sim.events import Multicast
+
+        def sender():
+            yield Compute(seconds=0.5)
+            yield Multicast(dsts=(1,), nbytes=8.0)
+
+        def receiver():
+            msg = yield Recv(src=0, timeout=2.0)
+            return msg
+
+        engine = Engine(2, UniformCostNetwork(10.0), [1e6, 1e6])
+        result = engine.run([sender(), receiver()])
+        assert result.return_values[1] is None
+        assert result.finish_times[1] == pytest.approx(2.0)
+
     def test_comm_recv_exposes_timeout(self):
         from repro.mpi.communicator import Comm, mpi_run
 
