@@ -1,0 +1,110 @@
+"""Sweep executor performance: process fan-out and run-cache replay.
+
+Not a paper table -- this tracks the cost of *running* the paper's
+studies.  One GE efficiency curve is executed three ways: the legacy
+serial in-process loop, a cache-cold parallel fan-out, and a cache-warm
+replay.  The warm replay must be at least 2x faster than the serial
+simulation (in practice it is orders of magnitude faster); the parallel
+speedup is reported but not gated, since CI cores vary.
+
+The machine-readable result lands in the bench results directory, a
+top-level ``BENCH_sweep.json`` (committed perf trajectory) and the run
+ledger.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import bench_scale, write_result
+
+from repro.experiments.executor import RunCache, SweepExecutor
+from repro.experiments.report import format_table
+from repro.experiments.sweep import efficiency_curve, geometric_sizes
+from repro.machine.sunwulf import ge_configuration
+from repro.obs.ledger import RunLedger
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def curve_params():
+    if bench_scale() == "quick":
+        return 4, geometric_sizes(80, 220, 6)
+    return 8, geometric_sizes(100, 320, 8)
+
+
+def record_signature(record):
+    run = record.run
+    return (record.measurement, tuple(run.finish_times), tuple(run.stats))
+
+
+def test_sweep_parallelism_and_cache_replay(results_dir):
+    nodes, sizes = curve_params()
+    cluster = ge_configuration(nodes)
+    jobs = max(2, min(4, os.cpu_count() or 2))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = RunCache(Path(tmp) / "cache")
+
+        t0 = time.perf_counter()
+        serial = efficiency_curve(
+            "ge", cluster, sizes, executor=SweepExecutor()
+        )
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cold_exe = SweepExecutor(jobs=jobs, cache=cache)
+        cold = efficiency_curve("ge", cluster, sizes, executor=cold_exe)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_exe = SweepExecutor(jobs=jobs, cache=cache)
+        warm = efficiency_curve("ge", cluster, sizes, executor=warm_exe)
+        warm_s = time.perf_counter() - t0
+
+    # The speedups are only meaningful if all three agree bit for bit.
+    for a, b, c in zip(serial.records, cold.records, warm.records):
+        assert record_signature(a) == record_signature(b) == record_signature(c)
+    assert cold_exe.cache_stats() == {"hits": 0, "misses": len(sizes)}
+    assert warm_exe.cache_stats() == {"hits": len(sizes), "misses": 0}
+
+    parallel_speedup = serial_s / cold_s if cold_s > 0 else float("inf")
+    warm_speedup = serial_s / warm_s if warm_s > 0 else float("inf")
+
+    text = format_table(
+        ["metric", "value"],
+        [
+            ("problem sizes", len(sizes)),
+            ("worker processes", jobs),
+            ("serial cold (s)", f"{serial_s:.3f}"),
+            (f"parallel cold, jobs={jobs} (s)", f"{cold_s:.3f}"),
+            ("cache warm (s)", f"{warm_s:.3f}"),
+            ("parallel speedup", f"{parallel_speedup:.2f}x"),
+            ("warm-cache speedup", f"{warm_speedup:.2f}x"),
+        ],
+        title=f"Sweep executor (GE, {nodes} nodes, {len(sizes)} sizes)",
+    )
+    write_result(results_dir, "sweep_executor", text)
+
+    payload = {
+        "bench": "sweep_executor",
+        "app": "ge",
+        "nodes": nodes,
+        "sizes": list(sizes),
+        "jobs": jobs,
+        "serial_seconds": serial_s,
+        "parallel_cold_seconds": cold_s,
+        "cache_warm_seconds": warm_s,
+        "parallel_speedup": parallel_speedup,
+        "warm_cache_speedup": warm_speedup,
+    }
+    blob = json.dumps(payload, indent=2) + "\n"
+    (results_dir / "BENCH_sweep.json").write_text(blob)
+    (REPO_ROOT / "BENCH_sweep.json").write_text(blob)
+    RunLedger(REPO_ROOT / ".repro" / "ledger").record_bench(payload)
+
+    # The acceptance gate: replaying a finished sweep must beat
+    # resimulating it by at least 2x.
+    assert warm_speedup >= 2.0

@@ -414,6 +414,34 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- sweep executor plumbing (--jobs / --no-cache) ----------------------------
+
+def _build_executor(args: argparse.Namespace):
+    """The sweep executor for a command's --jobs/--no-cache flags."""
+    from .experiments.executor import RunCache, SweepExecutor
+
+    jobs = getattr(args, "jobs", 1)
+    if jobs is None:
+        jobs = 1
+    if jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
+    cache = None if getattr(args, "no_cache", False) else RunCache()
+    return SweepExecutor(jobs=jobs, cache=cache)
+
+
+def _print_cache_stats(executor) -> None:
+    """One summary line when the persistent run cache was in play."""
+    if executor is None or executor.cache is None:
+        return
+    stats = executor.cache_stats()
+    if stats["hits"] or stats["misses"]:
+        print(
+            f"run cache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+            f"({executor.cache.root})"
+        )
+        print()
+
+
 # -- fault-injection commands (faults run / faults sweep) ---------------------
 
 def _load_or_build_schedule(args: argparse.Namespace, nranks: int):
@@ -545,9 +573,17 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
                 f"error: severities must be in [0, 1), got {severity}"
             )
     cluster = _cluster_for(app, args.nodes)
-    rows = slowdown_sweep(
-        app, cluster, args.size, severities=args.severities, seed=args.seed
-    )
+    executor = _build_executor(args)
+    with ExitStack() as stack:
+        if args.ledger is not None:
+            from .experiments.runner import ledger_recording
+            from .obs.ledger import RunLedger
+
+            stack.enter_context(ledger_recording(RunLedger(args.ledger)))
+        rows = slowdown_sweep(
+            app, cluster, args.size, severities=args.severities,
+            seed=args.seed, executor=executor,
+        )
     _print(render_sweep(
         rows,
         title=f"Scalability under faults ({app}, N={args.size}, "
@@ -556,6 +592,7 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
     monotone = psi_is_monotone_nonincreasing(rows)
     print(f"psi monotone non-increasing with severity: {monotone}")
     print()
+    _print_cache_stats(executor)
     if args.out:
         import json as _json
         from dataclasses import asdict
@@ -566,6 +603,8 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
             "problem_size": args.size,
             "rows": [asdict(r) for r in sorted(rows, key=lambda r: r.severity)],
             "psi_monotone_nonincreasing": monotone,
+            "cache": executor.cache_stats(),
+            "jobs": executor.jobs,
         }
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -649,7 +688,23 @@ def build_faults_parser() -> argparse.ArgumentParser:
                        help="workload seed (default 0)")
     sweep.add_argument(
         "--out", default=None, metavar="PATH",
-        help="also write the sweep rows as JSON",
+        help="also write the sweep rows as JSON (includes cache hit/miss "
+             "counts)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="fan the baseline and severity points over J worker "
+             "processes (default 1: serial)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache ($REPRO_CACHE_DIR or "
+             ".repro/cache)",
+    )
+    sweep.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="record every run of the sweep in this ledger (with a "
+             "cache_hit metric per record)",
     )
     sweep.set_defaults(func=cmd_faults_sweep)
     return parser
@@ -832,7 +887,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="export a Chrome trace-event JSON of every simulated run the "
-             "command executes (open in chrome://tracing or Perfetto)",
+             "command executes (open in chrome://tracing or Perfetto; "
+             "disables run-cache reads so every run is really simulated)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="fan independent sweep points over J worker processes "
+             "(default 1: serial, bit-identical to the legacy path)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache ($REPRO_CACHE_DIR or "
+             ".repro/cache) and re-simulate every point",
     )
     parser.add_argument(
         "--ledger", default=None, metavar="DIR",
@@ -869,6 +935,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             COMMANDS[args.what](args)
 
+    executor = None
     collector = None
     with ExitStack() as stack:
         if args.trace_out:
@@ -881,7 +948,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             from .obs.ledger import RunLedger
 
             stack.enter_context(ledger_recording(RunLedger(args.ledger)))
+        if args.what != "profile":
+            from .experiments.executor import sweep_execution
+
+            executor = stack.enter_context(
+                sweep_execution(_build_executor(args))
+            )
         dispatch()
+    _print_cache_stats(executor)
     if collector is not None:
         from .obs.chrome_trace import write_chrome_trace
 

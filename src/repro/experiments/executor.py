@@ -1,0 +1,649 @@
+"""Parallel sweep execution with a persistent content-addressed run cache.
+
+Scalability studies (efficiency curves, required-size bisections, fault
+sweeps) sample many independent ``(app, cluster, N)`` simulation points.
+:class:`SweepExecutor` removes the two dominant costs of that regime:
+
+* **Parallelism** -- independent points fan out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs=``; the default of 1
+  executes in-process, preserving the legacy serial path bit for bit).
+* **Caching** -- a persistent :class:`RunCache` under ``.repro/cache/``
+  stores finished runs as versioned JSON documents keyed by a
+  deterministic profile hash (app, N, cluster spec hash, run kwargs such
+  as the :class:`~repro.mpi.communicator.CollectiveConfig`, the fault
+  schedule's ``profile_hash`` and the library version), so repeated
+  curves, bisections and CI smoke runs are near-free.
+
+Determinism is the contract: the simulator is deterministic, floats
+survive both the pickle transport from workers and the JSON round-trip
+through the cache exactly (``repr`` round-trips IEEE-754 doubles), so a
+parallel cache-cold sweep is bit-identical to the serial one for every
+measurement, per-rank statistic and derived ψ (test-enforced).  Only
+``wall_seconds`` is wall-clock dependent; cached records replay the value
+stored at record time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from ..core.marked_speed import SystemMarkedSpeed
+from ..core.types import MetricError
+from ..machine.cluster import ClusterSpec
+from ..mpi.communicator import CollectiveConfig
+from ..sim.engine import RunResult
+from ..sim.trace import RankStats
+from . import runner as _runner
+from .persistence import (
+    measurement_from_dict,
+    measurement_to_dict,
+    read_json_document,
+    write_json_document,
+)
+from .runner import RunRecord, resolve_app, run_app
+
+#: Envelope kind of cache entries (see ``write_json_document``).
+CACHE_KIND = "cached-run"
+#: Bumped whenever the cache payload layout or hashed profile changes;
+#: part of the profile hash, so stale layouts simply miss.
+CACHE_PROFILE_VERSION = 1
+#: Default cache root, overridable with $REPRO_CACHE_DIR.
+DEFAULT_CACHE_DIR = ".repro/cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Run kwargs that are per-call side-effect channels, not part of the
+#: simulated outcome.  A point carrying any of these executes in-process
+#: and bypasses the cache (a cached run cannot feed a tracer).
+SIDE_EFFECT_KWARGS = frozenset({"tracer", "metrics", "log", "launcher"})
+
+
+class _Uncacheable(Exception):
+    """A kwarg value has no canonical JSON form; the point cannot be keyed."""
+
+
+# -- sweep points -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation of a sweep: ``run_app`` arguments as data.
+
+    ``kwargs`` holds the run keywords that determine the outcome (sorted
+    tuple of pairs, so points are picklable and comparable); ``local``
+    holds side-effect keywords (tracer/metrics/log/launcher) that force
+    in-process, uncached execution.  ``schedule`` is an optional
+    :class:`~repro.faults.schedule.FaultSchedule` to inject.
+    """
+
+    app: str
+    cluster: ClusterSpec
+    n: int
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    local: tuple[tuple[str, Any], ...] = ()
+    schedule: Any = None
+
+    @staticmethod
+    def make(
+        app: str,
+        cluster: ClusterSpec,
+        n: int,
+        schedule: Any = None,
+        **run_kwargs: Any,
+    ) -> "SweepPoint":
+        """Build a point from ``run_app``-style keywords."""
+        local = tuple(sorted(
+            ((k, v) for k, v in run_kwargs.items()
+             if k in SIDE_EFFECT_KWARGS and v is not None),
+            key=lambda kv: kv[0],
+        ))
+        kwargs = tuple(sorted(
+            ((k, v) for k, v in run_kwargs.items()
+             if k not in SIDE_EFFECT_KWARGS),
+            key=lambda kv: kv[0],
+        ))
+        return SweepPoint(
+            app=resolve_app(app), cluster=cluster, n=int(n),
+            kwargs=kwargs, local=local, schedule=schedule,
+        )
+
+    def run_kwargs(self) -> dict[str, Any]:
+        out = dict(self.kwargs)
+        out.update(self.local)
+        return out
+
+
+def _canonical_value(value: Any) -> Any:
+    """JSON-stable form of a run kwarg for the profile hash."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)  # repr round-trips doubles; json floats match
+    if isinstance(value, SystemMarkedSpeed):
+        return {"marked_speeds": [repr(s) for s in value.speeds]}
+    if isinstance(value, CollectiveConfig):
+        return {"collectives": {"bcast": value.bcast,
+                                "barrier": value.barrier}}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    raise _Uncacheable(f"no canonical form for {type(value).__name__}")
+
+
+def point_profile_hash(point: SweepPoint) -> str | None:
+    """Deterministic content hash of everything that decides the outcome.
+
+    Covers the application, problem size, full cluster spec hash, the
+    canonicalized run kwargs (collective algorithms, marked speed, seed,
+    compute efficiency, ...), the fault schedule's ``profile_hash`` and
+    the library version.  Returns ``None`` when the point carries
+    side-effect kwargs or values without a canonical form -- such points
+    are never cached.
+    """
+    from .. import __version__
+    from ..obs.ledger import cluster_spec_hash
+
+    if point.local:
+        return None
+    try:
+        kwargs = {k: _canonical_value(v) for k, v in point.kwargs}
+    except _Uncacheable:
+        return None
+    payload = {
+        "profile_version": CACHE_PROFILE_VERSION,
+        "app": point.app,
+        "n": point.n,
+        "cluster": cluster_spec_hash(point.cluster),
+        "kwargs": kwargs,
+        "schedule": (point.schedule.profile_hash()
+                     if point.schedule is not None else None),
+        "repro_version": __version__,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- record (de)serialization -------------------------------------------------
+
+def run_record_to_payload(
+    record: RunRecord, injector: Any = None
+) -> dict[str, Any]:
+    """JSON-ready form of a finished run (tracer and app_result dropped).
+
+    ``injector`` optionally attaches the observed fault state
+    (downtime/fail-stop/drops and the fault event list) so a cached
+    faulted run rehydrates with its full degraded-metric surface.
+    """
+    run = record.run
+    payload: dict[str, Any] = {
+        "measurement": measurement_to_dict(record.measurement),
+        "run": {
+            "finish_times": list(run.finish_times),
+            "stats": [asdict(s) for s in run.stats],
+            "events": run.events,
+            "undelivered_messages": run.undelivered_messages,
+            "wall_seconds": run.wall_seconds,
+            "heap_pushes": run.heap_pushes,
+            "stale_pops": run.stale_pops,
+            "heap_pops": run.heap_pops,
+        },
+    }
+    if injector is not None:
+        payload["fault"] = {
+            "events": [[e.time, e.rank, e.kind, e.detail]
+                       for e in injector.events],
+            "downtime": {str(r): s for r, s in injector.downtime.items()},
+            "failed_at": {str(r): t for r, t in injector.failed_at.items()},
+            "messages_dropped": injector.messages_dropped,
+        }
+    return payload
+
+
+def run_record_from_payload(payload: dict[str, Any]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` (tracer/app_result are ``None``)."""
+    run_data = payload["run"]
+    run = RunResult(
+        finish_times=[float(t) for t in run_data["finish_times"]],
+        stats=[RankStats(**s) for s in run_data["stats"]],
+        events=int(run_data["events"]),
+        tracer=None,
+        return_values=[],
+        undelivered_messages=int(run_data.get("undelivered_messages", 0)),
+        wall_seconds=float(run_data.get("wall_seconds", 0.0)),
+        heap_pushes=int(run_data.get("heap_pushes", 0)),
+        stale_pops=int(run_data.get("stale_pops", 0)),
+        heap_pops=int(run_data.get("heap_pops", 0)),
+    )
+    return RunRecord(
+        measurement=measurement_from_dict(payload["measurement"]),
+        run=run,
+        app_result=None,
+    )
+
+
+def injector_from_payload(schedule: Any, payload: dict[str, Any]) -> Any:
+    """Rehydrate a :class:`~repro.faults.injection.FaultInjector`."""
+    from ..faults.injection import FaultInjector, FaultTraceEvent
+
+    injector = FaultInjector(schedule)
+    injector.events = [
+        FaultTraceEvent(float(t), int(r), str(k), str(d))
+        for t, r, k, d in payload.get("events", ())
+    ]
+    injector.downtime = {int(r): float(s)
+                         for r, s in payload.get("downtime", {}).items()}
+    injector.failed_at = {int(r): float(t)
+                          for r, t in payload.get("failed_at", {}).items()}
+    injector.messages_dropped = int(payload.get("messages_dropped", 0))
+    return injector
+
+
+# -- the persistent cache -----------------------------------------------------
+
+class RunCache:
+    """Content-addressed store of finished runs under ``root``.
+
+    Entries are ``write_json_document`` envelopes (kind ``cached-run``)
+    at ``<root>/<key[:2]>/<key>.json``; a corrupt or wrong-kind file is a
+    miss, never an error.  Writes go through a temp file + ``os.replace``
+    so concurrent sweeps only ever observe complete entries.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            document = read_json_document(path, CACHE_KIND)
+        except MetricError:
+            return None
+        result = document.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(
+        self, key: str, payload: dict[str, Any],
+        metadata: dict[str, Any] | None = None,
+    ) -> Path:
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        write_json_document(
+            tmp, CACHE_KIND, {"result": payload}, metadata=metadata
+        )
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+# -- worker-side execution ----------------------------------------------------
+
+def _run_point(point: SweepPoint) -> tuple[RunRecord, Any]:
+    """Execute one point; returns ``(record, injector-or-None)``."""
+    kwargs = point.run_kwargs()
+    if point.schedule is None:
+        return run_app(point.app, point.cluster, point.n, **kwargs), None
+    from ..faults.injection import FaultInjector
+    from ..faults.run import make_fault_launcher
+
+    point.schedule.validate_for(point.cluster.nranks)
+    injector = FaultInjector(point.schedule, log=kwargs.get("log"))
+    record = run_app(
+        point.app, point.cluster, point.n,
+        launcher=make_fault_launcher(point.schedule, injector),
+        **kwargs,
+    )
+    return record, injector
+
+
+def _pool_worker(point: SweepPoint) -> dict[str, Any]:
+    """Process-pool entry: run a point and return its JSON-ready payload.
+
+    Ambient observers (ledger, trace collector) inherited through fork
+    are suspended -- the parent executor is the recording authority.
+    """
+    prev_ledger, _runner._ACTIVE_LEDGER = _runner._ACTIVE_LEDGER, None
+    prev_coll, _runner._ACTIVE_COLLECTOR = _runner._ACTIVE_COLLECTOR, None
+    try:
+        record, injector = _run_point(point)
+        return run_record_to_payload(record, injector)
+    finally:
+        _runner._ACTIVE_LEDGER = prev_ledger
+        _runner._ACTIVE_COLLECTOR = prev_coll
+
+
+# -- the executor -------------------------------------------------------------
+
+class SweepExecutor:
+    """Runs sweep points with optional process parallelism and caching.
+
+    The default ``SweepExecutor()`` (one job, no cache) reproduces the
+    legacy serial path exactly, including ambient ledger/trace behavior.
+    With ``jobs > 1`` or a :class:`RunCache` attached, the executor
+    becomes the recording authority: every point is appended to the
+    ambient ledger (see :func:`~repro.experiments.runner.ledger_recording`)
+    with a ``cache_hit`` extra metric, and hit/miss counters are kept in
+    the attached metrics registry (``sweep_cache_hits_total`` /
+    ``sweep_cache_misses_total``).
+
+    Points carrying side-effect kwargs, and every point while a trace
+    collector is active, execute in-process and bypass the cache -- a
+    replayed record cannot produce a trace.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: RunCache | None = None,
+        metrics: Any = None,
+        log: Any = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.log = log
+        if metrics is None:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.value("sweep_cache_hits_total") or 0)
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.value("sweep_cache_misses_total") or 0)
+
+    def cache_stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    @property
+    def _managed(self) -> bool:
+        """Executor-managed mode: caching/parallelism in play, so the
+        executor (not ``run_app``) appends to the ambient ledger."""
+        return self.jobs > 1 or self.cache is not None
+
+    def _count(self, hit: bool) -> None:
+        name = "sweep_cache_hits_total" if hit else "sweep_cache_misses_total"
+        self.metrics.counter(name).inc()
+
+    def _record_ledger(
+        self, point: SweepPoint, record: RunRecord, cache_hit: bool
+    ) -> None:
+        ledger = _runner._ACTIVE_LEDGER
+        if ledger is None:
+            return
+        ledger.record_run(
+            point.app, point.cluster, record, source="run",
+            extra_metrics={"cache_hit": 1.0 if cache_hit else 0.0},
+            log=self.log,
+        )
+
+    # -- execution ---------------------------------------------------------
+    def run_points(self, points: Sequence[SweepPoint]) -> list[RunRecord]:
+        """Execute points (cache/pool as configured); records in order."""
+        return [record for record, _ in self.run_faulted(points)]
+
+    def run_point(self, point: SweepPoint) -> RunRecord:
+        return self.run_points([point])[0]
+
+    def run_faulted(
+        self, points: Sequence[SweepPoint]
+    ) -> list[tuple[RunRecord, Any]]:
+        """Like :meth:`run_points` but with each point's fault injector
+        (``None`` for fault-free points)."""
+        points = list(points)
+        if not self._managed:
+            # Legacy path: serial, uncached, ambient observers untouched.
+            return [_run_point(point) for point in points]
+
+        results: list[tuple[RunRecord, Any] | None] = [None] * len(points)
+        flags: list[bool] = [False] * len(points)
+        pending: list[int] = []
+        parallelizable: list[int] = []
+        keys: list[str | None] = []
+        collector_active = _runner._ACTIVE_COLLECTOR is not None
+        for idx, point in enumerate(points):
+            key = None
+            if not collector_active:
+                key = point_profile_hash(point)
+            keys.append(key)
+            if key is not None and self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    record = run_record_from_payload(cached)
+                    injector = None
+                    if point.schedule is not None and "fault" in cached:
+                        injector = injector_from_payload(
+                            point.schedule, cached["fault"]
+                        )
+                    results[idx] = (record, injector)
+                    flags[idx] = True
+                    continue
+            pending.append(idx)
+            if key is not None and not point.local:
+                parallelizable.append(idx)
+
+        if self.jobs > 1 and len(parallelizable) > 1:
+            batch = [points[i] for i in parallelizable]
+            workers = min(self.jobs, len(batch))
+            with _make_pool(workers) as pool:
+                payloads = list(pool.map(_pool_worker, batch, chunksize=1))
+            for idx, payload in zip(parallelizable, payloads):
+                record = run_record_from_payload(payload)
+                injector = None
+                if points[idx].schedule is not None:
+                    injector = injector_from_payload(
+                        points[idx].schedule, payload.get("fault", {})
+                    )
+                results[idx] = (record, injector)
+                if keys[idx] is not None and self.cache is not None:
+                    self._cache_put(keys[idx], points[idx], payload)
+            executed = set(parallelizable)
+        else:
+            executed = set()
+
+        for idx in pending:
+            if idx in executed:
+                continue
+            point = points[idx]
+            with _suspended_ledger():
+                record, injector = _run_point(point)
+            results[idx] = (record, injector)
+            if keys[idx] is not None and self.cache is not None:
+                self._cache_put(
+                    keys[idx], point, run_record_to_payload(record, injector)
+                )
+
+        out: list[tuple[RunRecord, Any]] = []
+        for idx, point in enumerate(points):
+            pair = results[idx]
+            assert pair is not None
+            self._count(hit=flags[idx])
+            self._record_ledger(point, pair[0], cache_hit=flags[idx])
+            out.append(pair)
+        return out
+
+    def _cache_put(
+        self, key: str, point: SweepPoint, payload: dict[str, Any]
+    ) -> None:
+        try:
+            self.cache.put(key, payload, metadata={
+                "app": point.app,
+                "n": point.n,
+                "cluster": point.cluster.name,
+            })
+        except OSError:
+            if self.log is not None:
+                self.log.event("sweep.cache_write_failed", key=key)
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    """A process pool preferring fork (inherits warm marked-speed caches)."""
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        ctx = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+
+@contextmanager
+def _suspended_ledger() -> Iterator[None]:
+    """Mute ``run_app``'s ambient ledger hook (the executor records)."""
+    prev = _runner._ACTIVE_LEDGER
+    _runner._ACTIVE_LEDGER = None
+    try:
+        yield
+    finally:
+        _runner._ACTIVE_LEDGER = prev
+
+
+# -- ambient executor ---------------------------------------------------------
+
+_ACTIVE_EXECUTOR: SweepExecutor | None = None
+
+
+@contextmanager
+def sweep_execution(
+    executor: SweepExecutor | None = None,
+) -> Iterator[SweepExecutor]:
+    """Route every sweep inside the ``with`` block through ``executor``.
+
+    ``efficiency_curve``, ``required_size_by_simulation``,
+    ``required_rank_hybrid`` and ``slowdown_sweep`` consult the ambient
+    executor when none is passed explicitly (the CLI's ``--jobs`` /
+    ``--no-cache`` flags enter this context).  With no argument, a
+    serial executor with the persistent default cache is used.
+    Reentrant: the previous executor is restored on exit.
+    """
+    global _ACTIVE_EXECUTOR
+    active = executor if executor is not None else SweepExecutor(
+        cache=RunCache()
+    )
+    previous = _ACTIVE_EXECUTOR
+    _ACTIVE_EXECUTOR = active
+    try:
+        yield active
+    finally:
+        _ACTIVE_EXECUTOR = previous
+
+
+def resolve_executor(executor: SweepExecutor | None = None) -> SweepExecutor:
+    """Explicit executor wins; else the ambient one; else legacy serial."""
+    if executor is not None:
+        return executor
+    if _ACTIVE_EXECUTOR is not None:
+        return _ACTIVE_EXECUTOR
+    return SweepExecutor()
+
+
+# -- speculative bisection prefetch -------------------------------------------
+
+class BisectionPrefetcher:
+    """Memoized point evaluation with speculative bracket prefetch.
+
+    ``warm`` mirrors :func:`~repro.core.condition.required_problem_size`'s
+    exact walk -- bracket doubling, then bisection -- submitting each
+    round's probe *and* the probes both branch outcomes would need next
+    as one parallel batch.  The subsequent unmodified serial search then
+    consumes the memo and returns the identical answer by construction;
+    speculation only ever adds extra (cached, reusable) evaluations.
+    """
+
+    def __init__(
+        self,
+        executor: SweepExecutor,
+        app: str,
+        cluster: ClusterSpec,
+        schedule: Any = None,
+        **run_kwargs: Any,
+    ):
+        self.executor = executor
+        self.app = app
+        self.cluster = cluster
+        self.schedule = schedule
+        self.run_kwargs = run_kwargs
+        self.memo: dict[int, RunRecord] = {}
+
+    def point(self, n: int) -> SweepPoint:
+        return SweepPoint.make(
+            self.app, self.cluster, n, schedule=self.schedule,
+            **self.run_kwargs,
+        )
+
+    def batch(self, sizes: Sequence[int]) -> None:
+        """Evaluate any not-yet-memoized sizes as one parallel batch."""
+        todo = [n for n in dict.fromkeys(int(n) for n in sizes)
+                if n not in self.memo]
+        if not todo:
+            return
+        records = self.executor.run_points([self.point(n) for n in todo])
+        for n, record in zip(todo, records):
+            self.memo[n] = record
+
+    def record(self, n: int) -> RunRecord:
+        n = int(n)
+        if n not in self.memo:
+            self.memo[n] = self.executor.run_point(self.point(n))
+        return self.memo[n]
+
+    def efficiency(self, n: int) -> float:
+        """Drop-in evaluator for ``required_problem_size``."""
+        return self.record(n).speed_efficiency
+
+    def warm(
+        self,
+        target: float,
+        lower: int = 2,
+        upper: int | None = None,
+        max_upper: int = 1 << 22,
+        rtol: float = 0.0,
+    ) -> None:
+        """Prefetch every probe the serial bisection will evaluate."""
+        if target <= 0:
+            return
+        lower = int(lower)
+        self.batch([lower] if upper is None else [lower, int(upper)])
+        if self.efficiency(lower) >= target:
+            return
+        if upper is None:
+            upper = max(2 * lower, 16)
+            while True:
+                self.batch([upper, min(2 * upper, max_upper)])
+                if self.efficiency(upper) >= target:
+                    break
+                if upper >= max_upper:
+                    return  # the serial search raises the MetricError
+                upper = min(2 * upper, max_upper)
+        else:
+            upper = int(upper)
+            if self.efficiency(upper) < target:
+                return  # serial search raises / caller falls back
+        lo, hi = lower, upper
+        while hi - lo > 1 and hi - lo > rtol * hi:
+            mid = (lo + hi) // 2
+            # Speculate: whichever way the test goes, the next midpoint
+            # is one of the two quarter points -- fetch all three now.
+            self.batch([mid, (lo + mid) // 2, (mid + hi) // 2])
+            if self.efficiency(mid) >= target:
+                hi = mid
+            else:
+                lo = mid

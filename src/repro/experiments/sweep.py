@@ -14,7 +14,8 @@ from ..core.condition import required_problem_size
 from ..core.trendline import TrendFit, fit_trend_from_measurements
 from ..core.types import Measurement
 from ..machine.cluster import ClusterSpec
-from .runner import RunRecord, marked_speed_of, run_app
+from .executor import BisectionPrefetcher, SweepExecutor, SweepPoint, resolve_executor
+from .runner import RunRecord, marked_speed_of
 
 
 @dataclass
@@ -46,16 +47,24 @@ def efficiency_curve(
     app: str,
     cluster: ClusterSpec,
     sizes: Sequence[int],
+    executor: SweepExecutor | None = None,
     **run_kwargs,
 ) -> EfficiencyCurve:
-    """Sample speed-efficiency at each problem size (Figures 1 and 2)."""
+    """Sample speed-efficiency at each problem size (Figures 1 and 2).
+
+    The sizes are independent points: with a parallel/caching
+    :class:`~repro.experiments.executor.SweepExecutor` (explicit or
+    ambient via :func:`~repro.experiments.executor.sweep_execution`) they
+    fan out over worker processes and reuse cached runs; the default
+    executor reproduces the serial in-process loop exactly.
+    """
     marked = marked_speed_of(cluster)
-    curve = EfficiencyCurve(app=app, cluster=cluster)
-    for n in sizes:
-        curve.records.append(
-            run_app(app, cluster, int(n), marked=marked, **run_kwargs)
-        )
-    return curve
+    points = [
+        SweepPoint.make(app, cluster, int(n), marked=marked, **run_kwargs)
+        for n in sizes
+    ]
+    records = resolve_executor(executor).run_points(points)
+    return EfficiencyCurve(app=app, cluster=cluster, records=records)
 
 
 def required_size_by_simulation(
@@ -64,6 +73,7 @@ def required_size_by_simulation(
     target_efficiency: float,
     lower: int = 2,
     max_upper: int = 1 << 16,
+    executor: SweepExecutor | None = None,
     **run_kwargs,
 ) -> tuple[int, RunRecord]:
     """Smallest problem size whose *simulated* efficiency meets the target.
@@ -71,19 +81,24 @@ def required_size_by_simulation(
     Runs the simulator inside a bisection; results are memoized per size.
     Returns the size and the run record at that size (the iso-efficient
     observation fed to the scalability function).
+
+    With a parallel executor the bisection's probes are speculatively
+    prefetched in bracket-sized batches (both next midpoints of every
+    bisection step), then the unmodified serial search reads the memo --
+    same answer, less wall-clock.
     """
     marked = marked_speed_of(cluster)
-    cache: dict[int, RunRecord] = {}
-
-    def evaluate(n: int) -> float:
-        if n not in cache:
-            cache[n] = run_app(app, cluster, n, marked=marked, **run_kwargs)
-        return cache[n].speed_efficiency
-
-    n_star = required_problem_size(
-        evaluate, target_efficiency, lower=lower, max_upper=max_upper
+    exe = resolve_executor(executor)
+    prefetch = BisectionPrefetcher(
+        exe, app, cluster, marked=marked, **run_kwargs
     )
-    return n_star, cache[n_star]
+    if exe.jobs > 1:
+        prefetch.warm(target_efficiency, lower=lower, max_upper=max_upper)
+    n_star = required_problem_size(
+        prefetch.efficiency, target_efficiency, lower=lower,
+        max_upper=max_upper,
+    )
+    return n_star, prefetch.record(n_star)
 
 
 def required_size_by_trend(
@@ -101,10 +116,15 @@ def geometric_sizes(start: int, stop: int, count: int) -> list[int]:
     sizes: list[int] = []
     value = float(start)
     for _ in range(count):
-        n = int(round(value))
+        # Accumulated float error in `value *= ratio` can round the last
+        # generated size past `stop` (e.g. start=2, stop=10**15, count=6
+        # yields 10**15 + 2); clamp so the unconditional endpoint append
+        # below can never produce a non-monotone tail.
+        n = min(int(round(value)), stop)
         if not sizes or n > sizes[-1]:
             sizes.append(n)
         value *= ratio
     if sizes[-1] != stop:
         sizes.append(stop)
+    assert all(a < b for a, b in zip(sizes, sizes[1:])), sizes
     return sizes

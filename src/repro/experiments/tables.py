@@ -228,23 +228,29 @@ def required_rank_hybrid(
     bounds the relative precision of the returned rank (the paper reads
     ranks like "around 310" off trend lines -- three significant digits).
     """
+    from .executor import BisectionPrefetcher, resolve_executor
+
     marked = marked_speed_of(cluster)
     n_pred = predict_required_size(model, target)
-    cache: dict[int, RunRecord] = {}
-
-    def evaluate(n: int) -> float:
-        if n not in cache:
-            cache[n] = run_app(
-                app, cluster, n, marked=marked,
-                compute_efficiency=compute_efficiency,
-            )
-        return cache[n].speed_efficiency
+    exe = resolve_executor()
+    prefetch = BisectionPrefetcher(
+        exe, app, cluster, marked=marked,
+        compute_efficiency=compute_efficiency,
+    )
+    evaluate = prefetch.efficiency
 
     # Lower bound 3 keeps the probe valid for every application (the
     # stencil's smallest meaningful grid is 3x3).
     floor = 3
     lower = max(floor, int(0.45 * n_pred))
     upper = max(lower + 2, int(2.5 * n_pred))
+    if exe.jobs > 1 and target > 0:
+        # Speculatively prefetch the model-guided walk; when that bracket
+        # fails (overshoot or upper below target) also warm the unguided
+        # fallback search the code below will run.
+        prefetch.warm(target, lower=lower, upper=upper, rtol=rtol)
+        if evaluate(lower) >= target or evaluate(upper) < target:
+            prefetch.warm(target, lower=floor, rtol=rtol)
     try:
         if evaluate(lower) >= target:
             # Prediction overshot badly; fall back to an unguided search.
@@ -257,7 +263,7 @@ def required_rank_hybrid(
             )
     except MetricError:
         n_star = required_problem_size(evaluate, target, lower=floor, rtol=rtol)
-    return n_star, cache[n_star]
+    return n_star, prefetch.record(n_star)
 
 
 def table3_required_rank(

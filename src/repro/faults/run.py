@@ -289,6 +289,7 @@ def slowdown_sweep(
     duration: float | None = None,
     log: Any = None,
     seed: int = 0,
+    executor: Any = None,
 ) -> list[FaultSweepRow]:
     """Scalability under faults: scan uniform slowdown severity.
 
@@ -296,17 +297,47 @@ def slowdown_sweep(
     default); one shared fault-free baseline anchors degraded ψ.  More
     severity can only inflate the faulted overhead ``T_o'``, so ψ is
     monotonically non-increasing along the sweep (the acceptance shape).
+
+    Severity points are independent: with a parallel/caching
+    :class:`~repro.experiments.executor.SweepExecutor` (explicit or
+    ambient) the baseline and every faulted run fan out together, and
+    repeated sweeps replay from the run cache (the schedule's
+    ``profile_hash`` is part of the cache key).
     """
+    from ..experiments.executor import SweepPoint, resolve_executor
+
     app = resolve_app(app)
-    base = run_app(app, cluster, n, log=log, seed=seed)
-    rows: list[FaultSweepRow] = []
-    for severity in severities:
-        schedule = uniform_slowdown(
+    exe = resolve_executor(executor)
+    marked = marked_speed_of(cluster)
+    schedules = [
+        uniform_slowdown(
             cluster.nranks, severity, onset=onset, duration=duration
         )
-        faulty = run_app_under_faults(
-            app, cluster, n, schedule,
-            baseline=base, log=log, seed=seed,
+        for severity in severities
+    ]
+    points = [SweepPoint.make(app, cluster, n, log=log, seed=seed)]
+    points += [
+        SweepPoint.make(
+            app, cluster, n, schedule=schedule,
+            marked=marked, log=log, seed=seed,
+        )
+        for schedule in schedules
+    ]
+    pairs = exe.run_faulted(points)
+    base = pairs[0][0]
+    rows: list[FaultSweepRow] = []
+    for severity, schedule, (faulted, injector) in zip(
+        severities, schedules, pairs[1:]
+    ):
+        faulty = FaultyRun(
+            app=app,
+            cluster=cluster,
+            schedule=schedule,
+            injector=injector,
+            faulted=faulted,
+            baseline=base,
+            marked=marked,
+            compute_efficiency=APP_COMPUTE_EFFICIENCY[app],
         )
         rows.append(FaultSweepRow(
             severity=severity,

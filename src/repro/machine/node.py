@@ -53,6 +53,17 @@ class ProcessorType:
     def __hash__(self) -> int:
         return hash((self.name, self.clock_mhz, self.peak_mflops))
 
+    def __reduce__(self):
+        # The frozen kernel_efficiency mapping is a MappingProxyType,
+        # which pickle rejects; rebuild through the constructor (which
+        # re-validates and re-freezes) so specs can cross process
+        # boundaries for parallel sweeps.
+        return (
+            ProcessorType,
+            (self.name, self.clock_mhz, self.peak_mflops,
+             dict(self.kernel_efficiency), self.app_efficiency),
+        )
+
     def sustained_mflops(self, kernel: str) -> float:
         """Sustained speed of one benchmark kernel on this CPU (Mflops)."""
         try:

@@ -137,6 +137,7 @@ def _run_metrics(
         "wall_seconds": run.wall_seconds,
         "events_per_second": run.events_per_second,
         "heap_pushes": float(run.heap_pushes),
+        "heap_pops": float(run.heap_pops),
         "stale_pops": float(run.stale_pops),
         "stale_pop_ratio": run.stale_pop_ratio,
     }
@@ -315,6 +316,7 @@ class RunLedger:
             "wall_seconds": run.wall_seconds,
             "events_per_second": run.events_per_second,
             "heap_pushes": float(run.heap_pushes),
+            "heap_pops": float(run.heap_pops),
             "stale_pops": float(run.stale_pops),
             "stale_pop_ratio": run.stale_pop_ratio,
             "critical_path_length": report.path.length,

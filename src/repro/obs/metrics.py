@@ -195,6 +195,7 @@ class MetricsRegistry:
         heap_pushes: int,
         stale_pops: int,
         makespan: float,
+        heap_pops: int | None = None,
     ) -> None:
         """Engine hook: record the run's wall-clock self-profile gauges."""
         self.gauge("engine_events").set(events)
@@ -204,8 +205,14 @@ class MetricsRegistry:
         )
         self.gauge("engine_heap_pushes").set(heap_pushes)
         self.gauge("engine_stale_pops").set(stale_pops)
+        # The ratio is stale pops over *total* pops; older callers that do
+        # not report heap_pops fall back to pushes (every push is eventually
+        # popped, so the denominators agree for completed runs).
+        pop_total = heap_pops if heap_pops is not None else heap_pushes
+        if heap_pops is not None:
+            self.gauge("engine_heap_pops").set(heap_pops)
         self.gauge("engine_stale_pop_ratio").set(
-            stale_pops / heap_pushes if heap_pushes > 0 else 0.0
+            stale_pops / pop_total if pop_total > 0 else 0.0
         )
         self.gauge("engine_makespan_seconds").set(makespan)
 

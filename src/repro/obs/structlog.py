@@ -178,16 +178,19 @@ class StructLogger:
         heap_pushes: int,
         stale_pops: int,
         makespan: float,
+        heap_pops: int | None = None,
     ) -> None:
         """Duck-typed engine hook: log the end-of-run self-profile."""
-        self.event(
-            "engine.self_profile",
+        fields: dict[str, Any] = dict(
             events=events,
             wall_seconds=wall_seconds,
             heap_pushes=heap_pushes,
             stale_pops=stale_pops,
             makespan=makespan,
         )
+        if heap_pops is not None:
+            fields["heap_pops"] = heap_pops
+        self.event("engine.self_profile", **fields)
 
 
 def stderr_logger(**bound: Any) -> StructLogger:

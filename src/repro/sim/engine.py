@@ -72,6 +72,7 @@ class RunResult:
     wall_seconds: float = 0.0
     heap_pushes: int = 0
     stale_pops: int = 0
+    heap_pops: int = 0
 
     @property
     def makespan(self) -> float:
@@ -86,7 +87,7 @@ class RunResult:
     @property
     def stale_pop_ratio(self) -> float:
         """Fraction of heap pops that were stale entries (scheduler waste)."""
-        total = self.heap_pushes
+        total = self.heap_pops
         return self.stale_pops / total if total > 0 else 0.0
 
     @property
@@ -202,6 +203,7 @@ class Engine:
         seq = 0
         events = 0
         pushes = 0
+        pops = 0
         stale = 0
         heap: list[tuple[float, int, int]] = []
         wall_start = time.perf_counter()
@@ -277,6 +279,7 @@ class Engine:
                     }
                 )
             entry_time, entry_seq, rank = heappop(heap)
+            pops += 1
             proc = procs[rank]
             if proc.waiting is not None and entry_seq == proc.deadline_seq:
                 # Receive timeout fires: resume the blocked process with
@@ -431,15 +434,28 @@ class Engine:
                         )
                         if arrival == _INF:
                             lost = len(remote)  # whole broadcast frame lost
+                        elif arrival < start:
+                            raise ProtocolError(
+                                "network model delivered a multicast before "
+                                f"the send start (start={start}, "
+                                f"arrival={arrival})"
+                            )
                         else:
                             deliveries = [(dst, arrival) for dst in remote]
                     else:
                         # Fallback: serialized unicasts (switched network).
                         sender_done = start
                         for dst in remote:
+                            leg_start = sender_done
                             sender_done, arrival = transfer(
-                                rank, dst, nbytes, sender_done
+                                rank, dst, nbytes, leg_start
                             )
+                            if arrival != _INF and arrival < leg_start:
+                                raise ProtocolError(
+                                    "network model delivered a multicast "
+                                    "unicast leg before its start "
+                                    f"(start={leg_start}, arrival={arrival})"
+                                )
                             if arrival == _INF:
                                 lost += 1
                             else:
@@ -517,6 +533,7 @@ class Engine:
             wall_seconds=wall,
             heap_pushes=pushes,
             stale_pops=stale,
+            heap_pops=pops,
         )
         if metrics is not None:
             metrics.record_engine(
@@ -525,6 +542,7 @@ class Engine:
                 heap_pushes=pushes,
                 stale_pops=stale,
                 makespan=result.makespan,
+                heap_pops=pops,
             )
         if undelivered and self.log is not None:
             # Messages still sitting in mailboxes at exit usually indicate a
@@ -552,6 +570,7 @@ class Engine:
                 makespan=result.makespan,
                 wall_seconds=wall,
                 heap_pushes=pushes,
+                heap_pops=pops,
                 stale_pops=stale,
                 undelivered_messages=undelivered,
             )

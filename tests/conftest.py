@@ -11,6 +11,17 @@ from repro.network.model import ZeroCostNetwork
 from repro.network.topology import Topology
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path, monkeypatch):
+    """Point the persistent run cache at a per-test directory.
+
+    CLI commands create a cache-backed executor by default, so without
+    this every test invoking the CLI would read/write ``.repro/cache``
+    in the repo and leak state between tests (and runs).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-cache"))
+
+
 @pytest.fixture(scope="session")
 def ge2_cluster():
     """The paper's two-node GE configuration (server 2 CPUs + SunBlade)."""

@@ -1,0 +1,323 @@
+"""Parallel sweep executor + content-addressed run cache tests.
+
+The load-bearing contract: a parallel, cache-cold sweep is bit-identical
+to the serial legacy path for every measurement, per-rank statistic and
+derived metric, and a cache-warm sweep replays those exact values.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.executor import (
+    BisectionPrefetcher,
+    RunCache,
+    SweepExecutor,
+    SweepPoint,
+    point_profile_hash,
+    resolve_executor,
+    run_record_from_payload,
+    run_record_to_payload,
+    sweep_execution,
+)
+from repro.experiments.runner import ledger_recording, marked_speed_of, run_app
+from repro.experiments.sweep import efficiency_curve, required_size_by_simulation
+from repro.faults.run import slowdown_sweep
+from repro.faults.schedule import uniform_slowdown
+from repro.obs.ledger import RunLedger
+
+SIZES = (60, 90, 120)
+
+
+def fresh_cache(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+def record_signature(record):
+    """Everything deterministic about a run (wall_seconds excluded)."""
+    run = record.run
+    return (
+        record.measurement,
+        tuple(run.finish_times),
+        tuple(run.stats),
+        run.events,
+        run.undelivered_messages,
+        run.heap_pushes,
+        run.heap_pops,
+        run.stale_pops,
+    )
+
+
+class TestBitIdentity:
+    def test_parallel_cold_matches_serial(self, ge2_cluster, tmp_path):
+        """jobs=4, cache-cold must equal the serial legacy path bit for
+        bit: measurements, RankStats, finish times, engine counters."""
+        serial = efficiency_curve("ge", ge2_cluster, SIZES)
+        exe = SweepExecutor(jobs=4, cache=fresh_cache(tmp_path))
+        parallel = efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
+        assert exe.cache_stats() == {"hits": 0, "misses": len(SIZES)}
+        for a, b in zip(serial.records, parallel.records):
+            assert record_signature(a) == record_signature(b)
+
+    def test_warm_cache_replays_identically(self, ge2_cluster, tmp_path):
+        cache = fresh_cache(tmp_path)
+        cold = efficiency_curve(
+            "ge", ge2_cluster, SIZES, executor=SweepExecutor(cache=cache)
+        )
+        warm_exe = SweepExecutor(jobs=2, cache=cache)
+        warm = efficiency_curve("ge", ge2_cluster, SIZES, executor=warm_exe)
+        assert warm_exe.cache_stats() == {"hits": len(SIZES), "misses": 0}
+        for a, b in zip(cold.records, warm.records):
+            assert record_signature(a) == record_signature(b)
+            # wall_seconds replays the value stored at record time.
+            assert a.run.wall_seconds == b.run.wall_seconds
+
+    def test_faulted_sweep_parallel_matches_serial(self, ge2_cluster, tmp_path):
+        """ψ and every derived fault metric agree across serial, parallel
+        cache-cold and cache-warm executions."""
+        kwargs = dict(severities=(0.0, 0.3), seed=0)
+        serial = slowdown_sweep("ge", ge2_cluster, 120, **kwargs)
+        cache = fresh_cache(tmp_path)
+        cold = slowdown_sweep(
+            "ge", ge2_cluster, 120,
+            executor=SweepExecutor(jobs=3, cache=cache), **kwargs,
+        )
+        warm = slowdown_sweep(
+            "ge", ge2_cluster, 120,
+            executor=SweepExecutor(jobs=3, cache=cache), **kwargs,
+        )
+        assert serial == cold == warm
+
+    def test_required_size_parallel_matches_serial(self, ge2_cluster, tmp_path):
+        n_serial, rec_serial = required_size_by_simulation(
+            "ge", ge2_cluster, 0.2
+        )
+        exe = SweepExecutor(jobs=2, cache=fresh_cache(tmp_path))
+        n_par, rec_par = required_size_by_simulation(
+            "ge", ge2_cluster, 0.2, executor=exe
+        )
+        assert n_par == n_serial
+        assert record_signature(rec_par) == record_signature(rec_serial)
+        # Speculation prefetches extra bracket probes but never misleads.
+        assert exe.misses >= 1
+
+
+class TestRunCache:
+    def test_round_trip(self, ge2_cluster, tmp_path):
+        record = run_app("ge", ge2_cluster, 80)
+        cache = fresh_cache(tmp_path)
+        cache.put("ab" + "0" * 62, run_record_to_payload(record))
+        assert len(cache) == 1
+        loaded = run_record_from_payload(cache.get("ab" + "0" * 62))
+        assert record_signature(loaded) == record_signature(record)
+        assert loaded.app_result is None
+        assert loaded.run.tracer is None
+
+    def test_missing_key_is_miss(self, tmp_path):
+        assert fresh_cache(tmp_path).get("ff" + "0" * 62) is None
+
+    def test_corrupt_entry_is_miss_not_error(self, ge2_cluster, tmp_path):
+        record = run_app("ge", ge2_cluster, 80)
+        cache = fresh_cache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.put(key, run_record_to_payload(record))
+        path.write_text("{ not json")
+        assert cache.get(key) is None
+        path.write_text(json.dumps({"kind": "something-else"}))
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_refills_on_next_sweep(self, ge2_cluster, tmp_path):
+        cache = fresh_cache(tmp_path)
+        exe = SweepExecutor(cache=cache)
+        exe.run_points([SweepPoint.make("ge", ge2_cluster, 80)])
+        entry = next(cache.root.glob("*/*.json"))
+        entry.write_text("corrupt")
+        exe2 = SweepExecutor(cache=cache)
+        exe2.run_points([SweepPoint.make("ge", ge2_cluster, 80)])
+        assert exe2.cache_stats() == {"hits": 0, "misses": 1}
+        # ... and the rewritten entry hits again.
+        exe3 = SweepExecutor(cache=cache)
+        exe3.run_points([SweepPoint.make("ge", ge2_cluster, 80)])
+        assert exe3.cache_stats() == {"hits": 1, "misses": 0}
+
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert RunCache().root == tmp_path / "elsewhere"
+
+
+class TestProfileHash:
+    def test_stable(self, ge2_cluster):
+        p = SweepPoint.make("ge", ge2_cluster, 100, seed=3)
+        assert point_profile_hash(p) == point_profile_hash(p)
+
+    def test_sensitive_to_everything_that_matters(self, ge2_cluster,
+                                                  mm2_cluster):
+        base = point_profile_hash(SweepPoint.make("ge", ge2_cluster, 100))
+        assert base is not None
+        others = [
+            SweepPoint.make("ge", ge2_cluster, 101),          # size
+            SweepPoint.make("mm", ge2_cluster, 100),          # app
+            SweepPoint.make("ge", mm2_cluster, 100),          # cluster
+            SweepPoint.make("ge", ge2_cluster, 100, seed=1),  # kwargs
+            SweepPoint.make(                                  # schedule
+                "ge", ge2_cluster, 100,
+                schedule=uniform_slowdown(ge2_cluster.nranks, 0.2),
+            ),
+        ]
+        hashes = [point_profile_hash(p) for p in others]
+        assert all(h is not None and h != base for h in hashes)
+        assert len(set(hashes)) == len(hashes)
+
+    def test_marked_speed_is_part_of_the_key(self, ge2_cluster):
+        marked = marked_speed_of(ge2_cluster)
+        with_marked = point_profile_hash(
+            SweepPoint.make("ge", ge2_cluster, 100, marked=marked)
+        )
+        without = point_profile_hash(SweepPoint.make("ge", ge2_cluster, 100))
+        assert with_marked is not None and with_marked != without
+
+    def test_side_effect_kwargs_disable_caching(self, ge2_cluster):
+        from repro.obs.structlog import StructLogger
+
+        p = SweepPoint.make("ge", ge2_cluster, 100, log=StructLogger())
+        assert p.local  # captured as a local (in-process-only) kwarg
+        assert point_profile_hash(p) is None
+
+    def test_uncacheable_kwarg_value_disables_caching(self, ge2_cluster):
+        p = SweepPoint.make("ge", ge2_cluster, 100, numeric=object())
+        assert point_profile_hash(p) is None
+
+    def test_uncacheable_points_still_execute(self, ge2_cluster, tmp_path):
+        class FalsyFlag:  # no canonical JSON form, but behaves like False
+            def __bool__(self):
+                return False
+
+        cache = fresh_cache(tmp_path)
+        exe = SweepExecutor(jobs=2, cache=cache)
+        point = SweepPoint.make("ge", ge2_cluster, 80, numeric=FalsyFlag())
+        records = exe.run_points([point])
+        baseline = run_app("ge", ge2_cluster, 80)
+        assert record_signature(records[0]) == record_signature(baseline)
+        assert len(cache) == 0  # unkeyable points are never written
+        assert exe.cache_stats() == {"hits": 0, "misses": 1}
+
+    def test_version_bump_invalidates(self, ge2_cluster, monkeypatch):
+        import repro
+
+        before = point_profile_hash(SweepPoint.make("ge", ge2_cluster, 100))
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        after = point_profile_hash(SweepPoint.make("ge", ge2_cluster, 100))
+        assert before != after
+
+
+class TestExecutorModes:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_default_is_passthrough(self, ge2_cluster):
+        exe = SweepExecutor()
+        assert not exe._managed
+        record = exe.run_point(SweepPoint.make("ge", ge2_cluster, 80))
+        direct = run_app("ge", ge2_cluster, 80)
+        assert record_signature(record) == record_signature(direct)
+        assert exe.cache_stats() == {"hits": 0, "misses": 0}
+
+    def test_passthrough_respects_ambient_ledger(self, ge2_cluster, tmp_path):
+        """jobs=1, no cache: run_app's own ledger hook stays in charge."""
+        ledger = RunLedger(tmp_path / "ledger")
+        with ledger_recording(ledger):
+            SweepExecutor().run_point(SweepPoint.make("ge", ge2_cluster, 80))
+        entries = list(ledger.entries())
+        assert len(entries) == 1
+        loaded = ledger.load(entries[0].run_id)
+        assert "cache_hit" not in loaded["metrics"]
+
+    def test_managed_mode_records_cache_hit_metric(self, ge2_cluster,
+                                                   tmp_path):
+        cache = fresh_cache(tmp_path)
+        ledger = RunLedger(tmp_path / "ledger")
+        points = [SweepPoint.make("ge", ge2_cluster, n) for n in (60, 90)]
+        with ledger_recording(ledger):
+            SweepExecutor(cache=cache).run_points(points)
+            SweepExecutor(cache=cache).run_points(points)
+        entries = list(ledger.entries())
+        assert len(entries) == 4  # one record per point per sweep, no doubles
+        cache_hits = [
+            ledger.load(e.run_id)["metrics"]["cache_hit"] for e in entries
+        ]
+        assert cache_hits == [0.0, 0.0, 1.0, 1.0]
+
+    def test_hit_and_miss_counters_in_metrics_registry(self, ge2_cluster,
+                                                       tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        cache = fresh_cache(tmp_path)
+        registry = MetricsRegistry()
+        exe = SweepExecutor(cache=cache, metrics=registry)
+        point = SweepPoint.make("ge", ge2_cluster, 80)
+        exe.run_points([point])
+        exe.run_points([point])
+        assert registry.value("sweep_cache_misses_total") == 1.0
+        assert registry.value("sweep_cache_hits_total") == 1.0
+
+    def test_active_trace_collector_bypasses_cache(self, ge2_cluster,
+                                                   tmp_path):
+        from repro.experiments.runner import collect_traces
+
+        cache = fresh_cache(tmp_path)
+        point = SweepPoint.make("ge", ge2_cluster, 80)
+        SweepExecutor(cache=cache).run_points([point])
+        with collect_traces() as collector:
+            exe = SweepExecutor(cache=cache)
+            exe.run_points([point])
+        # The cached entry must not shadow the traced execution.
+        assert exe.cache_stats() == {"hits": 0, "misses": 1}
+        assert len(collector.runs) == 1
+
+
+class TestAmbientExecutor:
+    def test_explicit_beats_ambient_beats_default(self, tmp_path):
+        a = SweepExecutor(jobs=2, cache=fresh_cache(tmp_path))
+        b = SweepExecutor()
+        with sweep_execution(a):
+            assert resolve_executor() is a
+            assert resolve_executor(b) is b
+            with sweep_execution(b):
+                assert resolve_executor() is b
+            assert resolve_executor() is a
+        default = resolve_executor()
+        assert default.jobs == 1 and default.cache is None
+
+    def test_sweeps_consult_ambient(self, ge2_cluster, tmp_path):
+        exe = SweepExecutor(cache=fresh_cache(tmp_path))
+        with sweep_execution(exe):
+            efficiency_curve("ge", ge2_cluster, SIZES)
+        assert exe.cache_stats() == {"hits": 0, "misses": len(SIZES)}
+
+
+class TestBisectionPrefetcher:
+    def test_memo_consumed_by_search(self, ge2_cluster, tmp_path):
+        exe = SweepExecutor(jobs=2, cache=fresh_cache(tmp_path))
+        prefetch = BisectionPrefetcher(exe, "ge", ge2_cluster)
+        prefetch.warm(0.2)
+        warmed = dict(prefetch.memo)
+        from repro.core.condition import required_problem_size
+
+        n_star = required_problem_size(prefetch.efficiency, 0.2)
+        # The serial walk's probes were all speculatively prefetched.
+        assert n_star in warmed
+        serial, _ = required_size_by_simulation("ge", ge2_cluster, 0.2)
+        assert n_star == serial
+
+    def test_unreachable_target_defers_to_serial_error(self, ge2_cluster,
+                                                       tmp_path):
+        from repro.core.types import MetricError
+
+        exe = SweepExecutor(jobs=2, cache=fresh_cache(tmp_path))
+        with pytest.raises(MetricError):
+            required_size_by_simulation(
+                "ge", ge2_cluster, 0.999, max_upper=128, executor=exe
+            )

@@ -23,6 +23,34 @@ class TestGeometricSizes:
         with pytest.raises(ValueError):
             geometric_sizes(50, 800, 1)
 
+    def test_float_accumulation_cannot_overshoot_stop(self):
+        """Regression: repeated ``value *= ratio`` rounds the last
+        generated size past ``stop`` at large magnitudes, so the final
+        endpoint append produced a non-monotone tail like
+        ``[..., 10**15 + 2, 10**15]``."""
+        sizes = geometric_sizes(2, 10**15, 6)
+        assert sizes[0] == 2
+        assert sizes[-1] == 10**15
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    @pytest.mark.parametrize("start,stop,count", [
+        (2, 10**15, 6),
+        (3, 10**15, 7),
+        (7, 10**14, 5),
+        (1, 10**12, 4),
+        (2, 3, 2),          # adjacent integers
+        (1, 2, 8),          # count much larger than the range
+        (50, 800, 6),       # the documented normal case
+        (10, 10**9, 30),
+    ])
+    def test_strictly_increasing_with_exact_endpoints(self, start, stop,
+                                                      count):
+        sizes = geometric_sizes(start, stop, count)
+        assert sizes[0] == start
+        assert sizes[-1] == stop
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+        assert len(sizes) <= count + 1
+
 
 class TestEfficiencyCurve:
     @pytest.fixture(scope="class")

@@ -338,3 +338,38 @@ class TestDeterminism:
         assert result.total_bytes == 64.0
         assert s0.comm_time > 0
         assert s0.busy_time == pytest.approx(s0.compute_time + s0.comm_time)
+
+
+class TestHeapAccounting:
+    def test_stale_pop_ratio_denominator_is_pops_not_pushes(self):
+        """Regression: the ratio documented as "fraction of heap pops"
+        was computed against heap_pushes, understating scheduler waste
+        whenever entries were pushed but superseded before popping."""
+        from repro.sim.engine import RunResult
+
+        result = RunResult(
+            finish_times=[1.0], stats=[], events=10,
+            heap_pushes=10, heap_pops=4, stale_pops=2,
+        )
+        assert result.stale_pop_ratio == 2 / 4
+
+    def test_zero_pops_gives_zero_ratio(self):
+        from repro.sim.engine import RunResult
+
+        result = RunResult(finish_times=[], stats=[], events=0)
+        assert result.stale_pop_ratio == 0.0
+
+    def test_run_reports_consistent_heap_counters(self):
+        def program(rank):
+            if rank == 0:
+                yield Send(dst=1, nbytes=8.0)
+            else:
+                yield Recv(src=0)
+
+        result = make_engine(2).run(program)
+        assert result.heap_pops > 0
+        assert result.heap_pops <= result.heap_pushes
+        assert result.stale_pops <= result.heap_pops
+        assert result.stale_pop_ratio == (
+            result.stale_pops / result.heap_pops
+        )

@@ -6,7 +6,7 @@ from repro.network.ethernet import SharedBusEthernet
 from repro.network.model import ETHERNET_100M, SwitchedNetwork, ZeroCostNetwork
 from repro.network.topology import Topology
 from repro.sim.engine import Engine
-from repro.sim.errors import InvalidOperationError
+from repro.sim.errors import InvalidOperationError, ProtocolError
 from repro.sim.events import Compute, Multicast, Recv
 from repro.sim.trace import Tracer
 
@@ -148,3 +148,78 @@ class TestCostSemantics:
         records = tracer.by_kind("multicast")
         assert len(records) == 1
         assert "dsts=1" in records[0].detail
+
+
+class TestMisbehavingNetworkModels:
+    """Per-delivery arrival validation (both multicast paths).
+
+    Regression: only ``sender_done < start`` used to be checked, so a
+    buggy model could deliver a payload before it was sent and silently
+    corrupt virtual-time causality.
+    """
+
+    class EarlyBroadcastNetwork:
+        """Native multicast claiming delivery before the send started."""
+
+        def transfer(self, src, dst, nbytes, start):
+            return start, start
+
+        def multicast(self, src, dsts, nbytes, start):
+            return start, start - 1.0
+
+    class EarlyLegNetwork:
+        """Unicast-only model whose second leg arrives before its start."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def transfer(self, src, dst, nbytes, start):
+            self.calls += 1
+            if self.calls >= 2:
+                return start + 1.0, start - 0.5  # arrival < leg start
+            return start + 1.0, start + 1.0
+
+    class LossyBroadcastNetwork:
+        """Native multicast losing the whole frame (arrival = inf)."""
+
+        def transfer(self, src, dst, nbytes, start):
+            return start, start
+
+        def multicast(self, src, dsts, nbytes, start):
+            return start, float("inf")
+
+    @staticmethod
+    def multicast_program(rank):
+        if rank == 0:
+            yield Multicast((1, 2), 8.0, tag=1)
+        else:
+            yield Recv(src=0, tag=1)
+
+    def test_native_multicast_early_arrival_rejected(self):
+        with pytest.raises(ProtocolError, match="before"):
+            run(3, self.multicast_program,
+                network=self.EarlyBroadcastNetwork())
+
+    def test_fallback_leg_early_arrival_rejected(self):
+        with pytest.raises(ProtocolError, match="leg"):
+            run(3, self.multicast_program, network=self.EarlyLegNetwork())
+
+    def test_arrival_exactly_at_start_is_legal(self):
+        class InstantBroadcast:
+            def transfer(self, src, dst, nbytes, start):
+                return start, start
+
+            def multicast(self, src, dsts, nbytes, start):
+                return start, start  # zero-latency, not early
+
+        result = run(3, self.multicast_program, network=InstantBroadcast())
+        assert result.makespan == 0.0
+
+    def test_lost_frame_is_not_a_protocol_error(self):
+        def send_only(rank):
+            if rank == 0:
+                yield Multicast((1, 2), 8.0, tag=1)
+            yield Compute(seconds=0.1)
+
+        result = run(3, send_only, network=self.LossyBroadcastNetwork())
+        assert result.undelivered_messages == 0  # lost, never enqueued

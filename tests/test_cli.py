@@ -66,3 +66,21 @@ class TestCommands:
                        "Figure 2"):
             assert marker in out
         assert "[fig2 done in" in out
+
+
+class TestRunCacheFlags:
+    def test_fig1_warm_cache_reports_hits(self, capsys):
+        assert main(["fig1"]) == 0
+        cold = capsys.readouterr().out
+        assert "hit(s)" in cold and "0 hit(s)" in cold
+        assert main(["fig1"]) == 0
+        warm = capsys.readouterr().out
+        assert "0 miss(es)" in warm and "0 hit(s)" not in warm
+
+    def test_no_cache_flag_silences_cache_stats(self, capsys):
+        assert main(["fig1", "--no-cache"]) == 0
+        assert "run cache:" not in capsys.readouterr().out
+
+    def test_parallel_jobs_accepted(self, capsys):
+        assert main(["fig1", "--jobs", "2"]) == 0
+        assert "hit(s)" in capsys.readouterr().out

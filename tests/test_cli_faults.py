@@ -109,3 +109,48 @@ class TestFaultsSweep:
     def test_bad_severity_rejected(self):
         with pytest.raises(SystemExit):
             main(["faults", "sweep", "--severities", "0", "2.0"])
+
+
+class TestFaultsSweepCache:
+    ARGS = ["faults", "sweep", "--size", "120", "--severities", "0", "0.3"]
+
+    def test_warm_rerun_replays_from_cache(self, capsys, tmp_path):
+        out1, out2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.ARGS + ["--jobs", "2", "--out", str(out1)]) == 0
+        cold_text = capsys.readouterr().out
+        assert "run cache: 0 hit(s), 3 miss(es)" in cold_text
+        assert main(self.ARGS + ["--jobs", "2", "--out", str(out2)]) == 0
+        warm_text = capsys.readouterr().out
+        assert "run cache: 3 hit(s), 0 miss(es)" in warm_text
+        cold = json.loads(out1.read_text())
+        warm = json.loads(out2.read_text())
+        assert cold["cache"] == {"hits": 0, "misses": 3}
+        assert warm["cache"] == {"hits": 3, "misses": 0}
+        assert cold["rows"] == warm["rows"]  # replay is bit-identical
+        assert warm["psi_monotone_nonincreasing"] is True
+
+    def test_no_cache_disables_reads_and_writes(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        for _ in range(2):  # the second run must not find anything cached
+            assert main(self.ARGS + ["--no-cache", "--out", str(out)]) == 0
+            text = capsys.readouterr().out
+            assert "run cache:" not in text
+            data = json.loads(out.read_text())
+            assert data["cache"] == {"hits": 0, "misses": 0}
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--jobs", "0"])
+
+    def test_ledger_records_every_point_with_cache_hit_metric(self, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        argv = self.ARGS + ["--ledger", str(ledger_dir)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        ledger = RunLedger(ledger_dir)
+        entries = list(ledger.entries())
+        # (baseline + 2 severities) x 2 sweeps, no double recording.
+        assert len(entries) == 6
+        hits = [ledger.load(e.run_id)["metrics"]["cache_hit"]
+                for e in entries]
+        assert hits == [0.0] * 3 + [1.0] * 3
