@@ -105,6 +105,17 @@ def make_ge_program(options: GEOptions):
     layout = options.layout()
     nranks = options.nranks
 
+    # Per-step lookups hoisted out of the elimination loop (which runs
+    # once per rank per column): plain-int pivot owners and, per rank,
+    # the trailing-row count for every step k.  Values are exactly what
+    # ``int(layout.owner[k])`` / ``layout.count_after(rank, k)`` return.
+    owners = [int(r) for r in layout.owner]
+    steps = np.arange(max(n - 1, 0))
+    counts_after = [
+        (len(rows) - np.searchsorted(rows, steps, side="right")).tolist()
+        for rows in (layout.rows_of(r) for r in range(nranks))
+    ]
+
     if options.numeric:
         matrix, rhs = generate_system(n, options.seed)
     else:
@@ -146,8 +157,9 @@ def make_ge_program(options: GEOptions):
                 local = dict(msg.payload)
 
         # (3) elimination loop: 2 broadcasts + 1 barrier per step.
+        my_counts_after = counts_after[rank]
         for k in range(n - 1):
-            owner = int(layout.owner[k])
+            owner = owners[k]
             pivot_bytes = (n - k + 1) * _DOUBLE
             pivot_payload = None
             if options.numeric and rank == owner:
@@ -160,7 +172,7 @@ def make_ge_program(options: GEOptions):
             yield from comm.bcast(
                 payload=None, root=owner, nbytes=_DOUBLE
             )
-            count = layout.count_after(rank, k)
+            count = my_counts_after[k]
             if count:
                 flops = count * (2.0 * (n - k) + 1.0)
                 yield Compute(flops=flops)

@@ -2,8 +2,10 @@
 
 This is the experiment driver's lowest layer: given a cluster, it measures
 the marked speed (once), builds the application program, runs it on the
-simulation engine, and wraps the outcome in a :class:`~repro.core.types.
-Measurement` whose ``(W, T, C)`` triple feeds every scalability metric.
+simulation engine, and wraps the outcome in a :class:`RunRecord` (defined
+below) pairing the raw :class:`~repro.sim.engine.RunResult` with a
+:class:`~repro.core.types.Measurement` whose ``(W, T, C)`` triple feeds
+every scalability metric.
 """
 
 from __future__ import annotations

@@ -34,6 +34,20 @@ from .errors import CollectiveError, MPIError, RankError
 #: Tags consumed per collective invocation (barrier uses two phases).
 _TAGS_PER_COLLECTIVE = 4
 
+#: Collective algorithm registries, built once at import instead of as a
+#: dict literal on every call — ``bcast`` sits on the per-column hot path
+#: of GE/MM.  Resolution stays per-call so a swapped ``comm.config``
+#: takes effect immediately (the misconfiguration tests rely on it).
+_BCAST_ALGOS = {
+    "flat": collectives.flat_bcast,
+    "binomial": collectives.binomial_bcast,
+    "ethernet": collectives.ethernet_bcast,
+}
+_BARRIER_ALGOS = {
+    "linear": collectives.linear_barrier,
+    "tree": collectives.tree_barrier,
+}
+
 
 @dataclass(frozen=True)
 class CollectiveConfig:
@@ -125,6 +139,11 @@ class Comm:
         return msg
 
     # -- collectives -------------------------------------------------------
+    # ``bcast`` and ``barrier`` sit on the per-elimination-step hot path
+    # of GE/MM (two broadcasts plus a barrier per column), so the peer
+    # check and tag allocation are inlined rather than delegated to
+    # ``_check_peer`` / ``_next_coll_tag``.
+
     def bcast(
         self,
         payload: Any = None,
@@ -132,27 +151,30 @@ class Comm:
         nbytes: float | None = None,
     ) -> Generator[Any, Any, Any]:
         """Broadcast from root; every rank returns the payload."""
-        self._check_peer(root)
-        tag = self._next_coll_tag()
-        size = nbytes_of(payload) if nbytes is None else float(nbytes)
-        algo = {
-            "flat": collectives.flat_bcast,
-            "binomial": collectives.binomial_bcast,
-            "ethernet": collectives.ethernet_bcast,
-        }[self.config.bcast]
-        result = yield from algo(self.rank, self.size, root, size, payload, tag)
+        if not 0 <= root < self.size:
+            raise RankError(f"peer rank {root} out of range for size {self.size}")
+        seq = self._coll_seq
+        self._coll_seq = seq + 1
+        result = yield from _BCAST_ALGOS[self.config.bcast](
+            self.rank,
+            self.size,
+            root,
+            nbytes_of(payload) if nbytes is None else float(nbytes),
+            payload,
+            COLLECTIVE_TAG_BASE + seq * _TAGS_PER_COLLECTIVE,
+        )
         return result
 
     def barrier(self, root: int = 0) -> Generator[Any, Any, None]:
         """Synchronize all ranks."""
-        self._check_peer(root)
-        tag = self._next_coll_tag()
-        algo = (
-            collectives.linear_barrier
-            if self.config.barrier == "linear"
-            else collectives.tree_barrier
+        if not 0 <= root < self.size:
+            raise RankError(f"peer rank {root} out of range for size {self.size}")
+        seq = self._coll_seq
+        self._coll_seq = seq + 1
+        yield from _BARRIER_ALGOS[self.config.barrier](
+            self.rank, self.size, root,
+            COLLECTIVE_TAG_BASE + seq * _TAGS_PER_COLLECTIVE,
         )
-        yield from algo(self.rank, self.size, root, tag)
 
     def gather(
         self,

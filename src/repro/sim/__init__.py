@@ -6,9 +6,24 @@ generators yielding :class:`~repro.sim.events.Compute`,
 :class:`~repro.sim.events.Send`, :class:`~repro.sim.events.Recv` and friends,
 and :class:`~repro.sim.engine.Engine` coordinates their virtual clocks over a
 pluggable network model.
+
+The engine itself is layered: a :class:`~repro.sim.scheduler.Scheduler`
+(time-ordered run queue), a :class:`~repro.sim.mailbox.MailboxSet`
+(per-``(src, tag)`` indexed message matching), a
+:class:`~repro.sim.dispatch.DispatchTable` (op-type handler registry and
+the extension point for new primitives), and an
+:class:`~repro.sim.instrument.Instrumentation` seam that carries tracing
+and metrics out of the hot path.
 """
 
-from .engine import Engine, Program, ProgramFactory, RunResult
+from .dispatch import (
+    DispatchTable,
+    Handler,
+    HandlerFactory,
+    default_dispatch,
+    register_handler,
+)
+from .engine import Engine, Program, ProgramFactory, RunContext, RunResult
 from .errors import (
     DeadlockError,
     EventLimitExceeded,
@@ -17,6 +32,9 @@ from .errors import (
     SimulationError,
 )
 from .events import ANY_SOURCE, ANY_TAG, Compute, Log, Message, Multicast, Now, Recv, Send, SimOp
+from .instrument import Instrumentation
+from .mailbox import MailboxSet
+from .scheduler import Scheduler
 from .trace import RankStats, Tracer, TraceRecord
 
 __all__ = [
@@ -24,10 +42,15 @@ __all__ = [
     "ANY_TAG",
     "Compute",
     "DeadlockError",
+    "DispatchTable",
     "Engine",
     "EventLimitExceeded",
+    "Handler",
+    "HandlerFactory",
+    "Instrumentation",
     "InvalidOperationError",
     "Log",
+    "MailboxSet",
     "Message",
     "Multicast",
     "Now",
@@ -36,10 +59,14 @@ __all__ = [
     "ProtocolError",
     "RankStats",
     "Recv",
+    "RunContext",
     "RunResult",
+    "Scheduler",
     "Send",
     "SimOp",
     "SimulationError",
     "TraceRecord",
     "Tracer",
+    "default_dispatch",
+    "register_handler",
 ]

@@ -8,6 +8,20 @@ local time ``t``, every other live process has already progressed to a clock
 ``>= t`` or is blocked waiting on a message, so no transfer with an earlier
 start time can be requested afterwards.
 
+The engine is composed of three layers (see docs/API.md, "Engine
+architecture"):
+
+* :class:`~repro.sim.scheduler.Scheduler` — the time-ordered run queue:
+  heap, seq stamps, stale-entry and receive-timeout bookkeeping.
+* :class:`~repro.sim.mailbox.MailboxSet` — per-``(src, tag)`` indexed
+  message matching with an exact wildcard path (smallest ``(arrival,
+  seq)`` wins) and timed-receive deadline filtering.
+* :class:`~repro.sim.dispatch.DispatchTable` — the ``{op type: handler}``
+  table the hot loop resolves ``type(op)`` through.  The built-in
+  primitives below register into the default table exactly like an
+  extension would; observability rides behind the single
+  :class:`~repro.sim.instrument.Instrumentation` seam.
+
 Timing semantics:
 
 * ``Compute(flops=f)`` advances the clock by ``f / flops_per_second[rank]``;
@@ -34,19 +48,32 @@ The run is fully deterministic for a fixed program and network model.
 
 from __future__ import annotations
 
-import heapq
 import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Sequence
 
+from .dispatch import DispatchTable, default_dispatch, register_handler
 from .errors import (
     DeadlockError,
     EventLimitExceeded,
     InvalidOperationError,
     ProtocolError,
 )
-from .events import Compute, Log, Message, Multicast, Now, Recv, Send
+from .events import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Log,
+    Message,
+    Multicast,
+    Now,
+    Recv,
+    Send,
+)
+from .instrument import Instrumentation
+from .mailbox import MailboxSet
+from .scheduler import Scheduler
 from .trace import RankStats, Tracer
 
 #: Sentinel arrival time a network model returns for a message lost in
@@ -104,20 +131,107 @@ class RunResult:
 class _Proc:
     """Book-keeping for one simulated process."""
 
-    __slots__ = ("rank", "gen", "time", "done", "waiting", "block_start",
-                 "pending", "value", "resume_seq", "deadline_seq")
+    __slots__ = ("rank", "gen", "send", "time", "done", "waiting",
+                 "block_start", "pending", "value", "resume_seq",
+                 "deadline_seq")
 
     def __init__(self, rank: int, gen: Program):
         self.rank = rank
         self.gen = gen
+        self.send = gen.send  # bound once; resumed once per primitive event
         self.time = 0.0
         self.done = False
         self.waiting: Recv | None = None  # blocked receive, if any
         self.block_start = 0.0
         self.pending: Any = None  # value to feed the generator on next resume
         self.value: Any = None  # generator return value
-        self.resume_seq = -1  # heap seq of this process's live resume entry
-        self.deadline_seq: int | None = None  # heap seq of a pending timeout
+        self.resume_seq = -1  # scheduler seq of this process's live resume entry
+        self.deadline_seq: int | None = None  # scheduler seq of a pending timeout
+
+
+class RunContext:
+    """Per-run state handed to dispatch handler factories.
+
+    One instance exists per ``Engine.run``; factories bind whatever they
+    need from it into their handler closures (see
+    :mod:`repro.sim.dispatch` for the registration contract).
+
+    ``complete_recv(proc, msg, posted_at)`` accounts a matched receive and
+    re-queues the process; ``deliver(msg)`` routes a just-arrived message
+    to an eligible waiting receive or into the mailbox index, enforcing
+    the timed-receive deadline rule in both cases.
+    """
+
+    __slots__ = ("engine", "nranks", "flops_per_second", "network",
+                 "transfer", "native_multicast", "procs", "stats",
+                 "scheduler", "mailboxes", "instr", "complete_recv",
+                 "deliver")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        procs: list[_Proc],
+        stats: list[RankStats],
+        scheduler: Scheduler,
+        mailboxes: MailboxSet,
+        instr: Instrumentation | None,
+    ):
+        self.engine = engine
+        self.nranks = engine.nranks
+        self.flops_per_second = engine.flops_per_second
+        self.network = engine.network
+        self.transfer = engine.network.transfer
+        # A network model's multicast support is fixed per instance (e.g.
+        # FaultyNetworkModel only advertises it when its inner model does),
+        # so resolve it once per run instead of once per event.
+        self.native_multicast = getattr(engine.network, "multicast", None)
+        self.procs = procs
+        self.stats = stats
+        self.scheduler = scheduler
+        self.mailboxes = mailboxes
+        self.instr = instr
+
+        push = scheduler.push_resume
+        deposit = mailboxes.deposit
+
+        def complete_recv(proc: _Proc, msg: Message, posted_at: float) -> None:
+            t = proc.time
+            arrival = msg.arrival
+            if arrival > t:
+                t = arrival
+            proc.time = t
+            st = stats[proc.rank]
+            st.recv_wait_time += t - posted_at
+            st.bytes_received += msg.nbytes
+            st.messages_received += 1
+            if instr is not None:
+                instr.recv(proc.rank, posted_at, t, msg.src, msg.tag,
+                           msg.nbytes)
+            proc.waiting = None
+            proc.deadline_seq = None  # cancel any pending receive timeout
+            proc.pending = msg
+            push(proc)
+
+        def deliver(msg: Message) -> None:
+            dst_proc = procs[msg.dst]
+            waiting = dst_proc.waiting
+            if (
+                waiting is not None
+                and msg.matches(waiting.src, waiting.tag)
+                and (
+                    waiting.timeout is None
+                    or msg.arrival
+                    <= dst_proc.block_start + waiting.timeout
+                )
+            ):
+                complete_recv(dst_proc, msg, dst_proc.block_start)
+            else:
+                # No eligible waiter (none posted, no match, or the
+                # arrival is past a timed receive's deadline).
+                deposit(msg)
+
+        self.complete_recv = complete_recv
+        self.deliver = deliver
 
 
 class Engine:
@@ -140,6 +254,9 @@ class Engine:
         end, nbytes=..., flops=...)`` once per traced primitive and
         ``metrics.record_engine(events=..., wall_seconds=...,
         heap_pushes=..., stale_pops=..., makespan=...)`` once per run.
+        Both sinks are reached through the per-run
+        :class:`~repro.sim.instrument.Instrumentation` seam; with neither
+        attached the hot loop pays a single ``None`` test per primitive.
     log:
         Optional structured logger (e.g. :class:`repro.obs.StructLogger`).
         Duck-typed: the engine calls ``log.event(name, **fields)`` at run
@@ -147,6 +264,10 @@ class Engine:
         ``metrics=`` instead for per-operation JSONL).
     max_events:
         Safety limit on primitive operations processed.
+    dispatch:
+        Optional :class:`~repro.sim.dispatch.DispatchTable`; defaults to
+        the shared table carrying the built-in primitives plus anything
+        registered via :func:`~repro.sim.dispatch.register_handler`.
     """
 
     def __init__(
@@ -158,6 +279,7 @@ class Engine:
         metrics: Any = None,
         log: Any = None,
         max_events: int = 50_000_000,
+        dispatch: DispatchTable | None = None,
     ):
         if nranks <= 0:
             raise InvalidOperationError(f"nranks must be positive, got {nranks}")
@@ -178,6 +300,7 @@ class Engine:
         self.metrics = metrics
         self.log = log
         self.max_events = max_events
+        self.dispatch = dispatch if dispatch is not None else default_dispatch()
 
     # ------------------------------------------------------------------
     def run(self, programs: ProgramFactory | Iterable[Program]) -> RunResult:
@@ -198,331 +321,88 @@ class Engine:
 
         procs = [_Proc(rank, gen) for rank, gen in enumerate(gens)]
         stats = [RankStats(rank) for rank in range(self.nranks)]
-        mailboxes: list[list[Message]] = [[] for _ in range(self.nranks)]
+        scheduler = Scheduler()
+        mailboxes = MailboxSet(self.nranks)
+        instr = Instrumentation.build(self.tracer, self.metrics)
+        ctx = RunContext(self, procs, stats, scheduler, mailboxes, instr)
+        handlers = self.dispatch.build(ctx)
+
         live = self.nranks
-        seq = 0
         events = 0
-        pushes = 0
-        pops = 0
-        stale = 0
-        heap: list[tuple[float, int, int]] = []
+        max_events = self.max_events
         wall_start = time.perf_counter()
 
-        def push(proc: _Proc) -> None:
-            nonlocal seq, pushes
-            heapq.heappush(heap, (proc.time, seq, proc.rank))
-            proc.resume_seq = seq
-            seq += 1
-            pushes += 1
-
         for proc in procs:
-            push(proc)
-
-        def pop_match(
-            rank: int, src: int, tag: int, deadline: float = _INF
-        ) -> Message | None:
-            """Remove and return the matching message with smallest arrival.
-
-            Messages arriving after ``deadline`` are left in place: a timed
-            receive must not be completed by a message that only turns up
-            past its deadline.
-            """
-            box = mailboxes[rank]
-            best_idx = -1
-            best_key: tuple[float, int] | None = None
-            for idx, msg in enumerate(box):
-                if msg.matches(src, tag) and msg.arrival <= deadline:
-                    key = (msg.arrival, msg.seq)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        best_idx = idx
-            if best_idx < 0:
-                return None
-            return box.pop(best_idx)
-
-        def complete_recv(proc: _Proc, msg: Message, posted_at: float) -> None:
-            """Account for a matched receive and queue the process to resume."""
-            proc.time = max(proc.time, msg.arrival)
-            stats[proc.rank].recv_wait_time += proc.time - posted_at
-            stats[proc.rank].bytes_received += msg.nbytes
-            stats[proc.rank].messages_received += 1
-            if self.tracer is not None:
-                self.tracer.record(
-                    proc.rank, "recv", posted_at, proc.time,
-                    f"src={msg.src} tag={msg.tag} nbytes={msg.nbytes:g}",
-                )
-            if self.metrics is not None:
-                self.metrics.record_op(
-                    proc.rank, "recv", posted_at, proc.time, nbytes=msg.nbytes
-                )
-            proc.waiting = None
-            proc.deadline_seq = None  # cancel any pending receive timeout
-            proc.pending = msg
-            push(proc)
+            scheduler.push_resume(proc)
 
         # Hot-loop local bindings (this loop runs once per primitive event).
-        tracer = self.tracer
-        metrics = self.metrics
-        fps = self.flops_per_second
-        transfer = self.network.transfer
-        nranks = self.nranks
-        max_events = self.max_events
-        heappop = heapq.heappop
+        # Pop/stale accounting lives in loop locals rather than Scheduler
+        # attributes: this is the hottest line in the engine and a local
+        # integer increment is measurably cheaper.
+        pop = scheduler.pop
+        push = scheduler.push_resume
+        pops = 0
+        stale = 0
 
         while live > 0:
-            if not heap:
+            try:
+                entry_time, entry_seq, rank = pop()
+            except IndexError:
                 raise DeadlockError(
                     {
                         p.rank: f"Recv(src={p.waiting.src}, tag={p.waiting.tag})"
                         for p in procs
                         if p.waiting is not None and not p.done
                     }
-                )
-            entry_time, entry_seq, rank = heappop(heap)
+                ) from None
             pops += 1
             proc = procs[rank]
-            if proc.waiting is not None and entry_seq == proc.deadline_seq:
-                # Receive timeout fires: resume the blocked process with
-                # None at the deadline instant.
+            # A popped entry is live iff its seq matches the process's
+            # current resume stamp (a process is only ever queued while
+            # runnable, and each entry is consumed at most once) ...
+            if entry_seq == proc.resume_seq:
+                send_back = proc.pending
+                proc.pending = None
+                try:
+                    op = proc.send(send_back)
+                except StopIteration as stop:
+                    proc.done = True
+                    proc.value = stop.value
+                    stats[rank].finish_time = proc.time
+                    live -= 1
+                    continue
+
+                events += 1
+                if events > max_events:
+                    raise EventLimitExceeded(
+                        f"exceeded max_events={max_events}; "
+                        "likely an unbounded program"
+                    )
+                try:
+                    handler = handlers[op.__class__]
+                except KeyError:
+                    self._reject_op(rank, op)
+                handler(proc, op)
+            # ... or its pending receive-timeout stamp: resume the blocked
+            # process with None at the deadline instant.
+            elif proc.waiting is not None and entry_seq == proc.deadline_seq:
                 op = proc.waiting
                 posted_at = proc.block_start
                 proc.time = entry_time
                 stats[rank].recv_wait_time += entry_time - posted_at
-                if tracer is not None:
-                    tracer.record(
-                        rank, "recv-timeout", posted_at, entry_time,
-                        f"src={op.src} tag={op.tag} timeout={op.timeout:g}",
-                    )
-                if metrics is not None:
-                    metrics.record_op(rank, "recv-timeout", posted_at,
-                                      entry_time)
+                if instr is not None:
+                    instr.recv_timeout(rank, posted_at, entry_time,
+                                       op.src, op.tag, op.timeout)
                 proc.waiting = None
                 proc.deadline_seq = None
                 proc.pending = None
                 push(proc)
-                continue
-            if proc.done or proc.waiting is not None or entry_seq != proc.resume_seq:
-                stale += 1
-                continue  # stale heap entry (consumed resume or dead timeout)
-
-            send_back, proc.pending = proc.pending, None
-            try:
-                op = proc.gen.send(send_back)
-            except StopIteration as stop:
-                proc.done = True
-                proc.value = stop.value
-                stats[rank].finish_time = proc.time
-                live -= 1
-                continue
-
-            events += 1
-            if events > max_events:
-                raise EventLimitExceeded(
-                    f"exceeded max_events={self.max_events}; "
-                    "likely an unbounded program"
-                )
-
-            cls = type(op)
-            if cls is Send:
-                dst = op.dst
-                if dst >= nranks:
-                    raise InvalidOperationError(
-                        f"rank {rank} sent to invalid rank {dst} "
-                        f"(nranks={nranks})"
-                    )
-                start = proc.time
-                nbytes = op.nbytes
-                sender_done, arrival = transfer(rank, dst, nbytes, start)
-                if sender_done < start or arrival < start:
-                    raise ProtocolError(
-                        "network model returned a time before the send start "
-                        f"(start={start}, done={sender_done}, arrival={arrival})"
-                    )
-                proc.time = sender_done
-                st = stats[rank]
-                st.send_time += sender_done - start
-                st.bytes_sent += nbytes
-                st.messages_sent += 1
-                if tracer is not None:
-                    tracer.record(
-                        rank, "send", start, proc.time,
-                        f"dst={dst} tag={op.tag} nbytes={nbytes:g}",
-                    )
-                if metrics is not None:
-                    metrics.record_op(rank, "send", start, proc.time,
-                                      nbytes=nbytes)
-                if arrival == _INF:
-                    # Lost in transit: sender paid, nothing is delivered.
-                    st.messages_lost += 1
-                else:
-                    msg = Message(
-                        src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
-                        payload=op.payload, arrival=arrival, seq=seq,
-                    )
-                    seq += 1
-                    dst_proc = procs[dst]
-                    waiting = dst_proc.waiting
-                    if (
-                        waiting is not None
-                        and msg.matches(waiting.src, waiting.tag)
-                        and (
-                            waiting.timeout is None
-                            or arrival
-                            <= dst_proc.block_start + waiting.timeout
-                        )
-                    ):
-                        complete_recv(dst_proc, msg, dst_proc.block_start)
-                    else:
-                        # No eligible waiter (none posted, no match, or the
-                        # arrival is past a timed receive's deadline).
-                        mailboxes[dst].append(msg)
-                push(proc)
-            elif cls is Recv:
-                msg = pop_match(
-                    rank, op.src, op.tag,
-                    _INF if op.timeout is None else proc.time + op.timeout,
-                )
-                if msg is not None:
-                    complete_recv(proc, msg, proc.time)
-                else:
-                    proc.waiting = op
-                    proc.block_start = proc.time
-                    if op.timeout is not None:
-                        heapq.heappush(
-                            heap, (proc.time + op.timeout, seq, rank)
-                        )
-                        proc.deadline_seq = seq
-                        seq += 1
-                        pushes += 1
-            elif cls is Compute:
-                start = proc.time
-                flops = op.flops
-                seconds = op.seconds
-                if seconds is not None:
-                    duration = seconds  # fixed cost or explicit override
-                else:
-                    duration = flops / fps[rank]
-                if flops is not None:
-                    stats[rank].flops += flops
-                proc.time = start + duration
-                stats[rank].compute_time += duration
-                if tracer is not None:
-                    tracer.record(rank, "compute", start, proc.time)
-                if metrics is not None:
-                    metrics.record_op(rank, "compute", start, proc.time,
-                                      flops=flops if flops is not None else 0.0)
-                push(proc)
-            elif cls is Multicast:
-                start = proc.time
-                nbytes = op.nbytes
-                deliveries: list[tuple[int, float]] = []
-                native = getattr(self.network, "multicast", None)
-                remote = [d for d in op.dsts if d != rank]
-                for dst in remote:
-                    if dst >= nranks:
-                        raise InvalidOperationError(
-                            f"rank {rank} multicast to invalid rank {dst} "
-                            f"(nranks={nranks})"
-                        )
-                if not remote:
-                    push(proc)
-                else:
-                    lost = 0
-                    if native is not None:
-                        sender_done, arrival = native(
-                            rank, tuple(remote), nbytes, start
-                        )
-                        if arrival == _INF:
-                            lost = len(remote)  # whole broadcast frame lost
-                        elif arrival < start:
-                            raise ProtocolError(
-                                "network model delivered a multicast before "
-                                f"the send start (start={start}, "
-                                f"arrival={arrival})"
-                            )
-                        else:
-                            deliveries = [(dst, arrival) for dst in remote]
-                    else:
-                        # Fallback: serialized unicasts (switched network).
-                        sender_done = start
-                        for dst in remote:
-                            leg_start = sender_done
-                            sender_done, arrival = transfer(
-                                rank, dst, nbytes, leg_start
-                            )
-                            if arrival != _INF and arrival < leg_start:
-                                raise ProtocolError(
-                                    "network model delivered a multicast "
-                                    "unicast leg before its start "
-                                    f"(start={leg_start}, arrival={arrival})"
-                                )
-                            if arrival == _INF:
-                                lost += 1
-                            else:
-                                deliveries.append((dst, arrival))
-                    if sender_done < start:
-                        raise ProtocolError(
-                            "network model returned a time before the "
-                            f"multicast start (start={start}, done={sender_done})"
-                        )
-                    proc.time = sender_done
-                    st = stats[rank]
-                    st.send_time += sender_done - start
-                    st.bytes_sent += nbytes  # one physical transmission
-                    st.messages_sent += 1
-                    st.messages_lost += lost
-                    if tracer is not None:
-                        tracer.record(
-                            rank, "multicast", start, proc.time,
-                            f"dsts={len(remote)} tag={op.tag} nbytes={nbytes:g}",
-                        )
-                    if metrics is not None:
-                        metrics.record_op(rank, "multicast", start, proc.time,
-                                          nbytes=nbytes)
-                    for dst, arrival in deliveries:
-                        msg = Message(
-                            src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
-                            payload=op.payload, arrival=arrival, seq=seq,
-                        )
-                        seq += 1
-                        dst_proc = procs[dst]
-                        waiting = dst_proc.waiting
-                        if (
-                            waiting is not None
-                            and msg.matches(waiting.src, waiting.tag)
-                            and (
-                                waiting.timeout is None
-                                or arrival
-                                <= dst_proc.block_start + waiting.timeout
-                            )
-                        ):
-                            complete_recv(dst_proc, msg, dst_proc.block_start)
-                        else:
-                            mailboxes[dst].append(msg)
-                    push(proc)
-            elif cls is Now:
-                proc.pending = proc.time
-                push(proc)
-            elif cls is Log:
-                if tracer is not None:
-                    tracer.record(rank, "log", proc.time, proc.time, op.message)
-                if metrics is not None:
-                    metrics.record_op(rank, "log", proc.time, proc.time)
-                push(proc)
-            elif isinstance(op, (Send, Recv, Compute, Multicast, Now, Log)):
-                # Subclassed primitives take the slow path: re-dispatch via
-                # the exact base type semantics.
-                raise ProtocolError(
-                    f"rank {rank} yielded a subclass of a primitive ({op!r}); "
-                    "yield the primitive types directly"
-                )
             else:
-                raise ProtocolError(
-                    f"rank {rank} yielded unsupported object {op!r}"
-                )
+                # Stale entry (consumed resume or dead timeout).
+                stale += 1
 
         wall = time.perf_counter() - wall_start
-        undelivered = sum(len(box) for box in mailboxes)
+        undelivered = len(mailboxes)
         result = RunResult(
             finish_times=[p.time for p in procs],
             stats=stats,
@@ -531,15 +411,15 @@ class Engine:
             return_values=[p.value for p in procs],
             undelivered_messages=undelivered,
             wall_seconds=wall,
-            heap_pushes=pushes,
+            heap_pushes=scheduler.pushes,
             stale_pops=stale,
             heap_pops=pops,
         )
-        if metrics is not None:
-            metrics.record_engine(
+        if instr is not None:
+            instr.run_complete(
                 events=events,
                 wall_seconds=wall,
-                heap_pushes=pushes,
+                heap_pushes=scheduler.pushes,
                 stale_pops=stale,
                 makespan=result.makespan,
                 heap_pops=pops,
@@ -569,9 +449,247 @@ class Engine:
                 events=events,
                 makespan=result.makespan,
                 wall_seconds=wall,
-                heap_pushes=pushes,
+                heap_pushes=scheduler.pushes,
                 heap_pops=pops,
                 stale_pops=stale,
                 undelivered_messages=undelivered,
             )
         return result
+
+    def _reject_op(self, rank: int, op: Any) -> None:
+        """Raise the ProtocolError for an op type with no handler."""
+        if isinstance(op, self.dispatch.registered()):
+            raise ProtocolError(
+                f"rank {rank} yielded a subclass of a primitive ({op!r}); "
+                "yield the primitive types directly"
+            ) from None
+        raise ProtocolError(
+            f"rank {rank} yielded unsupported object {op!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in primitive handlers.  Registered through the same public
+# interface extensions use; each factory runs once per Engine.run and
+# binds the hot state it needs into its handler closure.
+
+@register_handler(Send)
+def _send_factory(ctx: RunContext):
+    nranks = ctx.nranks
+    transfer = ctx.transfer
+    stats = ctx.stats
+    instr = ctx.instr
+    procs = ctx.procs
+    complete_recv = ctx.complete_recv
+    deposit = ctx.mailboxes.deposit
+    new_seq = ctx.mailboxes.new_seq
+    push = ctx.scheduler.push_resume
+
+    def handle_send(proc: _Proc, op: Send) -> None:
+        rank = proc.rank
+        dst = op.dst
+        if dst >= nranks:
+            raise InvalidOperationError(
+                f"rank {rank} sent to invalid rank {dst} "
+                f"(nranks={nranks})"
+            )
+        start = proc.time
+        nbytes = op.nbytes
+        tag = op.tag
+        sender_done, arrival = transfer(rank, dst, nbytes, start)
+        if sender_done < start or arrival < start:
+            raise ProtocolError(
+                "network model returned a time before the send start "
+                f"(start={start}, done={sender_done}, arrival={arrival})"
+            )
+        proc.time = sender_done
+        st = stats[rank]
+        st.send_time += sender_done - start
+        st.bytes_sent += nbytes
+        st.messages_sent += 1
+        if instr is not None:
+            instr.send(rank, start, sender_done, dst, tag, nbytes)
+        if arrival == _INF:
+            # Lost in transit: sender paid, nothing is delivered.
+            st.messages_lost += 1
+        else:
+            # ctx.deliver inlined (point-to-point sends dominate traffic):
+            # hand the message to an eligible blocked receive, else mailbox.
+            msg = Message(
+                src=rank, dst=dst, tag=tag, nbytes=nbytes,
+                payload=op.payload, arrival=arrival, seq=new_seq(),
+            )
+            dst_proc = procs[dst]
+            waiting = dst_proc.waiting
+            if (
+                waiting is not None
+                and (waiting.src == rank or waiting.src == ANY_SOURCE)
+                and (waiting.tag == tag or waiting.tag == ANY_TAG)
+                and (
+                    waiting.timeout is None
+                    or arrival <= dst_proc.block_start + waiting.timeout
+                )
+            ):
+                complete_recv(dst_proc, msg, dst_proc.block_start)
+            else:
+                deposit(msg)
+        push(proc)
+
+    return handle_send
+
+
+@register_handler(Recv)
+def _recv_factory(ctx: RunContext):
+    pop_match = ctx.mailboxes.pop_match
+    complete_recv = ctx.complete_recv
+    scheduler = ctx.scheduler
+
+    def handle_recv(proc: _Proc, op: Recv) -> None:
+        timeout = op.timeout
+        msg = pop_match(
+            proc.rank, op.src, op.tag,
+            _INF if timeout is None else proc.time + timeout,
+        )
+        if msg is not None:
+            complete_recv(proc, msg, proc.time)
+        else:
+            proc.waiting = op
+            proc.block_start = proc.time
+            if timeout is not None:
+                proc.deadline_seq = scheduler.push_deadline(
+                    proc.time + timeout, proc.rank
+                )
+
+    return handle_recv
+
+
+@register_handler(Compute)
+def _compute_factory(ctx: RunContext):
+    fps = ctx.flops_per_second
+    stats = ctx.stats
+    instr = ctx.instr
+    push = ctx.scheduler.push_resume
+
+    def handle_compute(proc: _Proc, op: Compute) -> None:
+        rank = proc.rank
+        start = proc.time
+        flops = op.flops
+        seconds = op.seconds
+        if seconds is not None:
+            duration = seconds  # fixed cost or explicit override
+        else:
+            duration = flops / fps[rank]
+        st = stats[rank]
+        if flops is not None:
+            st.flops += flops
+        end = start + duration
+        proc.time = end
+        st.compute_time += duration
+        if instr is not None:
+            instr.compute(rank, start, end, flops)
+        push(proc)
+
+    return handle_compute
+
+
+@register_handler(Multicast)
+def _multicast_factory(ctx: RunContext):
+    nranks = ctx.nranks
+    transfer = ctx.transfer
+    native = ctx.native_multicast
+    stats = ctx.stats
+    instr = ctx.instr
+    deliver = ctx.deliver
+    new_seq = ctx.mailboxes.new_seq
+    push = ctx.scheduler.push_resume
+
+    def handle_multicast(proc: _Proc, op: Multicast) -> None:
+        rank = proc.rank
+        start = proc.time
+        nbytes = op.nbytes
+        remote = [d for d in op.dsts if d != rank]
+        for dst in remote:
+            if dst >= nranks:
+                raise InvalidOperationError(
+                    f"rank {rank} multicast to invalid rank {dst} "
+                    f"(nranks={nranks})"
+                )
+        if not remote:
+            push(proc)
+            return
+        deliveries: list[tuple[int, float]] = []
+        lost = 0
+        if native is not None:
+            sender_done, arrival = native(rank, tuple(remote), nbytes, start)
+            if arrival == _INF:
+                lost = len(remote)  # whole broadcast frame lost
+            elif arrival < start:
+                raise ProtocolError(
+                    "network model delivered a multicast before "
+                    f"the send start (start={start}, "
+                    f"arrival={arrival})"
+                )
+            else:
+                deliveries = [(dst, arrival) for dst in remote]
+        else:
+            # Fallback: serialized unicasts (switched network).
+            sender_done = start
+            for dst in remote:
+                leg_start = sender_done
+                sender_done, arrival = transfer(rank, dst, nbytes, leg_start)
+                if arrival != _INF and arrival < leg_start:
+                    raise ProtocolError(
+                        "network model delivered a multicast "
+                        "unicast leg before its start "
+                        f"(start={leg_start}, arrival={arrival})"
+                    )
+                if arrival == _INF:
+                    lost += 1
+                else:
+                    deliveries.append((dst, arrival))
+        if sender_done < start:
+            raise ProtocolError(
+                "network model returned a time before the "
+                f"multicast start (start={start}, done={sender_done})"
+            )
+        proc.time = sender_done
+        st = stats[rank]
+        st.send_time += sender_done - start
+        st.bytes_sent += nbytes  # one physical transmission
+        st.messages_sent += 1
+        st.messages_lost += lost
+        if instr is not None:
+            instr.multicast(rank, start, sender_done, len(remote), op.tag,
+                            nbytes)
+        for dst, arrival in deliveries:
+            deliver(Message(
+                src=rank, dst=dst, tag=op.tag, nbytes=nbytes,
+                payload=op.payload, arrival=arrival, seq=new_seq(),
+            ))
+        push(proc)
+
+    return handle_multicast
+
+
+@register_handler(Now)
+def _now_factory(ctx: RunContext):
+    push = ctx.scheduler.push_resume
+
+    def handle_now(proc: _Proc, op: Now) -> None:
+        proc.pending = proc.time
+        push(proc)
+
+    return handle_now
+
+
+@register_handler(Log)
+def _log_factory(ctx: RunContext):
+    instr = ctx.instr
+    push = ctx.scheduler.push_resume
+
+    def handle_log(proc: _Proc, op: Log) -> None:
+        if instr is not None:
+            instr.log(proc.rank, proc.time, op.message)
+        push(proc)
+
+    return handle_log

@@ -1,0 +1,123 @@
+"""Instrumentation seam between the engine hot path and observability.
+
+The engine used to interleave its primitive handlers with per-sink checks
+(``if tracer is not None: ...; if metrics is not None: ...``) and inline
+detail-string formatting.  All of that now lives behind one object: the
+engine holds a single ``instr`` reference that is **None when no sink is
+attached**, so an unobserved run — the common case for sweeps and
+benchmarks — pays exactly one ``is not None`` test per primitive and
+never formats a detail string.
+
+:meth:`Instrumentation.build` is the only constructor the engine uses; it
+returns ``None`` unless at least one sink is present.  Each per-kind
+method reproduces the exact :class:`~repro.sim.trace.Tracer` record
+(kind, span, detail string) and duck-typed metrics call
+(``metrics.record_op`` / ``metrics.record_engine``) the pre-refactor
+engine emitted, so attaching sinks through the seam is bit-identical to
+the old inline hooks.  Structured run-level logging (``log=``) stays on
+the engine itself: it brackets the run rather than the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .trace import Tracer
+
+
+class Instrumentation:
+    """Fan-out of one engine observation to the attached sinks."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer | None, metrics: Any):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @staticmethod
+    def build(tracer: Tracer | None, metrics: Any) -> "Instrumentation | None":
+        """The engine-facing constructor: ``None`` when nothing listens."""
+        if tracer is None and metrics is None:
+            return None
+        return Instrumentation(tracer, metrics)
+
+    # -- per-primitive hooks (one call per traced engine event) ----------
+    def compute(
+        self, rank: int, start: float, end: float, flops: float | None
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(rank, "compute", start, end)
+        if self.metrics is not None:
+            self.metrics.record_op(
+                rank, "compute", start, end,
+                flops=flops if flops is not None else 0.0,
+            )
+
+    def send(
+        self, rank: int, start: float, end: float,
+        dst: int, tag: int, nbytes: float,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                rank, "send", start, end,
+                f"dst={dst} tag={tag} nbytes={nbytes:g}",
+            )
+        if self.metrics is not None:
+            self.metrics.record_op(rank, "send", start, end, nbytes=nbytes)
+
+    def multicast(
+        self, rank: int, start: float, end: float,
+        ndsts: int, tag: int, nbytes: float,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                rank, "multicast", start, end,
+                f"dsts={ndsts} tag={tag} nbytes={nbytes:g}",
+            )
+        if self.metrics is not None:
+            self.metrics.record_op(rank, "multicast", start, end, nbytes=nbytes)
+
+    def recv(
+        self, rank: int, start: float, end: float,
+        src: int, tag: int, nbytes: float,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                rank, "recv", start, end,
+                f"src={src} tag={tag} nbytes={nbytes:g}",
+            )
+        if self.metrics is not None:
+            self.metrics.record_op(rank, "recv", start, end, nbytes=nbytes)
+
+    def recv_timeout(
+        self, rank: int, start: float, end: float,
+        src: int, tag: int, timeout: float,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                rank, "recv-timeout", start, end,
+                f"src={src} tag={tag} timeout={timeout:g}",
+            )
+        if self.metrics is not None:
+            self.metrics.record_op(rank, "recv-timeout", start, end)
+
+    def log(self, rank: int, time: float, message: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record(rank, "log", time, time, message)
+        if self.metrics is not None:
+            self.metrics.record_op(rank, "log", time, time)
+
+    # -- run-level hook --------------------------------------------------
+    def run_complete(
+        self, *, events: int, wall_seconds: float, heap_pushes: int,
+        stale_pops: int, makespan: float, heap_pops: int,
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.record_engine(
+                events=events,
+                wall_seconds=wall_seconds,
+                heap_pushes=heap_pushes,
+                stale_pops=stale_pops,
+                makespan=makespan,
+                heap_pops=heap_pops,
+            )

@@ -1,0 +1,176 @@
+"""Mailbox-index edge cases: wildcards, deadlines, cross-bucket ties.
+
+The indexed :class:`~repro.sim.mailbox.MailboxSet` must reproduce the
+flat-scan matching rule exactly: smallest ``(arrival, seq)`` among
+eligible messages wins, where eligibility is the match predicate plus the
+timed-receive deadline filter.  These tests pin the corners where an
+index could plausibly diverge — wildcard receives racing tagged ones,
+messages past a deadline staying mailboxed, and arrival ties broken by
+deposit order across *different* buckets.
+"""
+
+import math
+
+import pytest
+
+from repro.network.model import UniformCostNetwork, ZeroCostNetwork
+from repro.sim.engine import Engine
+from repro.sim.events import ANY_SOURCE, ANY_TAG, Message
+from repro.sim.mailbox import MailboxSet
+
+
+def _msg(src, dst, tag, arrival, seq, payload=None):
+    return Message(src=src, dst=dst, tag=tag, nbytes=8.0, payload=payload,
+                   arrival=arrival, seq=seq)
+
+
+class TestMailboxSetUnit:
+    def test_exact_match_is_fifo_per_bucket(self):
+        box = MailboxSet(1)
+        box.deposit(_msg(0, 0, 1, arrival=1.0, seq=0, payload="a"))
+        box.deposit(_msg(0, 0, 1, arrival=1.0, seq=1, payload="b"))
+        assert box.pop_match(0, 0, 1).payload == "a"
+        assert box.pop_match(0, 0, 1).payload == "b"
+        assert box.pop_match(0, 0, 1) is None
+        assert len(box) == 0
+
+    def test_wildcard_source_scans_all_source_buckets(self):
+        box = MailboxSet(1)
+        box.deposit(_msg(2, 0, 7, arrival=2.0, seq=0))
+        box.deposit(_msg(1, 0, 7, arrival=1.0, seq=1))
+        got = box.pop_match(0, ANY_SOURCE, 7)
+        assert got.src == 1  # earliest arrival wins across buckets
+        assert box.pop_match(0, ANY_SOURCE, 7).src == 2
+
+    def test_wildcard_tag_ignores_other_sources(self):
+        box = MailboxSet(1)
+        box.deposit(_msg(1, 0, 3, arrival=1.0, seq=0))
+        box.deposit(_msg(2, 0, 9, arrival=0.5, seq=1))
+        got = box.pop_match(0, 1, ANY_TAG)
+        assert (got.src, got.tag) == (1, 3)  # src filter still applies
+
+    def test_arrival_tie_breaks_by_deposit_seq_across_buckets(self):
+        # Same arrival instant from two different (src, tag) buckets: the
+        # earlier-deposited message must win, exactly like the flat scan.
+        box = MailboxSet(1)
+        box.deposit(_msg(2, 0, 5, arrival=1.0, seq=10, payload="second-src"))
+        box.deposit(_msg(1, 0, 4, arrival=1.0, seq=3, payload="first-src"))
+        assert box.pop_match(0, ANY_SOURCE, ANY_TAG).payload == "first-src"
+        assert box.pop_match(0, ANY_SOURCE, ANY_TAG).payload == "second-src"
+
+    def test_deadline_excludes_whole_bucket_by_head(self):
+        box = MailboxSet(1)
+        box.deposit(_msg(1, 0, 0, arrival=5.0, seq=0))
+        assert box.pop_match(0, ANY_SOURCE, ANY_TAG, deadline=4.0) is None
+        assert len(box) == 1  # stays mailboxed for a later receive
+        assert box.pop_match(0, ANY_SOURCE, ANY_TAG, deadline=5.0).arrival == 5.0
+
+    def test_deadline_picks_eligible_bucket_over_earlier_ineligible(self):
+        # Bucket A's head arrives past the deadline; bucket B's within it.
+        # The index must return B even though A's key might come first.
+        box = MailboxSet(1)
+        box.deposit(_msg(1, 0, 0, arrival=10.0, seq=0))
+        box.deposit(_msg(2, 0, 0, arrival=3.0, seq=1))
+        got = box.pop_match(0, ANY_SOURCE, ANY_TAG, deadline=5.0)
+        assert got.src == 2
+        assert box.pending(0) == 1
+
+    def test_empty_buckets_are_removed(self):
+        box = MailboxSet(2)
+        box.deposit(_msg(0, 1, 0, arrival=1.0, seq=0))
+        box.pop_match(1, 0, 0)
+        assert box.pending(1) == 0
+        assert len(box) == 0
+
+    def test_out_of_order_arrivals_within_bucket(self):
+        # Heap order is (arrival, seq), not insertion order: a later
+        # deposit with an earlier arrival (possible under faulty or
+        # heterogeneous-latency networks) must still be matched first.
+        box = MailboxSet(1)
+        box.deposit(_msg(1, 0, 0, arrival=4.0, seq=0))
+        box.deposit(_msg(1, 0, 0, arrival=2.0, seq=1))
+        assert box.pop_match(0, 1, 0).arrival == 2.0
+
+
+class TestEngineWildcardRaces:
+    def test_wildcard_and_tagged_receives_drain_disjoint_buckets(self):
+        # Rank 0 sends tags 1 and 2; rank 2's tagged receive must get tag 2
+        # even though the wildcard-eligible tag-1 message arrived first.
+        engine = Engine(3, ZeroCostNetwork(), [1e6] * 3)
+
+        def program(rank):
+            if rank == 0:
+                yield from ()
+            elif rank == 1:
+                yield Send(2, 8.0, tag=1, payload="one")
+                yield Send(2, 8.0, tag=2, payload="two")
+            else:
+                yield Compute(seconds=1.0)  # let both messages queue
+                tagged = yield Recv(src=1, tag=2)
+                wild = yield Recv(src=ANY_SOURCE, tag=ANY_TAG)
+                return (tagged.payload, wild.payload)
+
+        from repro.sim.events import Compute, Recv, Send
+
+        result = engine.run(program)
+        assert result.return_values[2] == ("two", "one")
+
+    def test_wildcard_receive_prefers_earliest_across_senders(self):
+        from repro.sim.events import Compute, Recv, Send
+
+        engine = Engine(3, UniformCostNetwork(0.1), [1e6] * 3)
+
+        def program(rank):
+            if rank == 0:
+                received = []
+                yield Compute(seconds=1.0)
+                for _ in range(2):
+                    msg = yield Recv()
+                    received.append(msg.src)
+                return received
+            if rank == 1:
+                yield Compute(seconds=0.5)
+                yield Send(0, 8.0, payload="late")
+            else:
+                yield Send(0, 8.0, payload="early")
+
+        assert engine.run(program).return_values[0] == [2, 1]
+
+
+class TestDeadlineSemantics:
+    def test_late_message_stays_for_later_untimed_receive(self):
+        from repro.sim.events import Compute, Recv, Send
+
+        engine = Engine(2, UniformCostNetwork(1.0), [1e6] * 2)
+
+        def program(rank):
+            if rank == 0:
+                yield Send(1, 8.0, payload="slow")
+            else:
+                first = yield Recv(src=0, timeout=0.5)  # arrival 1.0 > 0.5
+                second = yield Recv(src=0)
+                return (first, None if second is None else second.payload)
+
+        result = engine.run(program)
+        assert result.return_values[1] == (None, "slow")
+        assert result.undelivered_messages == 0
+
+    def test_arrival_exactly_at_deadline_is_delivered(self):
+        from repro.sim.events import Recv, Send
+
+        engine = Engine(2, UniformCostNetwork(1.0), [1e6] * 2)
+
+        def program(rank):
+            if rank == 0:
+                yield Send(1, 8.0, payload="on-time")
+            else:
+                msg = yield Recv(src=0, timeout=1.0)  # arrival == deadline
+                return None if msg is None else msg.payload
+
+        assert engine.run(program).return_values[1] == "on-time"
+
+    def test_infinite_deadline_is_default(self):
+        box = MailboxSet(1)
+        box.deposit(_msg(1, 0, 0, arrival=1e300, seq=0))
+        assert box.pop_match(0, 1, 0) is not None
+        assert math.isinf(math.inf)  # documents the default deadline
