@@ -55,7 +55,9 @@ def test_sweep_parallelism_and_cache_replay(results_dir):
         serial_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        cold_exe = SweepExecutor(jobs=jobs, cache=cache)
+        # Telemetry on the cold run: its overhead block explains any
+        # sub-1x parallel "speedup" (spawn/queue/serialize, not engine).
+        cold_exe = SweepExecutor(jobs=jobs, cache=cache, telemetry=True)
         cold = efficiency_curve("ge", cluster, sizes, executor=cold_exe)
         cold_s = time.perf_counter() - t0
 
@@ -73,6 +75,23 @@ def test_sweep_parallelism_and_cache_replay(results_dir):
     parallel_speedup = serial_s / cold_s if cold_s > 0 else float("inf")
     warm_speedup = serial_s / warm_s if warm_s > 0 else float("inf")
 
+    timeline = cold_exe.timeline
+    phases = timeline.phase_totals()
+    attributed = sum(phases.values())
+    overhead = {
+        "wall_seconds": timeline.wall_seconds,
+        "coverage": timeline.coverage(),
+        "worker_utilization_mean": timeline.mean_utilization(),
+        "phases_seconds": phases,
+        "phases_fraction": {
+            name: (seconds / attributed if attributed > 0 else 0.0)
+            for name, seconds in phases.items()
+        },
+    }
+    busiest = max(
+        (p for p in phases if p != "engine_run"), key=phases.get
+    )
+
     text = format_table(
         ["metric", "value"],
         [
@@ -83,6 +102,11 @@ def test_sweep_parallelism_and_cache_replay(results_dir):
             ("cache warm (s)", f"{warm_s:.3f}"),
             ("parallel speedup", f"{parallel_speedup:.2f}x"),
             ("warm-cache speedup", f"{warm_speedup:.2f}x"),
+            ("cold engine_run (worker-s)", f"{phases['engine_run']:.3f}"),
+            (f"cold largest overhead ({busiest})",
+             f"{phases[busiest]:.3f} s"),
+            ("cold telemetry coverage",
+             f"{100.0 * overhead['coverage']:.1f}%"),
         ],
         title=f"Sweep executor (GE, {nodes} nodes, {len(sizes)} sizes)",
     )
@@ -99,6 +123,7 @@ def test_sweep_parallelism_and_cache_replay(results_dir):
         "cache_warm_seconds": warm_s,
         "parallel_speedup": parallel_speedup,
         "warm_cache_speedup": warm_speedup,
+        "overhead": overhead,
     }
     blob = json.dumps(payload, indent=2) + "\n"
     (results_dir / "BENCH_sweep.json").write_text(blob)

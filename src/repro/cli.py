@@ -14,6 +14,7 @@ Examples::
     repro faults run --smoke
     repro faults run --app ge --slowdown 0.5 --trace-out faulted.json
     repro faults sweep --app ge --severities 0 0.2 0.4 0.6
+    repro sweep profile --app ge --jobs 2 --sizes 120 160 200 240
     repro version
 
 (``repro`` and ``repro-scalability`` are the same program; ``python -m
@@ -319,7 +320,10 @@ def cmd_history(args: argparse.Namespace) -> int:
     from .obs.ledger import RunLedger
 
     ledger = RunLedger(args.ledger)
-    entries = ledger.history(app=args.app, source=args.source,
+    # `engine` is the user-facing name for executor-recorded per-point
+    # runs, which the ledger stores as source="run".
+    source = {"engine": "run"}.get(args.source, args.source)
+    entries = ledger.history(app=args.app, source=source,
                              limit=args.limit)
     if not entries:
         print(
@@ -426,7 +430,8 @@ def _build_executor(args: argparse.Namespace):
     if jobs < 1:
         raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
     cache = None if getattr(args, "no_cache", False) else RunCache()
-    return SweepExecutor(jobs=jobs, cache=cache)
+    telemetry = bool(getattr(args, "profile", False))
+    return SweepExecutor(jobs=jobs, cache=cache, telemetry=telemetry)
 
 
 def _print_cache_stats(executor) -> None:
@@ -593,6 +598,11 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
     print(f"psi monotone non-increasing with severity: {monotone}")
     print()
     _print_cache_stats(executor)
+    if getattr(args, "profile", False) and executor.timeline is not None:
+        _print(executor.timeline.format_report(
+            title=f"Sweep overhead attribution ({app} faults sweep, "
+                  f"jobs={executor.jobs})",
+        ))
     if args.out:
         import json as _json
         from dataclasses import asdict
@@ -606,6 +616,8 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
             "cache": executor.cache_stats(),
             "jobs": executor.jobs,
         }
+        if getattr(args, "profile", False) and executor.timeline is not None:
+            payload["telemetry"] = executor.timeline.to_dict()
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(_json.dumps(payload, indent=2) + "\n")
@@ -706,12 +718,174 @@ def build_faults_parser() -> argparse.ArgumentParser:
         help="record every run of the sweep in this ledger (with a "
              "cache_hit metric per record)",
     )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="collect cross-process telemetry and print the "
+             "overhead-attribution phase table (also lands in --out "
+             "as a `telemetry` block)",
+    )
     sweep.set_defaults(func=cmd_faults_sweep)
     return parser
 
 
 def faults_main(argv: Sequence[str]) -> int:
     args = build_faults_parser().parse_args(argv)
+    return args.func(args)
+
+
+# -- sweep telemetry commands (sweep profile) ---------------------------------
+
+def cmd_sweep_profile(args: argparse.Namespace) -> int:
+    """Cold-sweep overhead attribution (``repro sweep profile``).
+
+    Runs one cache-cold parallel efficiency sweep with cross-process
+    telemetry enabled and prints the phase table that explains where
+    the wall time went -- the tool that makes a <1x cold "speedup"
+    (``BENCH_sweep.json``) diagnosable.  A serial reference sweep is
+    timed first (skip with ``--no-serial``) so the report can state the
+    measured serial-vs-parallel comparison directly.
+    """
+    import json as _json
+    import tempfile
+
+    from .experiments.executor import RunCache, SweepExecutor
+    from .experiments.runner import resolve_app
+    from .experiments.sweep import efficiency_curve
+
+    try:
+        app = resolve_app(args.app)
+    except KeyError as err:
+        raise SystemExit(f"error: {err.args[0]}") from None
+    if args.jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {args.jobs}")
+    cluster = _cluster_for(app, args.nodes)
+    sizes = [int(n) for n in args.sizes]
+
+    serial_seconds = None
+    if not args.no_serial:
+        start = time.perf_counter()
+        efficiency_curve(app, cluster, sizes, executor=SweepExecutor(jobs=1))
+        serial_seconds = time.perf_counter() - start
+
+    with ExitStack() as stack:
+        if args.cache is not None:
+            cache = RunCache(root=args.cache)
+        else:
+            # A throwaway cache keeps the profiled sweep genuinely cold
+            # while still exercising the cache probe/write phases.
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-sweep-profile-")
+            )
+            cache = RunCache(root=Path(tmp) / "cache")
+        if args.ledger is not None:
+            from .experiments.runner import ledger_recording
+            from .obs.ledger import RunLedger
+
+            stack.enter_context(ledger_recording(RunLedger(args.ledger)))
+        executor = SweepExecutor(
+            jobs=args.jobs, cache=cache, telemetry=True
+        )
+        efficiency_curve(app, cluster, sizes, executor=executor)
+        timeline = executor.timeline
+    _print(timeline.format_report(
+        title=f"Sweep overhead attribution ({app}, "
+              f"sizes {' '.join(map(str, sizes))}, jobs={args.jobs}, "
+              f"{cluster.name})",
+        serial_seconds=serial_seconds,
+    ))
+    if args.trace_out:
+        from .obs.chrome_trace import write_telemetry_trace
+
+        count = write_telemetry_trace(args.trace_out, timeline)
+        print(
+            f"wrote {count} telemetry trace events to {args.trace_out} "
+            "(one track per worker process)"
+        )
+        print()
+    if args.out:
+        wall = timeline.wall_seconds
+        payload = {
+            "app": app,
+            "cluster": cluster.name,
+            "sizes": sizes,
+            "jobs": args.jobs,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": wall,
+            "speedup": (
+                serial_seconds / wall
+                if serial_seconds is not None and wall > 0 else None
+            ),
+            "telemetry": timeline.to_dict(),
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"wrote sweep profile to {out}")
+        print()
+    return 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Sweep-executor tooling: cross-process telemetry and "
+            "overhead attribution of the parallel sweep path."
+        ),
+    )
+    sub = parser.add_subparsers(dest="sweep_command", required=True)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one cache-cold telemetered sweep and attribute its "
+             "wall time to spawn/queue/cache/engine phases",
+    )
+    profile.add_argument(
+        "--app",
+        choices=["ge", "gaussian", "mm", "matmul", "stencil", "jacobi", "fft"],
+        default="ge", help="application to sweep (default: ge)",
+    )
+    profile.add_argument("--nodes", type=int, default=2,
+                         help="Sunwulf node count (default 2)")
+    profile.add_argument(
+        "--sizes", type=int, nargs="+", default=[120, 160, 200, 240],
+        help="problem sizes of the sweep (default: 120 160 200 240)",
+    )
+    profile.add_argument(
+        "--jobs", type=int, default=2, metavar="J",
+        help="worker processes to fan the sweep over (default 2)",
+    )
+    profile.add_argument(
+        "--no-serial", action="store_true",
+        help="skip the serial reference sweep (no speedup comparison "
+             "in the report)",
+    )
+    profile.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="run-cache directory to use (default: a throwaway "
+             "directory, so the profiled sweep is cache-cold)",
+    )
+    profile.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the merged worker timeline as Chrome trace JSON "
+             "(one labeled track per worker process)",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the overhead report as JSON (phases, coverage, "
+             "worker utilization, serial-vs-parallel speedup)",
+    )
+    profile.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="record the profiled runs plus a sweep-level telemetry "
+             "record (source=sweep) in this ledger",
+    )
+    profile.set_defaults(func=cmd_sweep_profile)
+    return parser
+
+
+def sweep_main(argv: Sequence[str]) -> int:
+    args = build_sweep_parser().parse_args(argv)
     return args.func(args)
 
 
@@ -742,8 +916,12 @@ def build_ledger_parser() -> argparse.ArgumentParser:
     history.add_argument("--app", default=None,
                          help="only runs of this application")
     history.add_argument("--source", default=None,
-                         choices=["run", "profile", "bench", "faults"],
-                         help="only runs recorded by this source")
+                         choices=["run", "engine", "sweep", "profile",
+                                  "bench", "faults"],
+                         help="only runs recorded by this source "
+                              "(`engine` = executor-recorded per-point "
+                              "runs, `sweep` = sweep-level telemetry "
+                              "records)")
     history.add_argument("--limit", type=int, default=20,
                          help="show at most this many runs (default 20)")
     history.set_defaults(func=cmd_history)
@@ -838,7 +1016,8 @@ def build_parser() -> argparse.ArgumentParser:
             "`repro history [--app A]`, `repro compare RUN_A RUN_B`, "
             "`repro baseline set|check [RUN]`; see `repro history --help`. "
             "Fault injection: `repro faults run|sweep` "
-            "(see `repro faults --help`)."
+            "(see `repro faults --help`). Sweep overhead attribution: "
+            "`repro sweep profile` (see `repro sweep --help`)."
         ),
     )
     parser.add_argument(
@@ -920,6 +1099,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     if argv and argv[0] in LEDGER_COMMANDS:
         return ledger_main(argv)
     args = build_parser().parse_args(argv)

@@ -38,6 +38,8 @@ from ..core.marked_speed import SystemMarkedSpeed
 from ..core.types import MetricError
 from ..machine.cluster import ClusterSpec
 from ..mpi.communicator import CollectiveConfig
+from ..obs.spans import Span, wall_now
+from ..obs.telemetry import ROOT_SPAN, SweepTimeline
 from ..sim.engine import RunResult
 from ..sim.trace import RankStats
 from . import runner as _runner
@@ -324,6 +326,36 @@ def _pool_worker(point: SweepPoint) -> dict[str, Any]:
         _runner._ACTIVE_COLLECTOR = prev_coll
 
 
+def _telemetry_pool_worker(
+    task: tuple[SweepPoint, float],
+) -> dict[str, Any]:
+    """Telemetry twin of :func:`_pool_worker`.
+
+    ``task`` pairs the point with its parent-side submit timestamp; the
+    worker records a ``queue_wait`` span from it (spawn + pickle + queue
+    latency), an ``engine_run`` span around the simulation and a
+    ``serialize`` span around payload building, then ships its new spans
+    (including the one-time ``spawn`` span the pool initializer
+    recorded) back alongside the payload.
+    """
+    from ..obs.telemetry import worker_telemetry
+
+    point, submitted_at = task
+    worker = worker_telemetry()
+    worker.start_task(submitted_at)
+    prev_ledger, _runner._ACTIVE_LEDGER = _runner._ACTIVE_LEDGER, None
+    prev_coll, _runner._ACTIVE_COLLECTOR = _runner._ACTIVE_COLLECTOR, None
+    try:
+        with worker.recorder.span("engine_run", app=point.app, n=point.n):
+            record, injector = _run_point(point)
+        with worker.recorder.span("serialize"):
+            payload = run_record_to_payload(record, injector)
+    finally:
+        _runner._ACTIVE_LEDGER = prev_ledger
+        _runner._ACTIVE_COLLECTOR = prev_coll
+    return {"payload": payload, "spans": worker.drain()}
+
+
 # -- the executor -------------------------------------------------------------
 
 class SweepExecutor:
@@ -341,6 +373,17 @@ class SweepExecutor:
     Points carrying side-effect kwargs, and every point while a trace
     collector is active, execute in-process and bypass the cache -- a
     replayed record cannot produce a trace.
+
+    ``telemetry=True`` additionally records cross-process wall-clock
+    spans for every phase of the sweep (spawn, queue-wait, cache probe,
+    engine run, serialize, cache write, collect); each ``run_faulted``
+    call then leaves a fresh :class:`~repro.obs.telemetry.SweepTimeline`
+    on :attr:`timeline`, feeds per-phase ``sweep_phase_seconds``
+    histograms into the metrics registry, and (when an ambient ledger is
+    recording) appends one sweep-level ``source="sweep"`` ledger record
+    carrying the full telemetry block.  With telemetry off (the
+    default) no span machinery runs and results are bit-identical to
+    the untelemetered path -- with it on too: spans only *observe*.
     """
 
     def __init__(
@@ -349,12 +392,16 @@ class SweepExecutor:
         cache: RunCache | None = None,
         metrics: Any = None,
         log: Any = None,
+        telemetry: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.log = log
+        self.telemetry = bool(telemetry)
+        self.timeline: SweepTimeline | None = None
+        self._setup_spans: list[Span] = []
         if metrics is None:
             from ..obs.metrics import MetricsRegistry
 
@@ -395,6 +442,62 @@ class SweepExecutor:
             log=self.log,
         )
 
+    # -- telemetry ---------------------------------------------------------
+    @contextmanager
+    def setup_span(self, name: str, **meta: Any) -> Iterator[None]:
+        """Record driver-side preparation work (e.g. the marked-speed
+        measurement) into the *next* sweep's timeline.  A no-op when
+        telemetry is off."""
+        if not self.telemetry:
+            yield
+            return
+        start = wall_now()
+        try:
+            yield
+        finally:
+            self._setup_spans.append(Span(
+                name=name, start=start, end=wall_now(), pid=os.getpid(),
+                worker="parent", meta=meta,
+            ))
+
+    def _begin_timeline(self, points: Sequence[SweepPoint]) -> SweepTimeline | None:
+        if not self.telemetry:
+            return None
+        timeline = self.timeline = SweepTimeline(jobs=self.jobs)
+        timeline.points = len(points)
+        if self._setup_spans:
+            timeline.parent.spans.extend(self._setup_spans)
+            self._setup_spans = []
+        return timeline
+
+    def _record_sweep_ledger(
+        self, points: Sequence[SweepPoint], timeline: SweepTimeline
+    ) -> None:
+        """One sweep-level telemetry record per managed telemetered sweep.
+
+        Called after the sweep root span has closed, so the recorded
+        ``telemetry`` block carries the final wall/coverage numbers (and
+        this write's own cost stays outside the attributed window).
+        """
+        ledger = _runner._ACTIVE_LEDGER
+        if ledger is None or not points:
+            return
+        point = points[0]
+        try:
+            ledger.record_sweep(
+                point.app, point.cluster, timeline,
+                extra_metrics={
+                    "cache_hits": float(timeline.cache_hits),
+                    "cache_misses": float(
+                        len(points) - timeline.cache_hits
+                    ),
+                },
+                log=self.log,
+            )
+        except OSError:
+            if self.log is not None:
+                self.log.event("sweep.telemetry_ledger_failed")
+
     # -- execution ---------------------------------------------------------
     def run_points(self, points: Sequence[SweepPoint]) -> list[RunRecord]:
         """Execute points (cache/pool as configured); records in order."""
@@ -409,10 +512,32 @@ class SweepExecutor:
         """Like :meth:`run_points` but with each point's fault injector
         (``None`` for fault-free points)."""
         points = list(points)
+        timeline = self._begin_timeline(points)
         if not self._managed:
-            # Legacy path: serial, uncached, ambient observers untouched.
-            return [_run_point(point) for point in points]
+            if timeline is None:
+                # Legacy path: serial, uncached, observers untouched.
+                return [_run_point(point) for point in points]
+            out: list[tuple[RunRecord, Any]] = []
+            with timeline.parent.span(ROOT_SPAN, points=len(points)):
+                for idx, point in enumerate(points):
+                    with timeline.parent.span(
+                        "engine_run", point=idx, app=point.app, n=point.n
+                    ):
+                        out.append(_run_point(point))
+            timeline.observe_metrics(self.metrics)
+            return out
+        with _maybe_span(timeline, ROOT_SPAN, points=len(points)):
+            out = self._run_managed(points, timeline)
+        if timeline is not None:
+            timeline.observe_metrics(self.metrics)
+            # After the root closed: the recorded document then carries
+            # the final wall/coverage numbers, not an in-flight window.
+            self._record_sweep_ledger(points, timeline)
+        return out
 
+    def _run_managed(
+        self, points: list[SweepPoint], timeline: SweepTimeline | None
+    ) -> list[tuple[RunRecord, Any]]:
         results: list[tuple[RunRecord, Any] | None] = [None] * len(points)
         flags: list[bool] = [False] * len(points)
         pending: list[int] = []
@@ -421,21 +546,26 @@ class SweepExecutor:
         collector_active = _runner._ACTIVE_COLLECTOR is not None
         for idx, point in enumerate(points):
             key = None
+            cached = None
             if not collector_active:
-                key = point_profile_hash(point)
+                # The probe span covers key hashing plus the disk lookup.
+                with _maybe_span(timeline, "cache_probe", point=idx):
+                    key = point_profile_hash(point)
+                    if key is not None and self.cache is not None:
+                        cached = self.cache.get(key)
             keys.append(key)
-            if key is not None and self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
+            if cached is not None:
+                point_schedule = point.schedule
+                with _maybe_span(timeline, "collect", point=idx):
                     record = run_record_from_payload(cached)
                     injector = None
-                    if point.schedule is not None and "fault" in cached:
+                    if point_schedule is not None and "fault" in cached:
                         injector = injector_from_payload(
-                            point.schedule, cached["fault"]
+                            point_schedule, cached["fault"]
                         )
-                    results[idx] = (record, injector)
-                    flags[idx] = True
-                    continue
+                results[idx] = (record, injector)
+                flags[idx] = True
+                continue
             pending.append(idx)
             if key is not None and not point.local:
                 parallelizable.append(idx)
@@ -443,18 +573,27 @@ class SweepExecutor:
         if self.jobs > 1 and len(parallelizable) > 1:
             batch = [points[i] for i in parallelizable]
             workers = min(self.jobs, len(batch))
-            with _make_pool(workers) as pool:
-                payloads = list(pool.map(_pool_worker, batch, chunksize=1))
-            for idx, payload in zip(parallelizable, payloads):
-                record = run_record_from_payload(payload)
-                injector = None
-                if points[idx].schedule is not None:
-                    injector = injector_from_payload(
-                        points[idx].schedule, payload.get("fault", {})
+            if timeline is not None:
+                payloads = self._run_pool_telemetered(
+                    batch, workers, timeline
+                )
+            else:
+                with _make_pool(workers) as pool:
+                    payloads = list(
+                        pool.map(_pool_worker, batch, chunksize=1)
                     )
+            for idx, payload in zip(parallelizable, payloads):
+                with _maybe_span(timeline, "collect", point=idx):
+                    record = run_record_from_payload(payload)
+                    injector = None
+                    if points[idx].schedule is not None:
+                        injector = injector_from_payload(
+                            points[idx].schedule, payload.get("fault", {})
+                        )
                 results[idx] = (record, injector)
                 if keys[idx] is not None and self.cache is not None:
-                    self._cache_put(keys[idx], points[idx], payload)
+                    with _maybe_span(timeline, "cache_write", point=idx):
+                        self._cache_put(keys[idx], points[idx], payload)
             executed = set(parallelizable)
         else:
             executed = set()
@@ -464,21 +603,54 @@ class SweepExecutor:
                 continue
             point = points[idx]
             with _suspended_ledger():
-                record, injector = _run_point(point)
+                with _maybe_span(
+                    timeline, "engine_run", point=idx, app=point.app,
+                    n=point.n,
+                ):
+                    record, injector = _run_point(point)
             results[idx] = (record, injector)
             if keys[idx] is not None and self.cache is not None:
-                self._cache_put(
-                    keys[idx], point, run_record_to_payload(record, injector)
-                )
+                with _maybe_span(timeline, "serialize", point=idx):
+                    payload = run_record_to_payload(record, injector)
+                with _maybe_span(timeline, "cache_write", point=idx):
+                    self._cache_put(keys[idx], point, payload)
 
         out: list[tuple[RunRecord, Any]] = []
         for idx, point in enumerate(points):
             pair = results[idx]
             assert pair is not None
-            self._count(hit=flags[idx])
-            self._record_ledger(point, pair[0], cache_hit=flags[idx])
+            with _maybe_span(timeline, "collect", point=idx):
+                self._count(hit=flags[idx])
+                self._record_ledger(point, pair[0], cache_hit=flags[idx])
             out.append(pair)
+        if timeline is not None:
+            timeline.cache_hits = sum(flags)
         return out
+
+    def _run_pool_telemetered(
+        self, batch: list[SweepPoint], workers: int, timeline: SweepTimeline
+    ) -> list[dict[str, Any]]:
+        """Fan a batch out with worker telemetry: timestamped submits, a
+        spawn-stamping pool initializer, and shipped-span collection."""
+        created_at = wall_now()
+        with timeline.parent.span("spawn", workers=workers):
+            pool = _make_pool(workers, telemetry_created_at=created_at)
+        try:
+            tasks = [(point, wall_now()) for point in batch]
+            shipped = list(
+                pool.map(_telemetry_pool_worker, tasks, chunksize=1)
+            )
+        finally:
+            # Sentinel delivery + worker joins are real parallel-path
+            # overhead; attribute them to collect rather than leaving a
+            # coverage hole at the tail of the sweep window.
+            with timeline.parent.span("collect", shutdown=True):
+                pool.shutdown(wait=True)
+        payloads: list[dict[str, Any]] = []
+        for item in shipped:
+            timeline.add_worker_spans(item["spans"])
+            payloads.append(item["payload"])
+        return payloads
 
     def _cache_put(
         self, key: str, point: SweepPoint, payload: dict[str, Any]
@@ -494,15 +666,41 @@ class SweepExecutor:
                 self.log.event("sweep.cache_write_failed", key=key)
 
 
-def _make_pool(workers: int) -> ProcessPoolExecutor:
-    """A process pool preferring fork (inherits warm marked-speed caches)."""
+def _make_pool(
+    workers: int, telemetry_created_at: float | None = None
+) -> ProcessPoolExecutor:
+    """A process pool preferring fork (inherits warm marked-speed caches).
+
+    With ``telemetry_created_at`` every worker runs the telemetry
+    initializer at startup, recording its own ``spawn`` span from that
+    parent-side pool-creation timestamp.
+    """
     import multiprocessing
 
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork
         ctx = multiprocessing.get_context()
-    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    kwargs: dict[str, Any] = {}
+    if telemetry_created_at is not None:
+        from ..obs.telemetry import init_worker_telemetry
+
+        kwargs["initializer"] = init_worker_telemetry
+        kwargs["initargs"] = (telemetry_created_at,)
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx, **kwargs)
+
+
+@contextmanager
+def _maybe_span(
+    timeline: SweepTimeline | None, name: str, **meta: Any
+) -> Iterator[None]:
+    """Record a parent span when a timeline is active; pass through when
+    telemetry is off (the zero-cost-when-off guarantee)."""
+    if timeline is None:
+        yield
+        return
+    with timeline.parent.span(name, **meta):
+        yield
 
 
 @contextmanager

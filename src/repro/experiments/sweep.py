@@ -58,12 +58,14 @@ def efficiency_curve(
     fan out over worker processes and reuse cached runs; the default
     executor reproduces the serial in-process loop exactly.
     """
-    marked = marked_speed_of(cluster)
+    exe = resolve_executor(executor)
+    with exe.setup_span("marked_speed"):
+        marked = marked_speed_of(cluster)
     points = [
         SweepPoint.make(app, cluster, int(n), marked=marked, **run_kwargs)
         for n in sizes
     ]
-    records = resolve_executor(executor).run_points(points)
+    records = exe.run_points(points)
     return EfficiencyCurve(app=app, cluster=cluster, records=records)
 
 

@@ -308,7 +308,8 @@ def slowdown_sweep(
 
     app = resolve_app(app)
     exe = resolve_executor(executor)
-    marked = marked_speed_of(cluster)
+    with exe.setup_span("marked_speed"):
+        marked = marked_speed_of(cluster)
     schedules = [
         uniform_slowdown(
             cluster.nranks, severity, onset=onset, duration=duration

@@ -22,6 +22,12 @@ simulated run:
 * :mod:`repro.obs.regression` — cross-run comparison with per-metric
   WARN/FAIL thresholds and named baselines (``repro compare``,
   ``repro baseline check``, the CI perf gate).
+* :mod:`repro.obs.spans` — epoch-aligned wall-clock spans that cross
+  the process boundary (the sweep-telemetry primitive).
+* :mod:`repro.obs.telemetry` — cross-process sweep telemetry: per-worker
+  span collection inside pool workers and the :class:`SweepTimeline`
+  aggregator behind ``repro sweep profile`` (overhead attribution,
+  phase coverage, worker utilization).
 """
 
 from .analysis import (
@@ -34,7 +40,21 @@ from .analysis import (
     overhead_decomposition,
     rank_utilization,
 )
-from .chrome_trace import chrome_trace_events, write_chrome_trace
+from .chrome_trace import (
+    chrome_trace_events,
+    telemetry_trace_events,
+    write_chrome_trace,
+    write_telemetry_trace,
+)
+from .spans import Span, SpanRecorder, wall_now
+from .telemetry import (
+    PHASES,
+    SweepTimeline,
+    WorkerTelemetry,
+    init_worker_telemetry,
+    merged_length,
+    worker_telemetry,
+)
 from .metrics import (
     BYTES_BUCKETS,
     DURATION_BUCKETS,
@@ -81,10 +101,15 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "OverheadDecomposition",
+    "PHASES",
     "ProfileReport",
     "RankUtilization",
     "RunLedger",
+    "Span",
+    "SpanRecorder",
     "StructLogger",
+    "SweepTimeline",
+    "WorkerTelemetry",
     "bench_to_record",
     "build_report",
     "check_against_baseline",
@@ -96,13 +121,19 @@ __all__ = [
     "environment_info",
     "git_sha",
     "imbalance_index",
+    "init_worker_telemetry",
     "load_baseline",
     "load_record_file",
+    "merged_length",
     "overhead_decomposition",
     "profile_app",
     "rank_utilization",
     "save_baseline",
     "stderr_logger",
+    "telemetry_trace_events",
+    "wall_now",
+    "worker_telemetry",
     "write_chrome_trace",
     "write_report",
+    "write_telemetry_trace",
 ]

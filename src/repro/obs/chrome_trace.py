@@ -127,3 +127,76 @@ def write_chrome_trace(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(events, indent=1) + "\n")
     return len(events)
+
+
+# -- cross-process sweep telemetry export -------------------------------------
+
+def telemetry_trace_events(
+    timeline: Any, time_scale: float = MICROSECONDS
+) -> list[dict[str, Any]]:
+    """Convert a sweep telemetry timeline to Chrome trace events.
+
+    ``timeline`` is a :class:`~repro.obs.telemetry.SweepTimeline` (or any
+    object with ``all_spans()``, or a plain span list).  Unlike the
+    single-simulation export above -- virtual time, one process per run
+    -- this renders *wall-clock* spans with one trace process per real
+    OS process of the sweep: the parent first, then one labeled track
+    per pool worker.  ``process_name`` / ``thread_name`` /
+    ``process_sort_index`` metadata events name every track, so
+    Perfetto and ``chrome://tracing`` show ``parent`` and ``worker-<pid>``
+    lanes instead of bare pid numbers.
+
+    Timestamps are shifted so the earliest span starts at 0 and scaled
+    from seconds to microseconds.
+    """
+    spans = timeline.all_spans() if hasattr(timeline, "all_spans") \
+        else list(timeline)
+    if not spans:
+        return []
+    origin = min(span.start for span in spans)
+
+    # Stable track order: parent first, then workers sorted by label.
+    def track_rank(key: tuple[str, int]) -> tuple[int, str]:
+        worker, _ = key
+        return (0 if worker == "parent" else 1, worker)
+
+    tracks = sorted(
+        {(span.worker or f"pid {span.pid}", span.pid) for span in spans},
+        key=track_rank,
+    )
+    events: list[dict[str, Any]] = []
+    for sort_index, (worker, pid) in enumerate(tracks):
+        events.append({
+            "name": "process_name", "ph": "M", "ts": 0, "dur": 0,
+            "pid": pid, "tid": 0, "args": {"name": worker},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M", "ts": 0, "dur": 0,
+            "pid": pid, "tid": 0, "args": {"sort_index": sort_index},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "dur": 0,
+            "pid": pid, "tid": 0, "args": {"name": f"{worker} spans"},
+        })
+    for span in spans:
+        event: dict[str, Any] = {
+            "name": span.name, "cat": "sweep", "ph": "X",
+            "ts": (span.start - origin) * time_scale,
+            "dur": span.duration * time_scale,
+            "pid": span.pid, "tid": 0,
+        }
+        if span.meta:
+            event["args"] = dict(span.meta)
+        events.append(event)
+    return events
+
+
+def write_telemetry_trace(
+    path: str | Path, timeline: Any, time_scale: float = MICROSECONDS
+) -> int:
+    """Write a sweep timeline as Chrome trace JSON; returns event count."""
+    events = telemetry_trace_events(timeline, time_scale=time_scale)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(events, indent=1) + "\n")
+    return len(events)

@@ -340,6 +340,45 @@ class RunLedger:
         }
         return self._write(run_id, payload, log=log)
 
+    def record_sweep(
+        self,
+        app: str,
+        cluster: "ClusterSpec",
+        timeline: Any,
+        extra_metrics: dict[str, float] | None = None,
+        log: "StructLogger | None" = None,
+    ) -> str:
+        """Persist one sweep-level telemetry record (``source="sweep"``).
+
+        ``timeline`` is a :class:`~repro.obs.telemetry.SweepTimeline`;
+        its flat metric surface (wall seconds, per-phase totals,
+        coverage, worker utilization) becomes the record's ``metrics``
+        and the full structured view rides along as a ``telemetry``
+        block, so overhead fractions are regression-gateable like any
+        other metric.  Returns the new run id.
+        """
+        metrics = dict(timeline.flat_metrics())
+        if extra_metrics:
+            metrics.update(extra_metrics)
+        run_id = _new_run_id(f"sweep-{app}", None)
+        payload: dict[str, Any] = {
+            "run_id": run_id,
+            "created_utc": _utc_now(),
+            "source": "sweep",
+            "app": app,
+            "problem_size": None,
+            "cluster": {
+                "name": cluster.name,
+                "nranks": cluster.nranks,
+                "nnodes": cluster.nnodes,
+                "spec_hash": cluster_spec_hash(cluster),
+            },
+            "env": environment_info(),
+            "metrics": metrics,
+            "telemetry": timeline.to_dict(),
+        }
+        return self._write(run_id, payload, log=log)
+
     def record_bench(
         self, payload: dict[str, Any], log: "StructLogger | None" = None
     ) -> str:

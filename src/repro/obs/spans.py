@@ -1,0 +1,154 @@
+"""Lightweight wall-clock spans that survive the process boundary.
+
+The in-engine observability stack (tracer, metrics, profiler) sees
+*virtual* time inside one simulation.  Sweeps are different: their cost
+is real wall-clock time spent spawning workers, pickling points, waiting
+in queues and probing the run cache -- across several processes.  This
+module provides the primitive for measuring that: a :class:`Span` is a
+named wall-clock interval with the recording process id and a worker
+label, nested via an explicit depth, and serializable to a plain dict so
+workers can ship their spans back to the parent with each result.
+
+Timestamps are *epoch-aligned* high-resolution seconds: each process
+samples ``time.time() - time.perf_counter()`` once at import and adds it
+to every ``perf_counter`` reading, so spans recorded in different
+processes land on one comparable timeline (to within the one-off epoch
+sampling error, microseconds -- far below the millisecond-scale phases
+being measured).
+
+Everything here is plain Python with no engine dependencies;
+:mod:`repro.obs.telemetry` builds the sweep-level aggregation on top.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Sampled once per process: epoch seconds at perf_counter() == 0.
+_EPOCH_OFFSET: float = time.time() - time.perf_counter()
+
+
+def wall_now() -> float:
+    """Epoch-aligned high-resolution timestamp (seconds).
+
+    Monotonic within a process (``perf_counter`` based) and comparable
+    across processes on the same machine (epoch anchored).
+    """
+    return _EPOCH_OFFSET + time.perf_counter()
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval recorded by some process.
+
+    ``depth`` is the nesting level at record time (0 = top level);
+    ``worker`` labels the recording context (e.g. ``"parent"`` or
+    ``"worker-3"``).  ``meta`` carries small JSON-safe annotations such
+    as the sweep-point index.
+    """
+
+    name: str
+    start: float
+    end: float = 0.0
+    pid: int = 0
+    worker: str = ""
+    depth: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds covered (never negative)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "worker": self.worker,
+            "depth": self.depth,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            pid=int(data.get("pid", 0)),
+            worker=str(data.get("worker", "")),
+            depth=int(data.get("depth", 0)),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+class SpanRecorder:
+    """Collects nested spans for one recording context.
+
+    Use :meth:`span` as a context manager for scoped measurement, or
+    :meth:`add` to record an interval measured by other means (e.g. a
+    queue wait derived from a timestamp shipped from another process).
+    The recorder is cheap enough to leave attached everywhere: when no
+    span is ever opened it holds one empty list.
+    """
+
+    def __init__(self, worker: str = "", pid: int | None = None):
+        self.worker = worker
+        self.pid = os.getpid() if pid is None else pid
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, **meta: Any) -> Iterator[Span]:
+        """Record ``name`` around the ``with`` body (exception-safe)."""
+        record = Span(
+            name=name, start=wall_now(), pid=self.pid,
+            worker=self.worker, depth=self._depth, meta=meta,
+        )
+        # Append on entry so nested spans appear after their parent even
+        # though the parent's end is filled in later.
+        self.spans.append(record)
+        self._depth += 1
+        try:
+            yield record
+        finally:
+            self._depth -= 1
+            record.end = wall_now()
+
+    def add(
+        self, name: str, start: float, end: float, **meta: Any
+    ) -> Span:
+        """Record an externally measured interval at the current depth."""
+        record = Span(
+            name=name, start=float(start), end=float(end), pid=self.pid,
+            worker=self.worker, depth=self._depth, meta=meta,
+        )
+        self.spans.append(record)
+        return record
+
+    def total(self, name: str) -> float:
+        """Summed duration of every span called ``name``."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-ready form of every recorded span (shipping format)."""
+        return [s.to_dict() for s in self.spans]
+
+    @classmethod
+    def from_dicts(
+        cls, data: list[dict[str, Any]], worker: str = "",
+    ) -> "SpanRecorder":
+        """Rebuild a recorder from shipped span dicts."""
+        recorder = cls(worker=worker)
+        recorder.spans = [Span.from_dict(d) for d in data]
+        if recorder.spans and not worker:
+            recorder.worker = recorder.spans[0].worker
+        return recorder

@@ -202,3 +202,51 @@ class TestTraceDropping:
             run_ge(ge2_cluster, 50, marked=ge2_marked)
         err = capsys.readouterr().err
         assert "trace.records_dropped" in err
+
+    def test_dropped_totals_across_runs(self, ge2_cluster, ge2_marked):
+        """Per-run overflow counts sum: N identical truncated runs report
+        exactly N times one run's overflow."""
+        from repro.experiments.runner import TraceCollector
+
+        collector = TraceCollector(limit=10)
+        with collect_traces(collector):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        assert len(collector.runs) == 3
+        per_run = [run.tracer.dropped for run in collector.runs]
+        assert per_run[0] > 0
+        assert per_run == [per_run[0]] * 3
+        assert collector.dropped == sum(per_run)
+
+    def test_stored_plus_dropped_is_conserved(self, ge2_cluster, ge2_marked):
+        """Truncation loses storage, never accounting: stored + dropped
+        equals the record count of an unlimited run."""
+        from repro.experiments.runner import TraceCollector
+
+        full = TraceCollector()
+        with collect_traces(full):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        total = len(full.runs[0].tracer.records)
+        assert full.dropped == 0
+
+        truncated = TraceCollector(limit=10)
+        with collect_traces(truncated):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        (run,) = truncated.runs
+        assert len(run.tracer.records) + run.tracer.dropped == total
+
+    def test_warning_reports_multi_run_totals(self, ge2_cluster, ge2_marked):
+        from repro.experiments.runner import TraceCollector
+        from repro.obs.structlog import StructLogger
+
+        log = StructLogger()
+        collector = TraceCollector(limit=10, log=log)
+        with collect_traces(collector):
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+            run_ge(ge2_cluster, 50, marked=ge2_marked)
+        (warning,) = [
+            e for e in log.events if e["event"] == "trace.records_dropped"
+        ]
+        assert warning["runs"] == 2
+        assert warning["dropped"] == collector.dropped

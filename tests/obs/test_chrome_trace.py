@@ -6,8 +6,11 @@ from repro.network.model import UniformCostNetwork, ZeroCostNetwork
 from repro.obs.chrome_trace import (
     NETWORK_TID,
     chrome_trace_events,
+    telemetry_trace_events,
     write_chrome_trace,
+    write_telemetry_trace,
 )
+from repro.obs.telemetry import ROOT_SPAN, SweepTimeline
 from repro.sim.engine import Engine
 from repro.sim.events import Compute, Log, Recv, Send
 from repro.sim.trace import Tracer
@@ -113,4 +116,74 @@ class TestWrite:
         count = write_chrome_trace(path, traced_run())
         data = json.loads(path.read_text())
         assert isinstance(data, list)
+        assert len(data) == count > 0
+
+
+def sweep_timeline() -> SweepTimeline:
+    """Parent + two workers with hand-placed wall-clock spans."""
+    tl = SweepTimeline(jobs=2)
+    tl.parent.add(ROOT_SPAN, 100.0, 110.0)
+    tl.parent.add("spawn", 100.0, 101.0)
+    tl.add_worker_spans([
+        {"name": "engine_run", "start": 101.0, "end": 109.0, "pid": 51,
+         "worker": "worker-51", "meta": {"point": 0}},
+        {"name": "engine_run", "start": 101.0, "end": 108.0, "pid": 52,
+         "worker": "worker-52"},
+    ])
+    return tl
+
+
+class TestTelemetryExport:
+    def test_one_process_per_worker_with_metadata(self):
+        events = telemetry_trace_events(sweep_timeline())
+        names = {
+            e["pid"]: e["args"]["name"] for e in events
+            if e["name"] == "process_name"
+        }
+        assert sorted(names.values()) == [
+            "parent", "worker-51", "worker-52",
+        ]
+        assert {e["name"] for e in events if e["ph"] == "M"} == {
+            "process_name", "process_sort_index", "thread_name",
+        }
+
+    def test_parent_track_sorts_first(self):
+        events = telemetry_trace_events(sweep_timeline())
+        by_pid = {
+            e["pid"]: e["args"]["sort_index"] for e in events
+            if e["name"] == "process_sort_index"
+        }
+        parent_pid = next(
+            e["pid"] for e in events
+            if e["name"] == "process_name" and e["args"]["name"] == "parent"
+        )
+        assert by_pid[parent_pid] == 0
+        assert all(idx > 0 for pid, idx in by_pid.items()
+                   if pid != parent_pid)
+
+    def test_spans_shifted_to_origin_and_scaled(self):
+        events = telemetry_trace_events(sweep_timeline())
+        spans = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in spans) == 0.0
+        root = next(e for e in spans if e["name"] == ROOT_SPAN)
+        assert root["dur"] == 10.0 * 1e6
+        assert all(e["cat"] == "sweep" for e in spans)
+
+    def test_meta_becomes_args(self):
+        events = telemetry_trace_events(sweep_timeline())
+        run51 = next(
+            e for e in events
+            if e["name"] == "engine_run" and e["pid"] == 51
+        )
+        assert run51["args"] == {"point": 0}
+
+    def test_accepts_plain_span_list_and_empty(self):
+        tl = sweep_timeline()
+        assert telemetry_trace_events(tl.all_spans())
+        assert telemetry_trace_events(SweepTimeline()) == []
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "sweep" / "timeline.json"
+        count = write_telemetry_trace(path, sweep_timeline())
+        data = json.loads(path.read_text())
         assert len(data) == count > 0

@@ -53,6 +53,42 @@ class TestInstruments:
         h.observe(0.5)
         assert json.loads(json.dumps(h.to_dict()))["count"] == 1
 
+    def test_histogram_empty(self):
+        h = Histogram(boundaries=(1.0, 10.0))
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.mean == 0.0  # no division by zero
+        assert h.counts == [0, 0, 0]
+        assert h.to_dict()["counts"] == [0, 0, 0]
+
+    def test_histogram_single_sample(self):
+        h = Histogram(boundaries=(1.0, 10.0))
+        h.observe(5.0)
+        assert h.count == 1
+        assert h.mean == pytest.approx(5.0)
+        assert h.counts == [0, 1, 0]
+
+    def test_histogram_all_identical_samples(self):
+        h = Histogram(boundaries=(1.0, 10.0))
+        for _ in range(100):
+            h.observe(2.5)
+        # Every observation in one bucket; mean degenerates to the value.
+        assert h.counts == [0, 100, 0]
+        assert h.mean == pytest.approx(2.5)
+        assert h.sum == pytest.approx(250.0)
+
+    def test_histogram_boundary_value_lands_in_lower_bucket(self):
+        h = Histogram(boundaries=(1.0, 10.0))
+        h.observe(1.0)
+        h.observe(10.0)
+        assert h.counts == [1, 1, 0]
+
+    def test_histogram_overflow_only(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(100.0)
+        assert h.counts == [0, 1]
+        assert h.mean == pytest.approx(100.0)
+
 
 class TestRegistry:
     def test_get_or_create_is_stable(self):

@@ -1,0 +1,87 @@
+"""Tests for the cross-process wall-clock span primitive."""
+
+import os
+
+import pytest
+
+from repro.obs.spans import Span, SpanRecorder, wall_now
+
+
+class TestWallNow:
+    def test_monotone_within_process(self):
+        a = wall_now()
+        b = wall_now()
+        assert b >= a
+
+    def test_epoch_scale(self):
+        # Epoch-anchored: the value is "seconds since 1970", not a
+        # perf_counter origin near zero.
+        assert wall_now() > 1e9
+
+
+class TestSpan:
+    def test_duration_never_negative(self):
+        assert Span(name="x", start=2.0, end=1.0).duration == 0.0
+        assert Span(name="x", start=1.0, end=3.5).duration == 2.5
+
+    def test_dict_round_trip(self):
+        span = Span(name="engine_run", start=1.5, end=2.5, pid=42,
+                    worker="worker-42", depth=1, meta={"point": 3})
+        clone = Span.from_dict(span.to_dict())
+        assert clone == span
+
+    def test_to_dict_omits_empty_meta(self):
+        assert "meta" not in Span(name="x", start=0.0, end=1.0).to_dict()
+
+
+class TestSpanRecorder:
+    def test_span_records_interval(self):
+        rec = SpanRecorder(worker="parent")
+        with rec.span("cache_probe", point=0):
+            pass
+        (span,) = rec.spans
+        assert span.name == "cache_probe"
+        assert span.end >= span.start
+        assert span.worker == "parent"
+        assert span.pid == os.getpid()
+        assert span.meta == {"point": 0}
+
+    def test_nesting_depth(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        outer, inner = rec.spans
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert (inner.name, inner.depth) == ("inner", 1)
+        # Parent appended first even though it closes last.
+        assert outer.end >= inner.end
+
+    def test_span_closes_on_exception(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("boom"):
+                raise RuntimeError("x")
+        assert rec.spans[0].end >= rec.spans[0].start
+        assert rec._depth == 0
+
+    def test_add_records_external_interval(self):
+        rec = SpanRecorder(worker="worker-1", pid=7)
+        span = rec.add("queue_wait", 10.0, 10.5, task=1)
+        assert span.duration == pytest.approx(0.5)
+        assert span.pid == 7
+
+    def test_total_sums_by_name(self):
+        rec = SpanRecorder()
+        rec.add("engine_run", 0.0, 1.0)
+        rec.add("engine_run", 2.0, 2.5)
+        rec.add("serialize", 0.0, 10.0)
+        assert rec.total("engine_run") == pytest.approx(1.5)
+        assert rec.total("missing") == 0.0
+
+    def test_ship_and_rebuild(self):
+        rec = SpanRecorder(worker="worker-9")
+        rec.add("spawn", 1.0, 2.0)
+        rebuilt = SpanRecorder.from_dicts(rec.to_dicts())
+        assert rebuilt.worker == "worker-9"
+        assert rebuilt.spans == rec.spans

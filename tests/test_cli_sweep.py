@@ -1,0 +1,140 @@
+"""Tests for the sweep-telemetry CLI surface.
+
+`repro sweep profile` runs a cold telemetered sweep and prints the
+overhead-attribution phase table; `repro history --source sweep|engine`
+filters the new sweep-level ledger records; `repro faults sweep
+--profile` rides the telemetry on the existing fault sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import RunLedger
+from repro.obs.telemetry import PHASES
+
+PROFILE_ARGS = [
+    "sweep", "profile", "--app", "ge", "--nodes", "2",
+    "--sizes", "60", "90", "120", "--jobs", "2",
+]
+
+
+class TestSweepProfile:
+    def test_prints_phase_table_and_speedup(self, capsys):
+        assert main(PROFILE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Sweep overhead attribution" in out
+        for phase in PHASES:
+            assert phase in out
+        assert "coverage" in out
+        assert "worker utilization" in out
+        assert "serial" in out and "x" in out
+
+    def test_no_serial_skips_comparison(self, capsys):
+        assert main(PROFILE_ARGS + ["--no-serial"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep overhead attribution" in out
+        assert "vs parallel" not in out
+
+    def test_out_json_has_phases_and_coverage(self, capsys, tmp_path):
+        out_path = tmp_path / "profile.json"
+        assert main(PROFILE_ARGS + ["--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        telemetry = payload["telemetry"]
+        for phase in PHASES:
+            assert telemetry["phases"][phase] > 0.0
+        assert telemetry["coverage"] >= 0.95
+        assert payload["parallel_seconds"] == pytest.approx(
+            telemetry["wall_seconds"]
+        )
+        assert payload["speedup"] == pytest.approx(
+            payload["serial_seconds"] / payload["parallel_seconds"]
+        )
+
+    def test_trace_out_has_labeled_worker_tracks(self, capsys, tmp_path):
+        trace_path = tmp_path / "timeline.json"
+        assert main(
+            PROFILE_ARGS + ["--no-serial", "--trace-out", str(trace_path)]
+        ) == 0
+        events = json.loads(trace_path.read_text())
+        names = sorted(
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        )
+        assert names[0] == "parent"
+        assert len(names) == 3  # parent + 2 workers
+        assert all(n.startswith("worker-") for n in names[1:])
+
+    def test_ledger_gains_sweep_record(self, capsys, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        assert main(
+            PROFILE_ARGS + ["--no-serial", "--ledger", str(ledger_dir)]
+        ) == 0
+        sources = sorted(e.source for e in RunLedger(ledger_dir).entries())
+        assert sources == ["run", "run", "run", "sweep"]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["sweep", "profile", "--jobs", "0"])
+
+
+class TestHistorySources:
+    def _seed(self, ledger_dir):
+        main(PROFILE_ARGS + ["--no-serial", "--ledger", str(ledger_dir)])
+
+    def test_source_sweep_filters(self, capsys, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        self._seed(ledger_dir)
+        capsys.readouterr()
+        assert main(["history", "--ledger", str(ledger_dir),
+                     "--source", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        assert "-n60-" not in out  # per-point runs excluded
+
+    def test_source_engine_aliases_run(self, capsys, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        self._seed(ledger_dir)
+        capsys.readouterr()
+        assert main(["history", "--ledger", str(ledger_dir),
+                     "--source", "engine"]) == 0
+        out = capsys.readouterr().out
+        assert "-n60-" in out
+        assert "sweep-ge" not in out
+
+    def test_limit_caps_rows(self, capsys, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        self._seed(ledger_dir)
+        capsys.readouterr()
+        assert main(["history", "--ledger", str(ledger_dir),
+                     "--source", "engine", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("-ge-n") == 1
+
+
+class TestFaultsSweepProfile:
+    def test_profile_flag_prints_report_and_out_block(self, capsys,
+                                                      tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code = main([
+            "faults", "sweep", "--nodes", "2", "--size", "120",
+            "--severities", "0", "0.3", "--jobs", "2",
+            "--no-cache", "--profile", "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep overhead attribution" in out
+        telemetry = json.loads(out_path.read_text())["telemetry"]
+        assert telemetry["phases"]["engine_run"] > 0.0
+        assert telemetry["points"] == 3  # baseline + 2 severities
+
+    def test_without_profile_no_telemetry(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code = main([
+            "faults", "sweep", "--nodes", "2", "--size", "120",
+            "--severities", "0", "0.3", "--jobs", "2",
+            "--no-cache", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert "telemetry" not in json.loads(out_path.read_text())
+        assert "overhead attribution" not in capsys.readouterr().out
