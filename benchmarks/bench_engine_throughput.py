@@ -20,6 +20,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import marked_speed_of, run_ge
 from repro.machine.sunwulf import ge_configuration
 from repro.obs.ledger import RunLedger
+from repro.sim.flight import FlightRecorder
 
 N = 300
 NODES = 8
@@ -31,6 +32,12 @@ NODES = 8
 #: trajectory remains comparable across PRs.
 SWEEP_POINTS = ((2, 150), (4, 220), (8, 300))
 SWEEP_REPEATS = 3
+
+#: Interleaved bare-vs-flight pairs for the always-on-instrumentation
+#: overhead leg.  Pairing within one process is the only comparison that
+#: survives container timer noise; min-of-N on each side rejects the
+#: scheduler outliers.
+OVERHEAD_REPEATS = 5
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -62,6 +69,38 @@ def _sweep_rows() -> list[dict]:
     return rows
 
 
+def _flight_overhead(cluster, marked) -> dict:
+    """Bare vs flight-recorded throughput, interleaved in this process.
+
+    The flight fast lane (prebound ring append called from the engine's
+    handler closures) is always-on instrumentation when a recorder is
+    attached, so its cost is a gated budget: the measured overhead at the
+    default capacity must stay under 5% (the dominant term is the ring's
+    eviction-time cache misses, which grow with capacity -- see
+    ``repro.sim.flight``).
+    """
+    flight = FlightRecorder()  # default capacity + watchdog, as shipped
+    run_ge(cluster, N, marked=marked)                  # warm-up
+    run_ge(cluster, N, marked=marked, flight=flight)
+    best_bare = best_flight = 0.0
+    for _ in range(OVERHEAD_REPEATS):
+        t0 = time.perf_counter()
+        record = run_ge(cluster, N, marked=marked)
+        dt = time.perf_counter() - t0
+        best_bare = max(best_bare, record.run.events / dt)
+
+        t0 = time.perf_counter()
+        record = run_ge(cluster, N, marked=marked, flight=flight)
+        dt = time.perf_counter() - t0
+        best_flight = max(best_flight, record.run.events / dt)
+    return {
+        "capacity": flight.capacity,
+        "bare_events_per_second": best_bare,
+        "flight_events_per_second": best_flight,
+        "overhead_fraction": 1.0 - best_flight / best_bare,
+    }
+
+
 def test_engine_event_throughput(benchmark, results_dir):
     cluster = ge_configuration(NODES)
     marked = marked_speed_of(cluster)
@@ -75,6 +114,7 @@ def test_engine_event_throughput(benchmark, results_dir):
     seconds = benchmark.stats.stats.mean
     throughput = events / seconds
     sweep = _sweep_rows()
+    overhead = _flight_overhead(cluster, marked)
     text = format_table(
         ["metric", "value"],
         [("simulated events per run", events),
@@ -84,6 +124,12 @@ def test_engine_event_throughput(benchmark, results_dir):
             (f"sweep {row['nodes']} nodes, N={row['n']} (ev/s)",
              row["events_per_second"])
             for row in sweep
+        ]
+        + [
+            (f"flight recorder K={overhead['capacity']} (ev/s)",
+             overhead["flight_events_per_second"]),
+            ("flight overhead (fraction)",
+             f"{overhead['overhead_fraction']:.4f}"),
         ],
         title=f"Engine throughput (GE, {NODES} nodes, N={N})",
     )
@@ -101,6 +147,7 @@ def test_engine_event_throughput(benchmark, results_dir):
         "mean_wall_seconds": seconds,
         "events_per_second": throughput,
         "sweep": sweep,
+        "flight_overhead": overhead,
     }
     text = json.dumps(payload, indent=2) + "\n"
     (results_dir / "BENCH_engine.json").write_text(text)
@@ -109,3 +156,7 @@ def test_engine_event_throughput(benchmark, results_dir):
     RunLedger(REPO_ROOT / ".repro" / "ledger").record_bench(payload)
 
     assert throughput > 20_000  # regression floor; typically ~200k/s
+    # The CI gate holds the flight-recorder budget at 5%; this in-bench
+    # backstop only catches a gross fast-lane regression (the measured
+    # cost at the default capacity is ~3%).
+    assert overhead["overhead_fraction"] < 0.10, overhead

@@ -76,6 +76,9 @@ def test_sweep_parallelism_and_cache_replay(results_dir):
     warm_speedup = serial_s / warm_s if warm_s > 0 else float("inf")
 
     timeline = cold_exe.timeline
+    # phase_totals() carries exactly the canonical phase vocabulary;
+    # driver setup spans (e.g. marked_speed) live under setup_spans so
+    # the committed BENCH_sweep.json schema never grows surprise keys.
     phases = timeline.phase_totals()
     attributed = sum(phases.values())
     overhead = {
@@ -87,7 +90,9 @@ def test_sweep_parallelism_and_cache_replay(results_dir):
             name: (seconds / attributed if attributed > 0 else 0.0)
             for name, seconds in phases.items()
         },
+        "setup_spans": timeline.setup_totals(),
     }
+    assert set(phases) == set(timeline.PHASES), phases
     busiest = max(
         (p for p in phases if p != "engine_run"), key=phases.get
     )

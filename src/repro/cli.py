@@ -431,7 +431,17 @@ def _build_executor(args: argparse.Namespace):
         raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
     cache = None if getattr(args, "no_cache", False) else RunCache()
     telemetry = bool(getattr(args, "profile", False))
-    return SweepExecutor(jobs=jobs, cache=cache, telemetry=telemetry)
+    return SweepExecutor(jobs=jobs, cache=cache, telemetry=telemetry,
+                         progress=_build_progress(args))
+
+
+def _build_progress(args: argparse.Namespace):
+    """A live heartbeat reporter when --progress was given, else None."""
+    if not getattr(args, "progress", False):
+        return None
+    from .obs.streaming import ProgressReporter
+
+    return ProgressReporter()
 
 
 def _print_cache_stats(executor) -> None:
@@ -475,6 +485,7 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     """Run one application under a fault schedule (``repro faults run``)."""
     from .experiments.runner import RunRecord, resolve_app, run_app
     from .faults import FaultSchedule, NodeCrash, run_app_under_faults
+    from .sim.errors import SimulationError
     from .sim.trace import Tracer
 
     try:
@@ -498,11 +509,34 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     else:
         schedule = _load_or_build_schedule(args, cluster.nranks)
 
+    flight = None
+    if args.flight:
+        from .sim.flight import FlightRecorder
+
+        flight = FlightRecorder()
     tracer = Tracer() if args.trace_out else None
-    faulty = run_app_under_faults(
-        app, cluster, args.size, schedule,
-        baseline=baseline, tracer=tracer, seed=args.seed,
-    )
+    try:
+        faulty = run_app_under_faults(
+            app, cluster, args.size, schedule,
+            baseline=baseline, tracer=tracer, seed=args.seed, flight=flight,
+        )
+    except SimulationError as err:
+        # With a flight recorder attached the engine dumped its ring on
+        # the way out -- point the user at the black box before exiting.
+        print(f"error: {type(err).__name__}: {err}", file=sys.stderr)
+        if flight is not None:
+            for path in flight.dumps:
+                print(
+                    f"flight dump: {path} "
+                    f"(inspect with `repro flight show {path}`)",
+                    file=sys.stderr,
+                )
+        return 1
+    if flight is not None:
+        # Watchdog dumps from a run that still *completed* (e.g. a
+        # utilization collapse after a fail-stop with restart).
+        for path in flight.dumps:
+            print(f"flight dump (watchdog): {path}")
 
     m = faulty.faulted.measurement
     print(
@@ -540,7 +574,11 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         from .obs.chrome_trace import write_chrome_trace
 
         count = write_chrome_trace(args.trace_out, tracer)
-        print(f"wrote {count} trace events to {args.trace_out}")
+        suffix = (
+            f" ({tracer.dropped} records dropped past the tracer limit)"
+            if tracer.dropped else ""
+        )
+        print(f"wrote {count} trace events to {args.trace_out}{suffix}")
         print()
     if args.smoke or args.ledger is not None:
         from .obs.ledger import RunLedger
@@ -674,6 +712,12 @@ def build_faults_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace of the faulted run (fault track included)",
     )
     run.add_argument(
+        "--flight", action="store_true",
+        help="attach a flight recorder to the faulted engine: on a crash "
+             "(or watchdog trip) the last-K trace records are dumped to "
+             ".repro/flight/ for `repro flight show`",
+    )
+    run.add_argument(
         "--ledger", default=None, metavar="DIR",
         help="record the run in this ledger (default ledger with --smoke)",
     )
@@ -723,6 +767,11 @@ def build_faults_parser() -> argparse.ArgumentParser:
         help="collect cross-process telemetry and print the "
              "overhead-attribution phase table (also lands in --out "
              "as a `telemetry` block)",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="live heartbeat on stderr: points done/total, ETA, cache "
+             "hit-rate and worker utilization",
     )
     sweep.set_defaults(func=cmd_faults_sweep)
     return parser
@@ -783,7 +832,8 @@ def cmd_sweep_profile(args: argparse.Namespace) -> int:
 
             stack.enter_context(ledger_recording(RunLedger(args.ledger)))
         executor = SweepExecutor(
-            jobs=args.jobs, cache=cache, telemetry=True
+            jobs=args.jobs, cache=cache, telemetry=True,
+            progress=_build_progress(args),
         )
         efficiency_curve(app, cluster, sizes, executor=executor)
         timeline = executor.timeline
@@ -880,12 +930,115 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="record the profiled runs plus a sweep-level telemetry "
              "record (source=sweep) in this ledger",
     )
+    profile.add_argument(
+        "--progress", action="store_true",
+        help="live heartbeat on stderr while the profiled sweep runs",
+    )
     profile.set_defaults(func=cmd_sweep_profile)
     return parser
 
 
 def sweep_main(argv: Sequence[str]) -> int:
     args = build_sweep_parser().parse_args(argv)
+    return args.func(args)
+
+
+# -- flight-recorder commands (flight list / flight show) ---------------------
+
+def cmd_flight_list(args: argparse.Namespace) -> int:
+    """Enumerate flight dumps, newest first (``repro flight list``)."""
+    from .obs.flight import format_dump_line, list_dumps, load_dump
+    from .sim.flight import flight_dir
+
+    root = Path(args.dir) if args.dir else flight_dir()
+    dumps = list_dumps(root)
+    if not dumps:
+        print(
+            f"no flight dumps in {root} (a recorder dumps there when an "
+            "engine run dies or the watchdog trips; attach one with "
+            "`repro faults run --flight`)"
+        )
+        return 0
+    for path in dumps:
+        try:
+            print(format_dump_line(path, load_dump(path)))
+        except (OSError, ValueError) as err:
+            print(f"{path.name}  (unreadable: {err})")
+    print()
+    return 0
+
+
+def cmd_flight_show(args: argparse.Namespace) -> int:
+    """Render one flight dump (``repro flight show [DUMP]``)."""
+    from .obs.flight import format_dump, list_dumps, load_dump
+    from .sim.flight import flight_dir
+
+    root = Path(args.dir) if args.dir else flight_dir()
+    if args.dump:
+        path = Path(args.dump)
+        if not path.exists() and (root / args.dump).exists():
+            path = root / args.dump  # bare file name from `flight list`
+    else:
+        dumps = list_dumps(root)
+        if not dumps:
+            raise SystemExit(f"error: no flight dumps in {root}")
+        path = dumps[0]
+    try:
+        doc = load_dump(path)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"error: {err}") from None
+    print(format_dump(doc, tail=args.tail))
+    print()
+    print(
+        f"source: {path} (the traceEvents key loads in chrome://tracing "
+        "/ Perfetto)"
+    )
+    return 0
+
+
+def build_flight_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro flight",
+        description=(
+            "Flight-recorder post-mortems: list and render the last-K "
+            "record dumps written when a run dies or the watchdog trips."
+        ),
+    )
+    parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="dump directory (default: $REPRO_FLIGHT_DIR or .repro/flight)",
+    )
+    # Also accepted after the subcommand; SUPPRESS keeps a pre-subcommand
+    # value from being overwritten by the subparser's default.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--dir", default=argparse.SUPPRESS, metavar="DIR",
+        help=argparse.SUPPRESS,
+    )
+    sub = parser.add_subparsers(dest="flight_command", required=True)
+
+    lst = sub.add_parser("list", help="list dumps, newest first",
+                         parents=[common])
+    lst.set_defaults(func=cmd_flight_list)
+
+    show = sub.add_parser("show", help="render one dump as a readable trace "
+                                       "tail", parents=[common])
+    show.add_argument(
+        "dump", nargs="?", default=None,
+        help="dump file (path or bare name from `flight list`; default: "
+             "the newest dump)",
+    )
+    show.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only the last N records before the failure (default: all "
+             "retained records)",
+    )
+    show.set_defaults(func=cmd_flight_show)
+    return parser
+
+
+def flight_main(argv: Sequence[str]) -> int:
+    args = build_flight_parser().parse_args(argv)
     return args.func(args)
 
 
@@ -1080,6 +1233,11 @@ def build_parser() -> argparse.ArgumentParser:
              ".repro/cache) and re-simulate every point",
     )
     parser.add_argument(
+        "--progress", action="store_true",
+        help="live sweep heartbeat on stderr: points done/total, ETA, "
+             "cache hit-rate and worker utilization",
+    )
+    parser.add_argument(
         "--ledger", default=None, metavar="DIR",
         help="run-ledger directory (default: $REPRO_LEDGER_DIR or "
              ".repro/ledger); `profile` always records there, and giving "
@@ -1101,6 +1259,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return faults_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "flight":
+        return flight_main(argv[1:])
     if argv and argv[0] in LEDGER_COMMANDS:
         return ledger_main(argv)
     args = build_parser().parse_args(argv)
@@ -1141,9 +1301,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .obs.chrome_trace import write_chrome_trace
 
         count = write_chrome_trace(args.trace_out, collector.runs)
+        dropped = collector.warn_if_dropped()
+        suffix = (
+            f" ({dropped} records dropped past the per-run limit of "
+            f"{collector.limit})" if dropped else ""
+        )
         print(
             f"wrote {count} trace events from {len(collector.runs)} "
-            f"simulated run(s) to {args.trace_out}"
+            f"simulated run(s) to {args.trace_out}{suffix}"
         )
     return 0
 

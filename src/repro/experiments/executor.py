@@ -39,7 +39,7 @@ from ..core.types import MetricError
 from ..machine.cluster import ClusterSpec
 from ..mpi.communicator import CollectiveConfig
 from ..obs.spans import Span, wall_now
-from ..obs.telemetry import ROOT_SPAN, SweepTimeline
+from ..obs.telemetry import BUSY_PHASES, ROOT_SPAN, SweepTimeline
 from ..sim.engine import RunResult
 from ..sim.trace import RankStats
 from . import runner as _runner
@@ -62,8 +62,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Run kwargs that are per-call side-effect channels, not part of the
 #: simulated outcome.  A point carrying any of these executes in-process
-#: and bypasses the cache (a cached run cannot feed a tracer).
-SIDE_EFFECT_KWARGS = frozenset({"tracer", "metrics", "log", "launcher"})
+#: and bypasses the cache (a cached run cannot feed a tracer, and a
+#: flight recorder's ring must live in the caller's process).
+SIDE_EFFECT_KWARGS = frozenset(
+    {"tracer", "metrics", "log", "launcher", "flight"}
+)
 
 
 class _Uncacheable(Exception):
@@ -384,6 +387,14 @@ class SweepExecutor:
     carrying the full telemetry block.  With telemetry off (the
     default) no span machinery runs and results are bit-identical to
     the untelemetered path -- with it on too: spans only *observe*.
+
+    ``progress=`` attaches a
+    :class:`~repro.obs.streaming.ProgressReporter` (the ``--progress``
+    CLI flag): :meth:`run_faulted` calls its ``begin``/``point_done``/
+    ``finish`` hooks as points land — cache hits included — and, when
+    telemetry is also on, credits worker busy-span seconds so the
+    heartbeat can show live worker utilization.  Like telemetry, the
+    reporter only observes; results are unchanged.
     """
 
     def __init__(
@@ -393,6 +404,7 @@ class SweepExecutor:
         metrics: Any = None,
         log: Any = None,
         telemetry: bool = False,
+        progress: Any = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -400,6 +412,7 @@ class SweepExecutor:
         self.cache = cache
         self.log = log
         self.telemetry = bool(telemetry)
+        self.progress = progress
         self.timeline: SweepTimeline | None = None
         self._setup_spans: list[Span] = []
         if metrics is None:
@@ -429,6 +442,11 @@ class SweepExecutor:
     def _count(self, hit: bool) -> None:
         name = "sweep_cache_hits_total" if hit else "sweep_cache_misses_total"
         self.metrics.counter(name).inc()
+
+    def _tick(self, hit: bool = False) -> None:
+        """One point landed: advance the progress heartbeat, if any."""
+        if self.progress is not None:
+            self.progress.point_done(hit=hit)
 
     def _record_ledger(
         self, point: SweepPoint, record: RunRecord, cache_hit: bool
@@ -513,18 +531,30 @@ class SweepExecutor:
         (``None`` for fault-free points)."""
         points = list(points)
         timeline = self._begin_timeline(points)
+        progress = self.progress
+        if progress is not None:
+            progress.begin(total=len(points), workers=self.jobs)
         if not self._managed:
             if timeline is None:
                 # Legacy path: serial, uncached, observers untouched.
-                return [_run_point(point) for point in points]
-            out: list[tuple[RunRecord, Any]] = []
+                out = []
+                for point in points:
+                    out.append(_run_point(point))
+                    self._tick()
+                if progress is not None:
+                    progress.finish()
+                return out
+            out = []
             with timeline.parent.span(ROOT_SPAN, points=len(points)):
                 for idx, point in enumerate(points):
                     with timeline.parent.span(
                         "engine_run", point=idx, app=point.app, n=point.n
                     ):
                         out.append(_run_point(point))
+                    self._tick()
             timeline.observe_metrics(self.metrics)
+            if progress is not None:
+                progress.finish()
             return out
         with _maybe_span(timeline, ROOT_SPAN, points=len(points)):
             out = self._run_managed(points, timeline)
@@ -533,6 +563,8 @@ class SweepExecutor:
             # After the root closed: the recorded document then carries
             # the final wall/coverage numbers, not an in-flight window.
             self._record_sweep_ledger(points, timeline)
+        if progress is not None:
+            progress.finish()
         return out
 
     def _run_managed(
@@ -565,6 +597,7 @@ class SweepExecutor:
                         )
                 results[idx] = (record, injector)
                 flags[idx] = True
+                self._tick(hit=True)
                 continue
             pending.append(idx)
             if key is not None and not point.local:
@@ -579,9 +612,12 @@ class SweepExecutor:
                 )
             else:
                 with _make_pool(workers) as pool:
-                    payloads = list(
-                        pool.map(_pool_worker, batch, chunksize=1)
-                    )
+                    payloads = []
+                    for payload in pool.map(
+                        _pool_worker, batch, chunksize=1
+                    ):
+                        payloads.append(payload)
+                        self._tick()
             for idx, payload in zip(parallelizable, payloads):
                 with _maybe_span(timeline, "collect", point=idx):
                     record = run_record_from_payload(payload)
@@ -609,6 +645,7 @@ class SweepExecutor:
                 ):
                     record, injector = _run_point(point)
             results[idx] = (record, injector)
+            self._tick()
             if keys[idx] is not None and self.cache is not None:
                 with _maybe_span(timeline, "serialize", point=idx):
                     payload = run_record_to_payload(record, injector)
@@ -635,21 +672,26 @@ class SweepExecutor:
         created_at = wall_now()
         with timeline.parent.span("spawn", workers=workers):
             pool = _make_pool(workers, telemetry_created_at=created_at)
+        payloads: list[dict[str, Any]] = []
         try:
             tasks = [(point, wall_now()) for point in batch]
-            shipped = list(
-                pool.map(_telemetry_pool_worker, tasks, chunksize=1)
-            )
+            for item in pool.map(_telemetry_pool_worker, tasks, chunksize=1):
+                timeline.add_worker_spans(item["spans"])
+                if self.progress is not None:
+                    # Live worker utilization: credit the busy-phase
+                    # (engine_run/serialize) seconds this result shipped.
+                    self.progress.note_busy_seconds(sum(
+                        d["end"] - d["start"] for d in item["spans"]
+                        if d["name"] in BUSY_PHASES
+                    ))
+                self._tick()
+                payloads.append(item["payload"])
         finally:
             # Sentinel delivery + worker joins are real parallel-path
             # overhead; attribute them to collect rather than leaving a
             # coverage hole at the tail of the sweep window.
             with timeline.parent.span("collect", shutdown=True):
                 pool.shutdown(wait=True)
-        payloads: list[dict[str, Any]] = []
-        for item in shipped:
-            timeline.add_worker_spans(item["spans"])
-            payloads.append(item["payload"])
         return payloads
 
     def _cache_put(

@@ -194,6 +194,7 @@ def run_ge(
     log: Any = None,
     seed: int = 0,
     launcher: Any = None,
+    flight: Any = None,
 ) -> RunRecord:
     """Run Gaussian elimination of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -214,6 +215,7 @@ def run_ge(
         tracer=tracer,
         metrics=metrics,
         log=log,
+        **({"flight": flight} if flight is not None else {}),
     )
     measurement = Measurement(
         work=ge_workload(n),
@@ -246,6 +248,7 @@ def run_mm(
     log: Any = None,
     seed: int = 0,
     launcher: Any = None,
+    flight: Any = None,
 ) -> RunRecord:
     """Run matrix multiplication of rank ``n`` on a cluster configuration."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -266,6 +269,7 @@ def run_mm(
         tracer=tracer,
         metrics=metrics,
         log=log,
+        **({"flight": flight} if flight is not None else {}),
     )
     measurement = Measurement(
         work=mm_workload(n),
@@ -291,6 +295,7 @@ def run_fft(
     log: Any = None,
     seed: int = 0,
     launcher: Any = None,
+    flight: Any = None,
 ) -> RunRecord:
     """Run the distributed 2-D FFT (``n`` must be a power of two)."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -311,6 +316,7 @@ def run_fft(
         tracer=tracer,
         metrics=metrics,
         log=log,
+        **({"flight": flight} if flight is not None else {}),
     )
     measurement = Measurement(
         work=fft_workload(n),
@@ -345,6 +351,7 @@ def run_stencil(
     log: Any = None,
     seed: int = 0,
     launcher: Any = None,
+    flight: Any = None,
 ) -> RunRecord:
     """Run the Jacobi stencil on an ``n x n`` grid for ``sweeps`` sweeps."""
     marked = marked if marked is not None else marked_speed_of(cluster)
@@ -367,6 +374,7 @@ def run_stencil(
         tracer=tracer,
         metrics=metrics,
         log=log,
+        **({"flight": flight} if flight is not None else {}),
     )
     measurement = Measurement(
         work=stencil_workload(n, sweeps, residual_every),

@@ -68,6 +68,7 @@ def faulty_mpi_run(
     metrics: Any = None,
     log: Any = None,
     max_events: int = 50_000_000,
+    flight: Any = None,
 ) -> RunResult:
     """Run an SPMD program with the scheduled faults injected.
 
@@ -100,6 +101,7 @@ def faulty_mpi_run(
         metrics=metrics,
         log=log,
         max_events=max_events,
+        flight=flight,
     )
     result = engine.run(wrapped)
     if tracer is not None:
@@ -108,9 +110,17 @@ def faulty_mpi_run(
 
 
 def make_fault_launcher(
-    schedule: FaultSchedule, injector: FaultInjector | None = None
+    schedule: FaultSchedule,
+    injector: FaultInjector | None = None,
+    flight: Any = None,
 ):
-    """Package ``faulty_mpi_run`` as a ``launcher=`` for the app runners."""
+    """Package ``faulty_mpi_run`` as a ``launcher=`` for the app runners.
+
+    ``flight`` optionally attaches a
+    :class:`~repro.sim.flight.FlightRecorder` to every engine the
+    launcher builds — the natural place for a black box, since faulted
+    runs are exactly where post-mortem context is wanted.
+    """
 
     def launch(
         nranks: int,
@@ -122,11 +132,13 @@ def make_fault_launcher(
         metrics: Any = None,
         log: Any = None,
         max_events: int = 50_000_000,
+        flight: Any = flight,
     ) -> RunResult:
         return faulty_mpi_run(
             nranks, network, flops_per_second, program, schedule,
             config=config, injector=injector, tracer=tracer,
             metrics=metrics, log=log, max_events=max_events,
+            flight=flight,
         )
 
     return launch
@@ -241,13 +253,15 @@ def run_app_under_faults(
     metrics: Any = None,
     log: Any = None,
     seed: int = 0,
+    flight: Any = None,
     **run_kwargs: Any,
 ) -> FaultyRun:
     """Run one application under ``schedule``; optionally with a fault-free
     baseline of the same configuration for degraded-ψ.
 
     ``baseline`` may be ``True`` (run one), ``False`` (skip; ψ unavailable)
-    or an existing :class:`RunRecord` to reuse.
+    or an existing :class:`RunRecord` to reuse.  ``flight`` attaches a
+    :class:`~repro.sim.flight.FlightRecorder` to the faulted engine.
     """
     app = resolve_app(app)
     schedule.validate_for(cluster.nranks)
@@ -265,7 +279,7 @@ def run_app_under_faults(
     faulted = run_app(
         app, cluster, n,
         marked=marked, tracer=tracer, metrics=metrics, log=log, seed=seed,
-        launcher=make_fault_launcher(schedule, injector),
+        launcher=make_fault_launcher(schedule, injector, flight=flight),
         **run_kwargs,
     )
     return FaultyRun(

@@ -270,13 +270,15 @@ def mpi_run(
     metrics: Any = None,
     log: Any = None,
     max_events: int = 50_000_000,
+    flight: Any = None,
 ) -> RunResult:
     """Run an SPMD program on the simulated machine and network.
 
     ``metrics`` is an optional metrics sink and ``log`` an optional
     structured logger (both duck-typed, e.g.
     :class:`repro.obs.MetricsRegistry` / :class:`repro.obs.StructLogger`)
-    forwarded to the engine.
+    forwarded to the engine; ``flight`` an optional
+    :class:`repro.sim.FlightRecorder` (last-K ring with crash dumps).
     """
 
     def factory(rank: int):
@@ -290,5 +292,6 @@ def mpi_run(
         metrics=metrics,
         log=log,
         max_events=max_events,
+        flight=flight,
     )
     return engine.run(factory)

@@ -28,6 +28,15 @@ simulated run:
   span collection inside pool workers and the :class:`SweepTimeline`
   aggregator behind ``repro sweep profile`` (overhead attribution,
   phase coverage, worker utilization).
+* :mod:`repro.obs.streaming` — bounded-memory online estimators: Welford
+  :class:`OnlineStats`, the P² :class:`QuantileSketch` (p50/p90/p99
+  without storing samples), a windowed :class:`RateMeter`, the keyed
+  :class:`StreamingGroupStats` metrics sink, per-run
+  :func:`summarize_rank_stats` rank summaries and the
+  :class:`ProgressReporter` sweep heartbeat (``--progress``).
+* :mod:`repro.obs.flight` — the read side of the
+  :class:`~repro.sim.flight.FlightRecorder` black box: list and render
+  crash/watchdog dumps (``repro flight list|show``).
 """
 
 from .analysis import (
@@ -46,7 +55,17 @@ from .chrome_trace import (
     write_chrome_trace,
     write_telemetry_trace,
 )
+from .flight import describe_reason, format_dump, list_dumps, load_dump
 from .spans import Span, SpanRecorder, wall_now
+from .streaming import (
+    OnlineStats,
+    P2Quantile,
+    ProgressReporter,
+    QuantileSketch,
+    RateMeter,
+    StreamingGroupStats,
+    summarize_rank_stats,
+)
 from .telemetry import (
     PHASES,
     SweepTimeline,
@@ -100,13 +119,19 @@ __all__ = [
     "MetricDelta",
     "MetricSpec",
     "MetricsRegistry",
+    "OnlineStats",
     "OverheadDecomposition",
+    "P2Quantile",
     "PHASES",
     "ProfileReport",
+    "ProgressReporter",
+    "QuantileSketch",
     "RankUtilization",
+    "RateMeter",
     "RunLedger",
     "Span",
     "SpanRecorder",
+    "StreamingGroupStats",
     "StructLogger",
     "SweepTimeline",
     "WorkerTelemetry",
@@ -118,11 +143,15 @@ __all__ = [
     "compare_records",
     "critical_path",
     "default_ledger_root",
+    "describe_reason",
     "environment_info",
+    "format_dump",
     "git_sha",
     "imbalance_index",
     "init_worker_telemetry",
+    "list_dumps",
     "load_baseline",
+    "load_dump",
     "load_record_file",
     "merged_length",
     "overhead_decomposition",
@@ -130,6 +159,7 @@ __all__ = [
     "rank_utilization",
     "save_baseline",
     "stderr_logger",
+    "summarize_rank_stats",
     "telemetry_trace_events",
     "wall_now",
     "worker_telemetry",

@@ -110,6 +110,10 @@ def chrome_trace_events(
                 "name": f"{tracer.dropped} records dropped (tracer limit)",
                 "cat": "tracer", "ph": "i", "ts": 0, "dur": 0,
                 "pid": pid, "tid": 0, "s": "p",
+                # Machine-readable mirror of the name, so tooling can
+                # detect truncated traces without string parsing.
+                "args": {"dropped": tracer.dropped,
+                         "stored": len(tracer.records)},
             })
     return events
 

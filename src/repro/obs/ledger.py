@@ -10,7 +10,11 @@ under ``<root>/runs/`` plus one line in an append-only JSONL index
 * provenance -- git SHA, Python version, platform, ``repro`` version,
   cluster name / rank count / spec hash,
 * the metric surface -- makespan, speed-efficiency, load-imbalance index,
-  the Theorem-1 decomposition, and the engine's wall-clock self-profile.
+  the Theorem-1 decomposition, and the engine's wall-clock self-profile,
+* a ``rank_summary`` block -- per-rank utilization/idle/flops quantiles
+  (p50/p90/p99, streamed through :mod:`repro.obs.streaming` sketches)
+  plus the top-k busiest and idlest ranks, with the utilization
+  quantiles mirrored into the flat metrics for regression gating.
 
 The default root is ``.repro/ledger`` under the current directory,
 overridable with the ``REPRO_LEDGER_DIR`` environment variable or an
@@ -32,6 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
 from .analysis import imbalance_index, overhead_decomposition
+from .streaming import summarize_rank_stats
 
 if TYPE_CHECKING:  # avoid importing the experiments layer at module load
     from ..experiments.runner import RunRecord
@@ -140,6 +145,17 @@ def _run_metrics(
         "heap_pops": float(run.heap_pops),
         "stale_pops": float(run.stale_pops),
         "stale_pop_ratio": run.stale_pop_ratio,
+    }
+
+
+def _summary_metrics(summary: dict[str, Any]) -> dict[str, float]:
+    """Flat (regression-gateable) view of a ``rank_summary`` block."""
+    utilization = summary["utilization"]
+    return {
+        "utilization_p50": utilization["p50"],
+        "utilization_p90": utilization["p90"],
+        "utilization_p99": utilization["p99"],
+        "utilization_mean": utilization["mean"],
     }
 
 
@@ -267,6 +283,8 @@ class RunLedger:
         if compute_efficiency is None:
             compute_efficiency = _app_compute_efficiency(app)
         metrics = _run_metrics(record, compute_efficiency)
+        summary = summarize_rank_stats(record.run.stats, record.run.makespan)
+        metrics.update(_summary_metrics(summary))
         if extra_metrics:
             metrics.update(extra_metrics)
         m = record.measurement
@@ -285,6 +303,7 @@ class RunLedger:
             },
             "env": environment_info(),
             "metrics": metrics,
+            "rank_summary": summary,
         }
         if fault is not None:
             payload["fault"] = fault
@@ -323,6 +342,8 @@ class RunLedger:
             "trace_records": float(len(report.tracer.records)),
             "trace_dropped": float(report.tracer.dropped),
         }
+        summary = summarize_rank_stats(run.stats, run.makespan)
+        metrics.update(_summary_metrics(summary))
         cluster_block: dict[str, Any] = {
             "name": report.cluster_name,
             "nranks": len(run.stats),
@@ -337,6 +358,7 @@ class RunLedger:
             "cluster": cluster_block,
             "env": environment_info(),
             "metrics": metrics,
+            "rank_summary": summary,
         }
         return self._write(run_id, payload, log=log)
 

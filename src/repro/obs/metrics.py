@@ -20,6 +20,7 @@ Everything is plain Python with no external dependencies; ``to_dict`` /
 from __future__ import annotations
 
 import json
+import math
 from bisect import bisect_left
 from typing import Any, Iterator, Mapping
 
@@ -76,9 +77,16 @@ class Histogram:
     ``boundaries`` are upper bucket edges; an observation lands in the first
     bucket whose edge is ``>= value``, with one implicit overflow bucket, so
     ``counts`` has ``len(boundaries) + 1`` entries.
+
+    Non-finite observations never poison the finite statistics: ``+inf``
+    lands in the overflow bucket and increments :attr:`count` but is kept
+    out of :attr:`sum` (one ``inf`` would otherwise destroy the mean
+    forever), while ``NaN`` and ``-inf`` — which carry no usable
+    magnitude — are diverted to the :attr:`invalid` counter and excluded
+    from buckets, count and sum entirely.
     """
 
-    __slots__ = ("boundaries", "counts", "count", "sum")
+    __slots__ = ("boundaries", "counts", "count", "sum", "invalid", "_inf")
 
     def __init__(self, boundaries: tuple[float, ...] = DURATION_BUCKETS):
         if not boundaries:
@@ -89,17 +97,27 @@ class Histogram:
         self.counts = [0] * (len(boundaries) + 1)
         self.count = 0
         self.sum = 0.0
+        self.invalid = 0
+        self._inf = 0
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.counts[bisect_left(self.boundaries, value)] += 1
-        self.count += 1
-        self.sum += value
+        if math.isfinite(value):
+            self.counts[bisect_left(self.boundaries, value)] += 1
+            self.count += 1
+            self.sum += value
+        elif value == math.inf:
+            self.counts[-1] += 1
+            self.count += 1
+            self._inf += 1
+        else:  # NaN or -inf
+            self.invalid += 1
 
     @property
     def mean(self) -> float:
-        """Mean of all observations (0 when empty)."""
-        return self.sum / self.count if self.count else 0.0
+        """Mean of the finite observations (0 when there are none)."""
+        finite = self.count - self._inf
+        return self.sum / finite if finite else 0.0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly snapshot of the histogram."""
@@ -108,6 +126,7 @@ class Histogram:
             "counts": list(self.counts),
             "count": self.count,
             "sum": self.sum,
+            "invalid": self.invalid,
         }
 
 

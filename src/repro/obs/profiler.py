@@ -29,6 +29,7 @@ from .analysis import (
 )
 from .chrome_trace import write_chrome_trace
 from .metrics import MetricsRegistry
+from .streaming import summarize_rank_stats
 from ..sim.trace import Tracer
 
 if TYPE_CHECKING:  # avoid importing the experiments layer at module load
@@ -52,6 +53,7 @@ class ProfileReport:
     imbalance: float
     summary: str
     out_dir: Path | None = None
+    rank_summary: dict | None = None
 
 
 def app_compute_efficiency(app: str) -> float:
@@ -98,6 +100,7 @@ def build_report(
     )
     path = critical_path(tracer)
     imbalance = imbalance_index(run.stats)
+    rank_summary = summarize_rank_stats(run.stats, makespan)
 
     def exact(value: float) -> str:
         # Full precision: the per-rank rows must sum to the makespan.
@@ -133,6 +136,23 @@ def build_report(
         ),
         "",
         f"load-imbalance index (compute): {imbalance:.4f}",
+        "rank utilization quantiles: p50 {p50:.1%}, p90 {p90:.1%}, "
+        "p99 {p99:.1%} (mean {mean:.1%} over {ranks} ranks)".format(
+            p50=rank_summary["utilization"]["p50"],
+            p90=rank_summary["utilization"]["p90"],
+            p99=rank_summary["utilization"]["p99"],
+            mean=rank_summary["utilization"]["mean"],
+            ranks=rank_summary["ranks"],
+        ),
+        "busiest ranks: " + ", ".join(
+            f"rank {e['rank']} {e['utilization']:.1%}"
+            for e in rank_summary["top_busiest"]
+        ),
+        "idlest ranks: " + ", ".join(
+            f"rank {e['rank']} {e['utilization']:.1%} "
+            f"(idle {e['idle_seconds']:.6g}s)"
+            for e in rank_summary["top_idlest"]
+        ),
         f"critical path: length = {exact(path.length)} s "
         f"({len(path.records)} records, {len(path.edges)} message edges, "
         f"complete={path.complete})",
@@ -177,6 +197,7 @@ def build_report(
         path=path,
         imbalance=imbalance,
         summary="\n".join(lines),
+        rank_summary=rank_summary,
     )
 
 
@@ -215,6 +236,7 @@ def write_report(report: ProfileReport, out_dir: str | Path) -> Path:
                     }
                     for u in report.utilization
                 ],
+                "rank_summary": report.rank_summary,
             },
         },
     )

@@ -24,6 +24,7 @@ from .dispatch import (
     register_handler,
 )
 from .engine import Engine, Program, ProgramFactory, RunContext, RunResult
+from .flight import FlightRecorder, WatchdogConfig
 from .errors import (
     DeadlockError,
     EventLimitExceeded,
@@ -45,6 +46,7 @@ __all__ = [
     "DispatchTable",
     "Engine",
     "EventLimitExceeded",
+    "FlightRecorder",
     "Handler",
     "HandlerFactory",
     "Instrumentation",
@@ -67,6 +69,7 @@ __all__ = [
     "SimulationError",
     "TraceRecord",
     "Tracer",
+    "WatchdogConfig",
     "default_dispatch",
     "register_handler",
 ]

@@ -164,8 +164,8 @@ class RunContext:
 
     __slots__ = ("engine", "nranks", "flops_per_second", "network",
                  "transfer", "native_multicast", "procs", "stats",
-                 "scheduler", "mailboxes", "instr", "complete_recv",
-                 "deliver")
+                 "scheduler", "mailboxes", "instr", "flight_append",
+                 "complete_recv", "deliver")
 
     def __init__(
         self,
@@ -175,6 +175,7 @@ class RunContext:
         scheduler: Scheduler,
         mailboxes: MailboxSet,
         instr: Instrumentation | None,
+        flight: Any = None,
     ):
         self.engine = engine
         self.nranks = engine.nranks
@@ -190,9 +191,15 @@ class RunContext:
         self.scheduler = scheduler
         self.mailboxes = mailboxes
         self.instr = instr
+        # The flight recorder's hot lane: a prebound C-level deque
+        # append (or None).  A seam method call per event would blow the
+        # <5% always-on budget; a bound append does not (see
+        # repro.sim.flight).
+        self.flight_append = flight.append if flight is not None else None
 
         push = scheduler.push_resume
         deposit = mailboxes.deposit
+        frec = self.flight_append
 
         def complete_recv(proc: _Proc, msg: Message, posted_at: float) -> None:
             t = proc.time
@@ -204,6 +211,9 @@ class RunContext:
             st.recv_wait_time += t - posted_at
             st.bytes_received += msg.nbytes
             st.messages_received += 1
+            if frec is not None:
+                frec((proc.rank, "recv", posted_at, t, msg.src, msg.tag,
+                      msg.nbytes))
             if instr is not None:
                 instr.recv(proc.rank, posted_at, t, msg.src, msg.tag,
                            msg.nbytes)
@@ -268,6 +278,13 @@ class Engine:
         Optional :class:`~repro.sim.dispatch.DispatchTable`; defaults to
         the shared table carrying the built-in primitives plus anything
         registered via :func:`~repro.sim.dispatch.register_handler`.
+    flight:
+        Optional :class:`~repro.sim.flight.FlightRecorder`.  Keeps the
+        most recent K trace records in a bounded ring and auto-dumps
+        them to ``.repro/flight/`` when an error escapes the run loop
+        or the run-completion watchdog trips.  Read-only: attaching it
+        never changes results (bit-identity is pinned by
+        ``tests/sim/test_bit_identity.py``).
     """
 
     def __init__(
@@ -280,6 +297,7 @@ class Engine:
         log: Any = None,
         max_events: int = 50_000_000,
         dispatch: DispatchTable | None = None,
+        flight: Any = None,
     ):
         if nranks <= 0:
             raise InvalidOperationError(f"nranks must be positive, got {nranks}")
@@ -301,6 +319,7 @@ class Engine:
         self.log = log
         self.max_events = max_events
         self.dispatch = dispatch if dispatch is not None else default_dispatch()
+        self.flight = flight
 
     # ------------------------------------------------------------------
     def run(self, programs: ProgramFactory | Iterable[Program]) -> RunResult:
@@ -324,8 +343,11 @@ class Engine:
         scheduler = Scheduler()
         mailboxes = MailboxSet(self.nranks)
         instr = Instrumentation.build(self.tracer, self.metrics)
-        ctx = RunContext(self, procs, stats, scheduler, mailboxes, instr)
+        flight = self.flight
+        ctx = RunContext(self, procs, stats, scheduler, mailboxes, instr,
+                         flight)
         handlers = self.dispatch.build(ctx)
+        frec = ctx.flight_append
 
         live = self.nranks
         events = 0
@@ -344,62 +366,80 @@ class Engine:
         pops = 0
         stale = 0
 
-        while live > 0:
-            try:
-                entry_time, entry_seq, rank = pop()
-            except IndexError:
-                raise DeadlockError(
-                    {
-                        p.rank: f"Recv(src={p.waiting.src}, tag={p.waiting.tag})"
-                        for p in procs
-                        if p.waiting is not None and not p.done
-                    }
-                ) from None
-            pops += 1
-            proc = procs[rank]
-            # A popped entry is live iff its seq matches the process's
-            # current resume stamp (a process is only ever queued while
-            # runnable, and each entry is consumed at most once) ...
-            if entry_seq == proc.resume_seq:
-                send_back = proc.pending
-                proc.pending = None
+        # The try block costs nothing per iteration; it exists so an
+        # error escaping the loop (protocol violation, event-limit,
+        # deadlock, a program raising e.g. RankFailedError) dumps the
+        # flight ring before propagating.
+        try:
+            while live > 0:
                 try:
-                    op = proc.send(send_back)
-                except StopIteration as stop:
-                    proc.done = True
-                    proc.value = stop.value
-                    stats[rank].finish_time = proc.time
-                    live -= 1
-                    continue
+                    entry_time, entry_seq, rank = pop()
+                except IndexError:
+                    raise DeadlockError(
+                        {
+                            p.rank: f"Recv(src={p.waiting.src}, tag={p.waiting.tag})"
+                            for p in procs
+                            if p.waiting is not None and not p.done
+                        }
+                    ) from None
+                pops += 1
+                proc = procs[rank]
+                # A popped entry is live iff its seq matches the process's
+                # current resume stamp (a process is only ever queued while
+                # runnable, and each entry is consumed at most once) ...
+                if entry_seq == proc.resume_seq:
+                    send_back = proc.pending
+                    proc.pending = None
+                    try:
+                        op = proc.send(send_back)
+                    except StopIteration as stop:
+                        proc.done = True
+                        proc.value = stop.value
+                        stats[rank].finish_time = proc.time
+                        live -= 1
+                        continue
 
-                events += 1
-                if events > max_events:
-                    raise EventLimitExceeded(
-                        f"exceeded max_events={max_events}; "
-                        "likely an unbounded program"
-                    )
-                try:
-                    handler = handlers[op.__class__]
-                except KeyError:
-                    self._reject_op(rank, op)
-                handler(proc, op)
-            # ... or its pending receive-timeout stamp: resume the blocked
-            # process with None at the deadline instant.
-            elif proc.waiting is not None and entry_seq == proc.deadline_seq:
-                op = proc.waiting
-                posted_at = proc.block_start
-                proc.time = entry_time
-                stats[rank].recv_wait_time += entry_time - posted_at
-                if instr is not None:
-                    instr.recv_timeout(rank, posted_at, entry_time,
-                                       op.src, op.tag, op.timeout)
-                proc.waiting = None
-                proc.deadline_seq = None
-                proc.pending = None
-                push(proc)
-            else:
-                # Stale entry (consumed resume or dead timeout).
-                stale += 1
+                    events += 1
+                    if events > max_events:
+                        raise EventLimitExceeded(
+                            f"exceeded max_events={max_events}; "
+                            "likely an unbounded program"
+                        )
+                    try:
+                        handler = handlers[op.__class__]
+                    except KeyError:
+                        self._reject_op(rank, op)
+                    handler(proc, op)
+                # ... or its pending receive-timeout stamp: resume the blocked
+                # process with None at the deadline instant.
+                elif proc.waiting is not None and entry_seq == proc.deadline_seq:
+                    op = proc.waiting
+                    posted_at = proc.block_start
+                    proc.time = entry_time
+                    stats[rank].recv_wait_time += entry_time - posted_at
+                    if frec is not None:
+                        frec((rank, "recv-timeout", posted_at, entry_time,
+                              op.src, op.tag, op.timeout))
+                    if instr is not None:
+                        instr.recv_timeout(rank, posted_at, entry_time,
+                                           op.src, op.tag, op.timeout)
+                    proc.waiting = None
+                    proc.deadline_seq = None
+                    proc.pending = None
+                    push(proc)
+                else:
+                    # Stale entry (consumed resume or dead timeout).
+                    stale += 1
+        except Exception as exc:
+            if flight is not None:
+                flight.dump_error(
+                    exc,
+                    nranks=self.nranks,
+                    events=events,
+                    heap_pops=pops,
+                    stale_pops=stale,
+                )
+            raise
 
         wall = time.perf_counter() - wall_start
         undelivered = len(mailboxes)
@@ -423,6 +463,18 @@ class Engine:
                 stale_pops=stale,
                 makespan=result.makespan,
                 heap_pops=pops,
+            )
+        if flight is not None:
+            # Watchdog pass over the completed run: monotonicity of the
+            # retained window, utilization collapse, stale-pop spike.
+            # Dumps (a pure side effect) and never alters the result.
+            flight.run_complete(
+                stats=stats,
+                makespan=result.makespan,
+                events=events,
+                heap_pops=pops,
+                stale_pops=stale,
+                nranks=self.nranks,
             )
         if undelivered and self.log is not None:
             # Messages still sitting in mailboxes at exit usually indicate a
@@ -479,6 +531,7 @@ def _send_factory(ctx: RunContext):
     transfer = ctx.transfer
     stats = ctx.stats
     instr = ctx.instr
+    frec = ctx.flight_append
     procs = ctx.procs
     complete_recv = ctx.complete_recv
     deposit = ctx.mailboxes.deposit
@@ -507,6 +560,8 @@ def _send_factory(ctx: RunContext):
         st.send_time += sender_done - start
         st.bytes_sent += nbytes
         st.messages_sent += 1
+        if frec is not None:
+            frec((rank, "send", start, sender_done, dst, tag, nbytes))
         if instr is not None:
             instr.send(rank, start, sender_done, dst, tag, nbytes)
         if arrival == _INF:
@@ -568,6 +623,7 @@ def _compute_factory(ctx: RunContext):
     fps = ctx.flops_per_second
     stats = ctx.stats
     instr = ctx.instr
+    frec = ctx.flight_append
     push = ctx.scheduler.push_resume
 
     def handle_compute(proc: _Proc, op: Compute) -> None:
@@ -585,6 +641,8 @@ def _compute_factory(ctx: RunContext):
         end = start + duration
         proc.time = end
         st.compute_time += duration
+        if frec is not None:
+            frec((rank, "compute", start, end, flops))
         if instr is not None:
             instr.compute(rank, start, end, flops)
         push(proc)
@@ -599,6 +657,7 @@ def _multicast_factory(ctx: RunContext):
     native = ctx.native_multicast
     stats = ctx.stats
     instr = ctx.instr
+    frec = ctx.flight_append
     deliver = ctx.deliver
     new_seq = ctx.mailboxes.new_seq
     push = ctx.scheduler.push_resume
@@ -658,6 +717,9 @@ def _multicast_factory(ctx: RunContext):
         st.bytes_sent += nbytes  # one physical transmission
         st.messages_sent += 1
         st.messages_lost += lost
+        if frec is not None:
+            frec((rank, "multicast", start, sender_done, len(remote),
+                  op.tag, nbytes))
         if instr is not None:
             instr.multicast(rank, start, sender_done, len(remote), op.tag,
                             nbytes)
@@ -685,9 +747,12 @@ def _now_factory(ctx: RunContext):
 @register_handler(Log)
 def _log_factory(ctx: RunContext):
     instr = ctx.instr
+    frec = ctx.flight_append
     push = ctx.scheduler.push_resume
 
     def handle_log(proc: _Proc, op: Log) -> None:
+        if frec is not None:
+            frec((proc.rank, "log", proc.time, proc.time, op.message))
         if instr is not None:
             instr.log(proc.rank, proc.time, op.message)
         push(proc)

@@ -16,6 +16,16 @@ method reproduces the exact :class:`~repro.sim.trace.Tracer` record
 engine emitted, so attaching sinks through the seam is bit-identical to
 the old inline hooks.  Structured run-level logging (``log=``) stays on
 the engine itself: it brackets the run rather than the hot path.
+
+The :class:`~repro.sim.flight.FlightRecorder` deliberately does *not*
+route through this seam: a seam call costs ~5x a prebound
+``deque.append``, so the engine binds the recorder's append directly
+into its handler closures (``flight_append``) and keeps the black box
+cheap enough to leave attached on every run.  ``metrics`` is duck-typed
+— besides :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.streaming.StreamingGroupStats` satisfies the same
+``record_op`` / ``record_engine`` contract in O(1) memory when only
+per-rank summary quantiles are wanted.
 """
 
 from __future__ import annotations

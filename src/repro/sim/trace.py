@@ -4,6 +4,12 @@ The engine always keeps cheap aggregate counters (:class:`RankStats`); full
 event records (:class:`TraceRecord`) are collected only when a
 :class:`Tracer` is attached, because large experiments generate millions of
 events and record objects would dominate memory.
+
+Between those two extremes sits the :class:`~repro.sim.flight.FlightRecorder`:
+a bounded ring that keeps only the *last K* records, cheap enough to stay
+attached everywhere and dumped as a post-mortem when a run dies.  A tracer
+that hits its per-run record limit keeps counting drops (:attr:`Tracer.dropped`)
+so truncated traces are detectable downstream.
 """
 
 from __future__ import annotations

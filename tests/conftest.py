@@ -22,6 +22,17 @@ def _isolated_run_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_flight_dir(tmp_path, monkeypatch):
+    """Point flight-recorder dumps at a per-test directory.
+
+    Same reasoning as the run cache: dump-on-error fires inside any test
+    that crashes an engine with a recorder attached, and must not land
+    in the repo's ``.repro/flight``.
+    """
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path / "flight"))
+
+
 @pytest.fixture(scope="session")
 def ge2_cluster():
     """The paper's two-node GE configuration (server 2 CPUs + SunBlade)."""

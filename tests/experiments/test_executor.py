@@ -321,3 +321,80 @@ class TestBisectionPrefetcher:
             required_size_by_simulation(
                 "ge", ge2_cluster, 0.999, max_upper=128, executor=exe
             )
+
+
+class RecordingProgress:
+    """Captures the executor->reporter call contract."""
+
+    def __init__(self):
+        self.begun = None
+        self.ticks = []
+        self.busy = 0.0
+        self.finished = 0
+
+    def begin(self, total, label="sweep", workers=1):
+        self.begun = {"total": total, "label": label, "workers": workers}
+
+    def point_done(self, hit=False):
+        self.ticks.append(hit)
+
+    def note_busy_seconds(self, seconds):
+        self.busy += seconds
+
+    def finish(self):
+        self.finished += 1
+
+
+class TestProgress:
+    def test_serial_legacy_path_ticks_every_point(self, ge2_cluster):
+        progress = RecordingProgress()
+        exe = SweepExecutor(progress=progress)
+        efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
+        assert progress.begun == {"total": len(SIZES), "label": "sweep",
+                                  "workers": 1}
+        assert progress.ticks == [False] * len(SIZES)
+        assert progress.finished == 1
+
+    def test_warm_cache_ticks_as_hits(self, ge2_cluster, tmp_path):
+        cache = fresh_cache(tmp_path)
+        efficiency_curve("ge", ge2_cluster, SIZES,
+                         executor=SweepExecutor(cache=cache))
+        progress = RecordingProgress()
+        exe = SweepExecutor(cache=cache, progress=progress)
+        efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
+        assert progress.ticks == [True] * len(SIZES)
+        assert progress.finished == 1
+
+    def test_pool_path_ticks_and_reports_workers(self, ge2_cluster, tmp_path):
+        progress = RecordingProgress()
+        exe = SweepExecutor(jobs=2, cache=fresh_cache(tmp_path),
+                            progress=progress)
+        efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
+        assert progress.begun["workers"] == 2
+        assert progress.ticks == [False] * len(SIZES)
+        assert progress.finished == 1
+
+    def test_telemetered_pool_credits_busy_seconds(self, ge2_cluster,
+                                                   tmp_path):
+        progress = RecordingProgress()
+        exe = SweepExecutor(jobs=2, cache=fresh_cache(tmp_path),
+                            telemetry=True, progress=progress)
+        efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
+        assert progress.ticks == [False] * len(SIZES)
+        # engine_run/serialize spans from the workers landed as busy time.
+        assert progress.busy > 0.0
+        assert progress.finished == 1
+
+    def test_real_reporter_end_to_end(self, ge2_cluster, tmp_path):
+        import io
+
+        from repro.obs.streaming import ProgressReporter
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        exe = SweepExecutor(cache=fresh_cache(tmp_path), progress=reporter)
+        efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
+        out = stream.getvalue()
+        assert f"{len(SIZES)}/{len(SIZES)} points" in out
+        assert "elapsed" in out
+        assert reporter.done == len(SIZES)

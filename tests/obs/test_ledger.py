@@ -102,6 +102,28 @@ class TestRecordRun:
         )
         assert ledger.load(run_id)["metrics"]["custom"] == 3.0
 
+    def test_rank_summary_block_and_flat_quantiles(self, tmp_path, cluster,
+                                                   record):
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", cluster, record)
+        loaded = ledger.load(run_id)
+
+        summary = loaded["rank_summary"]
+        assert summary["ranks"] == len(record.run.stats)
+        assert summary["makespan"] == pytest.approx(record.run.makespan)
+        util = summary["utilization"]
+        assert set(util) >= {"count", "mean", "p50", "p90", "p99"}
+        assert 0.0 <= util["p50"] <= 1.0
+        assert len(summary["top_busiest"]) == min(3, summary["ranks"])
+        assert summary["top_busiest"][0]["utilization"] >= \
+            summary["top_idlest"][0]["utilization"]
+
+        # The flat mirror is what the regression gate can compare.
+        metrics = loaded["metrics"]
+        for key in ("utilization_p50", "utilization_p90",
+                    "utilization_p99", "utilization_mean"):
+            assert metrics[key] == pytest.approx(util[key[len("utilization_"):]])
+
 
 class TestHistory:
     def test_newest_first_with_filters(self, tmp_path, cluster, record):

@@ -89,6 +89,42 @@ class TestInstruments:
         assert h.counts == [0, 1]
         assert h.mean == pytest.approx(100.0)
 
+    def test_histogram_positive_infinity_is_overflow(self):
+        h = Histogram(boundaries=(1.0, 10.0))
+        h.observe(5.0)
+        h.observe(float("inf"))
+        # +inf is a real "past the last edge" observation: counted, in
+        # the overflow bucket, but excluded from sum so mean stays finite.
+        assert h.counts == [0, 1, 1]
+        assert h.count == 2
+        assert h.sum == pytest.approx(5.0)
+        assert h.mean == pytest.approx(5.0)
+        assert h.invalid == 0
+
+    def test_histogram_nan_and_negative_infinity_are_invalid(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(float("nan"))
+        h.observe(float("-inf"))
+        h.observe(0.5)
+        # No usable magnitude: not counted, not bucketed, just tallied.
+        assert h.invalid == 2
+        assert h.count == 1
+        assert h.counts == [1, 0]
+        assert h.mean == pytest.approx(0.5)
+
+    def test_histogram_infinity_only_mean_is_zero(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(float("inf"))
+        assert h.count == 1
+        assert h.mean == 0.0  # no finite mass to average
+
+    def test_histogram_invalid_in_to_dict(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(float("nan"))
+        doc = json.loads(json.dumps(h.to_dict()))
+        assert doc["invalid"] == 1
+        assert doc["count"] == 0
+
 
 class TestRegistry:
     def test_get_or_create_is_stable(self):

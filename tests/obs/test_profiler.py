@@ -79,6 +79,26 @@ class TestProfileApp:
         assert "load-imbalance index" in summary
         assert summary.strip() == rep.summary.strip()
 
+    def test_summary_has_rank_quantile_lines(self, report):
+        _, out = report
+        summary = (out / "summary.txt").read_text()
+        assert "rank utilization quantiles:" in summary
+        assert "busiest ranks:" in summary
+        assert "idlest ranks:" in summary
+
+    def test_rank_summary_block(self, report):
+        rep, out = report
+        summary = rep.rank_summary
+        assert summary is not None
+        assert summary["ranks"] == len(rep.record.run.stats)
+        util = summary["utilization"]
+        assert set(util) >= {"count", "mean", "p50", "p90", "p99"}
+        assert 0.0 <= util["p99"] <= 1.0
+        # The streamed quantiles land in metrics.json alongside per_rank,
+        # so dashboards need not recompute them from the raw rows.
+        doc = json.loads((out / "metrics.json").read_text())
+        assert doc["run"]["rank_summary"] == summary
+
 
 class TestBuildReport:
     def make_record(self, program, nranks, tracer):

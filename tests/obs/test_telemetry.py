@@ -118,6 +118,48 @@ class TestSweepTimeline:
         assert set(doc["phases"]) == set(doc["phase_counts"])
         assert len(doc["workers"]) == 2
 
+    def test_setup_spans_split_from_canonical_phases(self):
+        tl = synthetic_timeline()
+        tl.parent.add("marked_speed", 0.2, 0.7)
+        tl.parent.add("marked_speed", 0.7, 0.9)
+        tl.parent.add("schedule_build", 0.9, 1.0)
+        # The canonical phase schema never grows surprise keys...
+        assert set(tl.phase_totals()) == set(PHASES)
+        assert set(tl.phase_counts()) == set(PHASES)
+        # ...driver setup spans land in their own (sorted) block.
+        setup = tl.setup_totals()
+        assert list(setup) == ["marked_speed", "schedule_build"]
+        assert setup["marked_speed"] == pytest.approx(0.7)
+        assert tl.setup_counts() == {"marked_speed": 2, "schedule_build": 1}
+        assert ROOT_SPAN not in setup
+
+    def test_setup_spans_in_to_dict_and_flat_metrics(self):
+        tl = synthetic_timeline()
+        tl.parent.add("marked_speed", 0.2, 0.7)
+        doc = tl.to_dict()
+        assert set(doc["phases"]) == set(PHASES)
+        assert doc["setup_spans"] == {"marked_speed": pytest.approx(0.5)}
+        metrics = tl.flat_metrics()
+        assert metrics["setup_marked_speed_seconds"] == pytest.approx(0.5)
+
+    def test_setup_spans_empty_without_noncanonical_names(self):
+        tl = synthetic_timeline()
+        assert tl.setup_totals() == {}
+        assert tl.to_dict()["setup_spans"] == {}
+
+    def test_setup_spans_still_count_toward_coverage(self):
+        tl = SweepTimeline()
+        tl.parent.add(ROOT_SPAN, 0.0, 10.0)
+        tl.parent.add("engine_run", 0.0, 5.0)
+        tl.parent.add("marked_speed", 5.0, 10.0)
+        assert tl.coverage() == pytest.approx(1.0)
+
+    def test_format_report_shows_setup_rows(self):
+        tl = synthetic_timeline()
+        tl.parent.add("marked_speed", 0.2, 0.7)
+        report = tl.format_report(title="T")
+        assert "setup:marked_speed" in report
+
     def test_flat_metrics_names(self):
         metrics = synthetic_timeline().flat_metrics()
         for phase in PHASES:

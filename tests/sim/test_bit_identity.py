@@ -73,11 +73,15 @@ _STAT_FIELDS = (
 )
 
 
-def _collect(app: str, cluster_factory, n: int, faulted: bool) -> dict:
+def _collect(
+    app: str, cluster_factory, n: int, faulted: bool, flight=None
+) -> dict:
     """Run one case and flatten every identity-relevant observation."""
     kwargs = {}
     if faulted:
         kwargs["launcher"] = make_fault_launcher(_SCHEDULE)
+    if flight is not None:
+        kwargs["flight"] = flight
     record = run_app(app, cluster_factory(), n, **kwargs)
     run = record.run
     return {
@@ -110,6 +114,30 @@ def test_engine_matches_golden_fixture(case_id, app, cluster_factory, n, faulted
     # Exact equality on purpose: the run is fully deterministic, and any
     # float drift means the refactored engine changed semantics.
     assert observed == golden[case_id]
+
+
+@pytest.mark.parametrize(
+    "case_id,app,cluster_factory,n,faulted",
+    CASES,
+    ids=[c[0] for c in CASES],
+)
+def test_flight_recorder_is_identity_neutral(
+    case_id, app, cluster_factory, n, faulted
+):
+    """An attached flight recorder (ring + watchdog) must be read-only.
+
+    The recorder's fast lane is called from inside the engine's handler
+    closures, so this is the contract that keeps post-mortem recording
+    always-on-able: same golden values, byte for byte, with the black
+    box attached.
+    """
+    from repro.sim.flight import FlightRecorder
+
+    golden = json.loads(FIXTURE.read_text())
+    flight = FlightRecorder(capacity=64)  # default watchdog enabled
+    observed = _collect(app, cluster_factory, n, faulted, flight=flight)
+    assert observed == golden[case_id]
+    assert flight.dumps == []  # healthy runs: the watchdog stays quiet
 
 
 def regen() -> None:

@@ -154,3 +154,70 @@ class TestFaultsSweepCache:
         hits = [ledger.load(e.run_id)["metrics"]["cache_hit"]
                 for e in entries]
         assert hits == [0.0] * 3 + [1.0] * 3
+
+
+class TestFlightFlag:
+    def fail_stop_schedule(self, tmp_path):
+        """A crash with no restart: the rank never returns, partners
+        block forever, and the run dies with a DeadlockError."""
+        from repro.faults import FaultSchedule, NodeCrash
+
+        path = tmp_path / "failstop.json"
+        FaultSchedule((
+            NodeCrash(rank=1, at=0.0, restart_delay=None),
+        )).save(path)
+        return path
+
+    def test_fail_stop_leaves_loadable_dump(self, capsys, tmp_path):
+        from repro.obs.flight import list_dumps, load_dump
+
+        sched = self.fail_stop_schedule(tmp_path)
+        code = main(["faults", "run", "--app", "ge", "--size", "120",
+                     "--schedule", str(sched), "--flight", "--no-baseline"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "DeadlockError" in err
+        assert "flight dump:" in err
+        # conftest points REPRO_FLIGHT_DIR at tmp_path / "flight".
+        (dump,) = list_dumps(tmp_path / "flight")
+        doc = load_dump(dump)
+        assert doc["reason"]["trigger"] == "error"
+        assert doc["reason"]["error_type"] == "DeadlockError"
+        assert str(dump) in err
+
+    def test_fail_stop_without_flight_leaves_no_dump(self, capsys, tmp_path):
+        from repro.obs.flight import list_dumps
+
+        sched = self.fail_stop_schedule(tmp_path)
+        code = main(["faults", "run", "--app", "ge", "--size", "120",
+                     "--schedule", str(sched), "--no-baseline"])
+        assert code == 1
+        assert "flight dump" not in capsys.readouterr().err
+        assert list_dumps(tmp_path / "flight") == []
+
+    def test_healthy_run_with_flight_stays_quiet(self, capsys, tmp_path):
+        from repro.obs.flight import list_dumps
+
+        code = main(["faults", "run", "--size", "120", "--slowdown", "0.3",
+                     "--flight", "--no-baseline"])
+        assert code == 0
+        assert "flight dump" not in capsys.readouterr().err
+        assert list_dumps(tmp_path / "flight") == []
+
+
+class TestProgressFlag:
+    def test_sweep_progress_heartbeat_on_stderr(self, capsys):
+        code = main(["faults", "sweep", "--size", "120", "--no-cache",
+                     "--severities", "0", "0.3", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        # begin() and finish() both emit, so at least two heartbeats.
+        assert err.count("[sweep]") >= 2
+        assert "3/3 points (100%)" in err  # baseline + 2 severities
+        assert "elapsed" in err
+
+    def test_sweep_without_progress_is_silent(self, capsys):
+        code = main(["faults", "sweep", "--size", "120", "--no-cache",
+                     "--severities", "0", "0.3"])
+        assert code == 0
+        assert "[sweep]" not in capsys.readouterr().err
