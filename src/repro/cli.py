@@ -664,6 +664,136 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cluster_model(spec: str, network: str):
+    """``GROUP:COUNT[,GROUP:COUNT...]`` -> fuzz :class:`ClusterModel`."""
+    from .fuzz import ClusterModel, ScenarioError
+
+    groups = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        try:
+            groups.append((name.strip(), int(count) if count else 1))
+        except ValueError:
+            raise SystemExit(
+                f"error: bad cluster group {part!r} "
+                f"(expected GROUP:COUNT)"
+            ) from None
+    try:
+        return ClusterModel(groups=tuple(groups), network=network)
+    except ScenarioError as err:
+        raise SystemExit(f"error: {err}") from None
+
+
+def cmd_faults_attack(args: argparse.Namespace) -> int:
+    """Worst-case resilience curve via adversarial search
+    (``repro faults attack``)."""
+    from .experiments.runner import resolve_app
+    from .fuzz import (
+        FuzzError,
+        attack_to_ledger,
+        load_case,
+        make_case,
+        render_attack_curve,
+        replay_case,
+        resilience_curve,
+        save_case,
+    )
+    from .obs.ledger import RunLedger
+
+    try:
+        app = resolve_app(args.app)
+    except KeyError as err:
+        raise SystemExit(f"error: {err.args[0]}") from None
+    if args.smoke:
+        # Fast fixed-seed CI shape: small problem, few iterations, the
+        # curve recorded to the ledger and the optimum replayed from a
+        # corpus entry to prove bit-identical replay.
+        size = args.size if args.size is not None else 64
+        budgets = args.budgets or [0.2, 0.5]
+        iterations = min(args.iterations, 8)
+        corpus_dir = args.corpus or ".repro/fuzz/corpus"
+        record = True
+    else:
+        size = args.size if args.size is not None else 96
+        budgets = args.budgets or [0.1, 0.25, 0.5, 1.0]
+        iterations = args.iterations
+        corpus_dir = args.corpus
+        record = args.ledger is not None
+    cluster = _parse_cluster_model(args.cluster, args.network)
+    executor = _build_executor(args)
+    try:
+        results = resilience_curve(
+            app, cluster, size, budgets,
+            iterations=iterations, seed=args.seed, executor=executor,
+        )
+    except FuzzError as err:
+        raise SystemExit(f"error: {err}") from None
+    _print(render_attack_curve(
+        results,
+        title=f"Worst-case resilience curve ({app}, N={size}, "
+              f"{cluster.name}[{cluster.network}])",
+    ))
+    worst = min(results, key=lambda r: r.psi)
+    print(
+        f"worst case: psi={worst.psi:.4f} at budget {worst.budget:g} "
+        f"({len(worst.scenario.schedule)} fault event(s), "
+        f"scenario {worst.scenario.scenario_hash()})"
+    )
+    print()
+    if record:
+        ledger = RunLedger(args.ledger)
+        for result in results:
+            run_id = attack_to_ledger(result, ledger, executor=executor)
+            print(
+                f"ledger: recorded attack run {run_id} "
+                f"(budget {result.budget:g}) in {ledger.root}"
+            )
+        print()
+    if corpus_dir:
+        case = make_case(
+            worst.scenario, executor=executor,
+            provenance={
+                "origin": "faults-attack",
+                "app": app, "budget": worst.budget, "seed": args.seed,
+                "psi": worst.psi, "score": worst.score,
+            },
+        )
+        path = save_case(case, corpus_dir)
+        print(f"corpus: saved worst-case scenario to {path}")
+        replay = replay_case(load_case(path), executor=executor)
+        if replay.ok:
+            print("corpus: replay is bit-identical (psi/makespan match)")
+        else:
+            for line in replay.mismatches:
+                print(f"corpus: replay mismatch: {line}")
+            for violation in replay.report.violations:
+                print(f"corpus: replay violation: {violation}")
+            print()
+            return 1
+        print()
+    _print_cache_stats(executor)
+    if args.out:
+        import json as _json
+
+        payload = {
+            "app": app,
+            "cluster": cluster.to_payload(),
+            "problem_size": size,
+            "seed": args.seed,
+            "iterations": iterations,
+            "curve": [r.to_payload() for r in results],
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"wrote attack curve to {out}")
+        print()
+    return 0
+
+
 def build_faults_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro faults",
@@ -774,11 +904,213 @@ def build_faults_parser() -> argparse.ArgumentParser:
              "hit-rate and worker utilization",
     )
     sweep.set_defaults(func=cmd_faults_sweep)
+
+    attack = sub.add_parser(
+        "attack",
+        help="adversarial search for worst-case resilience curves",
+    )
+    attack.add_argument(
+        "--app",
+        choices=["ge", "gaussian", "mm", "matmul", "stencil", "jacobi", "fft"],
+        default="ge", help="application to attack (default: ge)",
+    )
+    attack.add_argument(
+        "--cluster", default="blade:2,v210:1", metavar="SPEC",
+        help="heterogeneous cluster as GROUP:COUNT[,GROUP:COUNT...] over "
+             "the fuzz node palette (blade, v210, generic, server); "
+             "default: blade:2,v210:1",
+    )
+    attack.add_argument(
+        "--network", choices=["bus", "switch"], default="bus",
+        help="network kind for the cluster (default: bus)",
+    )
+    attack.add_argument("--size", type=int, default=None,
+                        help="problem size N (default 96; 64 with --smoke)")
+    attack.add_argument(
+        "--budgets", type=float, nargs="+", default=None, metavar="B",
+        help="injected-cost budgets for the resilience curve "
+             "(default: 0.1 0.25 0.5 1.0; 0.2 0.5 with --smoke)",
+    )
+    attack.add_argument(
+        "--iterations", type=int, default=40,
+        help="hill-climbing iterations per budget (default 40, "
+             "capped at 8 with --smoke)",
+    )
+    attack.add_argument("--seed", type=int, default=0,
+                        help="search seed (default 0)")
+    attack.add_argument(
+        "--smoke", action="store_true",
+        help="fast fixed-seed shape for CI: small problem, few "
+             "iterations, curve recorded to the ledger and the worst "
+             "case saved to a corpus entry + replayed bit-identically",
+    )
+    attack.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="record each budget optimum as a source=attack ledger run "
+             "(default ledger with --smoke)",
+    )
+    attack.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="save the worst-case scenario as a replayable corpus case "
+             "here (.repro/fuzz/corpus with --smoke)",
+    )
+    attack.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the resilience curve as JSON",
+    )
+    attack.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="worker processes for scenario evaluation (default 1)",
+    )
+    attack.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache",
+    )
+    attack.set_defaults(func=cmd_faults_attack)
     return parser
 
 
 def faults_main(argv: Sequence[str]) -> int:
     args = build_faults_parser().parse_args(argv)
+    return args.func(args)
+
+
+# -- fuzz commands (repro fuzz) -----------------------------------------------
+
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    """Seeded invariant-fuzzing campaign (``repro fuzz run``)."""
+    from .fuzz import fuzz_campaign, violation_kinds
+
+    executor = _build_executor(args)
+    result = fuzz_campaign(
+        count=args.count,
+        seed=args.seed,
+        executor=executor,
+        shrink=not args.no_shrink,
+        bit_identity_every=args.bit_identity_every,
+        network_wrapper=args.network_wrapper,
+        corpus_dir=args.corpus,
+        artifacts_dir=args.artifacts,
+    )
+    print(result.summary())
+    for report, path in zip(result.violating, result.corpus_paths):
+        kinds = ", ".join(sorted(violation_kinds(report))) or "error"
+        print(f"  violation [{kinds}]: {report.scenario.describe()}")
+        print(f"    corpus case: {path}")
+    for path in result.artifact_paths:
+        print(f"  artifacts: {path}")
+    print()
+    _print_cache_stats(executor)
+    return 0 if result.ok else 1
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """Re-run every minimized corpus case (``repro fuzz replay``)."""
+    from .fuzz import (
+        CorpusError,
+        corpus_paths,
+        load_case,
+        replay_case,
+    )
+
+    paths = corpus_paths(args.corpus)
+    if not paths:
+        print(f"no corpus cases under {args.corpus or 'tests/fuzz/corpus'}")
+        return 0
+    executor = _build_executor(args)
+    failures = 0
+    for path in paths:
+        try:
+            case = load_case(path)
+            replay = replay_case(case, executor=executor)
+        except CorpusError as err:
+            failures += 1
+            print(f"FAIL {path.name}: {err}")
+            continue
+        if replay.ok:
+            print(f"ok   {case.name}: {case.scenario.describe()}")
+            continue
+        failures += 1
+        print(f"FAIL {case.name}: {case.scenario.describe()}")
+        for line in replay.mismatches:
+            print(f"     mismatch: {line}")
+        for violation in replay.report.violations:
+            print(f"     violation: {violation}")
+    print()
+    print(f"replayed {len(paths)} case(s), {failures} failing")
+    print()
+    _print_cache_stats(executor)
+    return 0 if failures == 0 else 1
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description=(
+            "Property-based scenario fuzzing: generate adversarial "
+            "(cluster x app x N x fault schedule) scenarios, check "
+            "simulator invariants, shrink violations to minimal "
+            "replayable corpus cases."
+        ),
+    )
+    sub = parser.add_subparsers(dest="fuzz_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a seeded fuzz campaign against the invariant oracle",
+    )
+    run.add_argument("--count", type=int, default=20,
+                     help="scenarios to generate (default 20)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="campaign seed; same seed => same scenarios "
+                          "(default 0)")
+    run.add_argument(
+        "--bit-identity-every", type=int, default=0, metavar="K",
+        help="run the serial==pool==cached bit-identity probe on every "
+             "K-th scenario (0: off; the probe spawns a process pool)",
+    )
+    run.add_argument(
+        "--network-wrapper", default=None, metavar="NAME",
+        help="apply a registered network wrapper to every scenario "
+             "(fuzz an experimental network model)",
+    )
+    run.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="where violating scenarios land as corpus cases "
+             "(default: $REPRO_FUZZ_CORPUS_DIR or tests/fuzz/corpus)",
+    )
+    run.add_argument(
+        "--artifacts", default=".repro/fuzz", metavar="DIR",
+        help="violation artifacts: scenario+violations JSON and flight "
+             "ring dumps (default .repro/fuzz)",
+    )
+    run.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging violating scenarios before persisting",
+    )
+    run.add_argument("--jobs", type=int, default=1, metavar="J",
+                     help="worker processes (default 1)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the persistent run cache")
+    run.set_defaults(func=cmd_fuzz_run)
+
+    replay = sub.add_parser(
+        "replay", help="re-run every minimized corpus case as a regression",
+    )
+    replay.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="corpus directory (default: $REPRO_FUZZ_CORPUS_DIR or "
+             "tests/fuzz/corpus)",
+    )
+    replay.add_argument("--jobs", type=int, default=1, metavar="J",
+                        help="worker processes (default 1)")
+    replay.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent run cache")
+    replay.set_defaults(func=cmd_fuzz_replay)
+    return parser
+
+
+def fuzz_main(argv: Sequence[str]) -> int:
+    args = build_fuzz_parser().parse_args(argv)
     return args.func(args)
 
 
@@ -1168,8 +1500,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Run-ledger commands have their own grammar: "
             "`repro history [--app A]`, `repro compare RUN_A RUN_B`, "
             "`repro baseline set|check [RUN]`; see `repro history --help`. "
-            "Fault injection: `repro faults run|sweep` "
-            "(see `repro faults --help`). Sweep overhead attribution: "
+            "Fault injection: `repro faults run|sweep|attack` "
+            "(see `repro faults --help`). Scenario fuzzing: "
+            "`repro fuzz run|replay` (see `repro fuzz --help`). "
+            "Sweep overhead attribution: "
             "`repro sweep profile` (see `repro sweep --help`)."
         ),
     )
@@ -1257,6 +1591,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
     if argv and argv[0] == "flight":

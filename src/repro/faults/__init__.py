@@ -29,7 +29,13 @@ the same makespan, fault trace and degraded ψ, bit for bit.
 
 from .analysis import (
     FaultSweepRow,
+    InvariantViolation,
+    assert_invariants,
     availability_weighted_speed,
+    check_invariants,
+    check_invariants_row,
+    check_sweep_invariants,
+    check_trace_invariants,
     degraded_psi,
     fault_speed_efficiency,
     psi_is_monotone_nonincreasing,
@@ -37,6 +43,7 @@ from .analysis import (
 from .errors import (
     FaultError,
     FaultScheduleError,
+    InvariantViolationError,
     MessageLostError,
     RankFailedError,
 )
@@ -59,6 +66,7 @@ from .schedule import (
     NodeCrash,
     NodeSlowdown,
     random_schedule,
+    resolve_rng,
     uniform_slowdown,
 )
 
@@ -73,13 +81,20 @@ __all__ = [
     "FaultTraceEvent",
     "FaultyNetworkModel",
     "FaultyRun",
+    "InvariantViolation",
+    "InvariantViolationError",
     "LinkDegradation",
     "MessageLoss",
     "MessageLostError",
     "NodeCrash",
     "NodeSlowdown",
     "RankFailedError",
+    "assert_invariants",
     "availability_weighted_speed",
+    "check_invariants",
+    "check_invariants_row",
+    "check_sweep_invariants",
+    "check_trace_invariants",
     "degraded_psi",
     "fault_speed_efficiency",
     "faulty_mpi_run",
@@ -88,6 +103,7 @@ __all__ = [
     "psi_is_monotone_nonincreasing",
     "random_schedule",
     "render_sweep",
+    "resolve_rng",
     "run_app_under_faults",
     "slowdown_sweep",
     "uniform_slowdown",

@@ -216,25 +216,36 @@ class FaultyRun:
             out["degraded_psi"] = self.psi
         return out
 
-    def to_ledger(self, ledger: Any = None, log: Any = None) -> str:
+    def to_ledger(
+        self,
+        ledger: Any = None,
+        log: Any = None,
+        source: str = "faults",
+        extra_metrics: dict[str, float] | None = None,
+    ) -> str:
         """Record the faulted run in a ledger (``source="faults"``).
 
         The record carries the normal metric surface plus the fault metric
         block and a ``fault`` section with the schedule's ``profile_hash``
         and its full event list, so history stays comparable per scenario.
-        Returns the new run id.
+        ``source``/``extra_metrics`` let derived drivers (the adversarial
+        search records ``source="attack"`` with its budget/score surface)
+        reuse the same record shape.  Returns the new run id.
         """
         if ledger is None:
             from ..obs.ledger import RunLedger
 
             ledger = RunLedger()
+        metrics = self.fault_metrics()
+        if extra_metrics:
+            metrics.update(extra_metrics)
         return ledger.record_run(
             self.app,
             self.cluster,
             self.faulted,
-            source="faults",
+            source=source,
             compute_efficiency=self.compute_efficiency,
-            extra_metrics=self.fault_metrics(),
+            extra_metrics=metrics,
             fault={
                 "profile_hash": self.fault_profile_hash,
                 "schedule": self.schedule.to_payload(),

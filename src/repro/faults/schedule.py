@@ -365,6 +365,57 @@ class FaultSchedule:
             e for e in self.events if not isinstance(e, NodeCrash)
         ))
 
+    def scaled(self, factor: float) -> "FaultSchedule":
+        """The same schedule with every event's *severity* scaled.
+
+        ``factor`` in [0, 1] interpolates each event toward harmlessness
+        at its original onset: slowdown severities scale linearly, link
+        bandwidth/latency factors interpolate toward 1, crash-restart
+        downtime (restart delay + recompute) scales linearly, and
+        fail-stop crashes are dropped below factor 1 (there is no
+        "milder" fail-stop).  Events that become no-ops (zero severity,
+        unit link factors) are dropped.  ``scaled(1.0)`` is the identity;
+        ``scaled(0.0)`` is the empty schedule.  This is the severity axis
+        the fuzzer's monotonicity oracle and the adversarial search walk.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise FaultScheduleError(
+                f"scale factor must be in [0, 1], got {factor}"
+            )
+        if factor == 1.0:
+            return self
+        if factor == 0.0:
+            return FaultSchedule()
+        events: list[FaultEvent] = []
+        for event in self.events:
+            if isinstance(event, NodeSlowdown):
+                severity = event.severity * factor
+                if severity > 0.0:
+                    events.append(NodeSlowdown(
+                        rank=event.rank, onset=event.onset,
+                        duration=event.duration, severity=severity,
+                    ))
+            elif isinstance(event, NodeCrash):
+                if event.restart_delay is None:
+                    continue  # fail-stop has no milder form
+                events.append(NodeCrash(
+                    rank=event.rank, at=event.at,
+                    restart_delay=event.restart_delay * factor,
+                    recompute_seconds=event.recompute_seconds * factor,
+                ))
+            elif isinstance(event, LinkDegradation):
+                bandwidth = 1.0 - (1.0 - event.bandwidth_factor) * factor
+                latency = 1.0 + (event.latency_factor - 1.0) * factor
+                if bandwidth < 1.0 or latency > 1.0:
+                    events.append(LinkDegradation(
+                        onset=event.onset, duration=event.duration,
+                        bandwidth_factor=bandwidth, latency_factor=latency,
+                        src=event.src, dst=event.dst,
+                    ))
+            else:
+                events.append(event)  # MessageLoss has no severity axis
+        return FaultSchedule(tuple(events))
+
     def extended(self, events: Iterable[FaultEvent]) -> "FaultSchedule":
         """A new schedule with ``events`` appended."""
         return FaultSchedule(self.events + tuple(events))
@@ -413,6 +464,42 @@ class FaultSchedule:
 
 # -- schedule generators -----------------------------------------------------
 
+class _NumpyRngAdapter:
+    """Adapts a ``numpy.random.Generator`` to the ``random.Random`` subset
+    the schedule generators draw from (``uniform``/``randrange``)."""
+
+    def __init__(self, generator: Any):
+        self._generator = generator
+
+    def uniform(self, a: float, b: float) -> float:
+        return float(self._generator.uniform(a, b))
+
+    def randrange(self, n: int) -> int:
+        return int(self._generator.integers(n))
+
+
+def resolve_rng(seed: Any) -> Any:
+    """The RNG behind a stochastic generator's ``seed`` argument.
+
+    Accepts an ``int`` (seeds a private ``random.Random``), an existing
+    ``random.Random``, or a ``numpy.random.Generator`` (duck-typed on
+    ``integers``/``uniform``, so numpy is never imported here).  Passing a
+    live RNG lets callers interleave several generators on one stream;
+    passing an int gives the standalone same-arguments-same-schedule
+    guarantee.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, int) and not isinstance(seed, bool):
+        return random.Random(seed)
+    if hasattr(seed, "integers") and hasattr(seed, "uniform"):
+        return _NumpyRngAdapter(seed)
+    raise FaultScheduleError(
+        f"seed must be an int, random.Random or numpy.random.Generator, "
+        f"got {type(seed).__name__}"
+    )
+
+
 def uniform_slowdown(
     nranks: int,
     severity: float,
@@ -436,7 +523,7 @@ def uniform_slowdown(
 
 def random_schedule(
     nranks: int,
-    seed: int,
+    seed: int | random.Random | Any,
     horizon: float,
     n_slowdowns: int = 2,
     n_crashes: int = 0,
@@ -448,6 +535,16 @@ def random_schedule(
 ) -> FaultSchedule:
     """A random-but-reproducible schedule: same arguments, same schedule.
 
+    **Determinism guarantee:** with an integer ``seed`` the returned
+    schedule is a pure function of the argument tuple -- same arguments,
+    same events, bit for bit, on every platform and Python version (the
+    draws go through a private ``random.Random(seed)``, whose sequence
+    is part of CPython's documented stable API).  ``seed`` may instead be
+    a live ``random.Random`` or ``numpy.random.Generator``
+    (see :func:`resolve_rng`), in which case reproducibility is the
+    caller's: the generator consumes a fixed number of draws per event
+    in documented order (slowdowns, then crashes, then link faults).
+
     ``horizon`` is the virtual-time span faults are drawn from (typically a
     fault-free makespan estimate).  ``restart_delay_fraction=None`` makes
     generated crashes fail-stop; otherwise each crash restarts after that
@@ -457,7 +554,7 @@ def random_schedule(
         raise FaultScheduleError(f"nranks must be positive, got {nranks}")
     if horizon <= 0:
         raise FaultScheduleError(f"horizon must be positive, got {horizon}")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed)
     events: list[FaultEvent] = []
     for _ in range(n_slowdowns):
         onset = rng.uniform(0.0, 0.7 * horizon)

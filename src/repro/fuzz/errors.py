@@ -1,0 +1,15 @@
+"""Exception types for the adversarial scenario fuzzer."""
+
+from __future__ import annotations
+
+
+class FuzzError(Exception):
+    """Base class for fuzzer errors (scenario, corpus, search)."""
+
+
+class ScenarioError(FuzzError):
+    """Raised for structurally invalid fuzz scenarios or cluster models."""
+
+
+class CorpusError(FuzzError):
+    """Raised for malformed or unreplayable seed-corpus cases."""

@@ -1,0 +1,280 @@
+"""Fuzz scenarios: one (cluster × app × N × fault schedule × network) point.
+
+A :class:`Scenario` is the fuzzer's unit of work -- plain, frozen,
+JSON-serializable data that composes *existing* repro types: a
+:class:`ClusterModel` palette of real node types from
+:mod:`repro.machine`, an application name from the experiment registry,
+a problem size, and a :class:`~repro.faults.schedule.FaultSchedule`.
+Everything the oracle, shrinker, search and corpus exchange is a
+``Scenario``; ``scenario_hash()`` gives each one a stable content
+identity (corpus file names, dedup during shrinking).
+
+``network_wrapper`` names a factory from the wrapper registry
+(:func:`register_network_wrapper`) applied to the built network model
+before the run -- the seam tests use to plant deliberately *broken*
+network models (negative latency, time-travelling transfers) and prove
+the oracle catches them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..experiments.runner import resolve_app
+from ..faults.schedule import FaultSchedule
+from ..machine.cluster import ClusterSpec
+from ..machine.presets import GENERIC_NODE
+from ..machine.sunwulf import SERVER_NODE, SUNBLADE_NODE, V210_NODE
+from .errors import ScenarioError
+
+FUZZ_SCENARIO_KIND = "fuzz-scenario"
+
+#: Node palette the generator composes clusters from -- every entry is a
+#: real machine-model node type, so generated clusters are exactly as
+#: valid as the hand-written presets.  Order is canonical (cluster
+#: normalization and shrinking walk it deterministically).
+NODE_PALETTE: dict[str, Any] = {
+    "server": SERVER_NODE,     # 4-way SMP head node
+    "blade": SUNBLADE_NODE,    # single-CPU blade
+    "v210": V210_NODE,         # 2-way SMP node
+    "generic": GENERIC_NODE,   # calibration-free generic node
+}
+
+#: Network kinds scenarios may use.  ``zero`` (the idealized free
+#: network) is deliberately excluded: it collapses communication time to
+#: nothing and makes overhead-based invariants vacuous.
+NETWORK_KINDS = ("bus", "switch")
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A serializable cluster recipe: named node groups plus a network kind.
+
+    ``groups`` is a tuple of ``(palette_name, count)`` pairs.  ``build()``
+    realizes it as a :class:`~repro.machine.cluster.ClusterSpec` via
+    ``ClusterSpec.from_nodes``, so marked speeds, link parameters and
+    topology all come from the ordinary machine model.
+    """
+
+    groups: tuple[tuple[str, int], ...]
+    network: str = "bus"
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ScenarioError("cluster model needs at least one node group")
+        for name, count in self.groups:
+            if name not in NODE_PALETTE:
+                raise ScenarioError(
+                    f"unknown node group {name!r}; palette: "
+                    f"{sorted(NODE_PALETTE)}"
+                )
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+                raise ScenarioError(
+                    f"node count for {name!r} must be a positive int, "
+                    f"got {count!r}"
+                )
+        if self.network not in NETWORK_KINDS:
+            raise ScenarioError(
+                f"unknown network kind {self.network!r}; "
+                f"choose from {NETWORK_KINDS}"
+            )
+        if self.nranks < 2:
+            raise ScenarioError(
+                f"cluster must have at least 2 ranks, got {self.nranks}"
+            )
+
+    @property
+    def nranks(self) -> int:
+        return sum(
+            count * NODE_PALETTE[name].cpus for name, count in self.groups
+        )
+
+    @property
+    def name(self) -> str:
+        body = "-".join(f"{name}x{count}" for name, count in self.groups)
+        return f"fuzz-{body}"
+
+    def normalized(self) -> "ClusterModel":
+        """Merge duplicate groups and order them by palette position."""
+        counts: dict[str, int] = {}
+        for name, count in self.groups:
+            counts[name] = counts.get(name, 0) + count
+        groups = tuple(
+            (name, counts[name]) for name in NODE_PALETTE if name in counts
+        )
+        if groups == self.groups:
+            return self
+        return ClusterModel(groups=groups, network=self.network)
+
+    def build(self) -> ClusterSpec:
+        nodes = []
+        for name, count in self.groups:
+            node = NODE_PALETTE[name]
+            nodes.extend([(node, node.cpus)] * count)
+        return ClusterSpec.from_nodes(
+            self.name, nodes, network_kind=self.network
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "groups": [[name, count] for name, count in self.groups],
+            "network": self.network,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ClusterModel":
+        raw = payload.get("groups")
+        if not isinstance(raw, list):
+            raise ScenarioError(
+                "cluster payload must contain a 'groups' list"
+            )
+        groups = tuple((str(name), int(count)) for name, count in raw)
+        return cls(groups=groups, network=str(payload.get("network", "bus")))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fuzzable simulation: app × N × cluster × faults (× wrapper)."""
+
+    app: str
+    n: int
+    cluster: ClusterModel
+    schedule: FaultSchedule = field(default_factory=FaultSchedule)
+    seed: int = 0
+    network_wrapper: str | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            canonical = resolve_app(self.app)
+        except KeyError as exc:
+            raise ScenarioError(str(exc)) from exc
+        object.__setattr__(self, "app", canonical)
+        if not isinstance(self.n, int) or isinstance(self.n, bool) or self.n < 2:
+            raise ScenarioError(f"n must be an int >= 2, got {self.n!r}")
+        if canonical == "fft" and self.n & (self.n - 1):
+            raise ScenarioError(
+                f"fft problem sizes must be powers of two, got {self.n}"
+            )
+        try:
+            self.schedule.validate_for(self.cluster.nranks)
+        except Exception as exc:
+            raise ScenarioError(
+                f"schedule does not fit the cluster: {exc}"
+            ) from exc
+
+    @property
+    def nranks(self) -> int:
+        return self.cluster.nranks
+
+    def describe(self) -> str:
+        wrapper = (
+            f" wrapper={self.network_wrapper}" if self.network_wrapper else ""
+        )
+        return (
+            f"{self.app} N={self.n} on {self.cluster.name}"
+            f"[{self.cluster.network}] ({self.nranks} ranks, "
+            f"{len(self.schedule)} fault event(s)){wrapper}"
+        )
+
+    def build_cluster(self) -> ClusterSpec:
+        return self.cluster.build()
+
+    def with_schedule(self, schedule: FaultSchedule) -> "Scenario":
+        return Scenario(
+            app=self.app, n=self.n, cluster=self.cluster,
+            schedule=schedule, seed=self.seed,
+            network_wrapper=self.network_wrapper,
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "app": self.app,
+            "n": self.n,
+            "cluster": self.cluster.to_payload(),
+            "schedule": self.schedule.to_payload(),
+            "seed": self.seed,
+            "network_wrapper": self.network_wrapper,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Scenario":
+        wrapper = payload.get("network_wrapper")
+        return cls(
+            app=str(payload["app"]),
+            n=int(payload["n"]),
+            cluster=ClusterModel.from_payload(payload["cluster"]),
+            schedule=FaultSchedule.from_payload(payload["schedule"]),
+            seed=int(payload.get("seed", 0)),
+            network_wrapper=None if wrapper is None else str(wrapper),
+        )
+
+    def scenario_hash(self) -> str:
+        """Stable 16-hex-digit content hash (corpus identity, dedup)."""
+        canonical = json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def save(self, path: str | Path) -> None:
+        """Persist as a versioned ``fuzz-scenario`` JSON document."""
+        from ..experiments.persistence import write_json_document
+
+        write_json_document(
+            path, FUZZ_SCENARIO_KIND, self.to_payload(),
+            metadata={"scenario_hash": self.scenario_hash()},
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Scenario":
+        from ..experiments.persistence import read_json_document
+
+        return cls.from_payload(read_json_document(path, FUZZ_SCENARIO_KIND))
+
+
+# -- network-wrapper registry --------------------------------------------------
+# The seam through which tests plant hostile network models: a wrapper is
+# a factory ``wrap(network) -> network`` applied to the cluster's built
+# network before the engine runs.  Scenarios reference wrappers by name
+# so they stay JSON-serializable; replaying a wrapper scenario requires
+# the wrapper to be registered in the replaying process.
+
+_NETWORK_WRAPPERS: dict[str, Callable[[Any], Any]] = {}
+
+
+def register_network_wrapper(
+    name: str, factory: Callable[[Any], Any], replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` for use by scenarios."""
+    if not replace and name in _NETWORK_WRAPPERS:
+        raise ScenarioError(
+            f"network wrapper {name!r} already registered "
+            f"(pass replace=True to overwrite)"
+        )
+    _NETWORK_WRAPPERS[name] = factory
+
+
+def unregister_network_wrapper(name: str) -> None:
+    """Remove a wrapper registration (idempotent; test teardown)."""
+    _NETWORK_WRAPPERS.pop(name, None)
+
+
+def resolve_network_wrapper(name: str) -> Callable[[Any], Any]:
+    """The factory registered under ``name``; :class:`ScenarioError` if
+    this process never registered it."""
+    try:
+        return _NETWORK_WRAPPERS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"network wrapper {name!r} is not registered in this process; "
+            f"known: {sorted(_NETWORK_WRAPPERS) or '(none)'}"
+        ) from None
+
+
+def registered_network_wrappers() -> tuple[str, ...]:
+    """Names of every wrapper registered in this process, sorted."""
+    return tuple(sorted(_NETWORK_WRAPPERS))

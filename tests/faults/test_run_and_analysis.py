@@ -6,6 +6,8 @@ from repro.core.types import MetricError
 from repro.faults.analysis import (
     FaultSweepRow,
     availability_weighted_speed,
+    check_invariants,
+    check_sweep_invariants,
     degraded_psi,
     fault_speed_efficiency,
     psi_is_monotone_nonincreasing,
@@ -124,6 +126,46 @@ class TestFaultyRun:
         assert record["metrics"]["degraded_psi"] == pytest.approx(faulty.psi)
         assert ledger.history(source="faults")
 
+    def test_faulted_run_passes_invariant_oracle(self):
+        # The fuzzer's oracle, retrofitted onto the classic preset: a
+        # slowdown run must satisfy causality, flops conservation and
+        # the psi bound.
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults(
+            "ge", cluster, 120, uniform_slowdown(cluster.nranks, 0.5)
+        )
+        violations = check_invariants(
+            faulty.faulted.run,
+            work=faulty.faulted.measurement.work,
+            psi=faulty.psi,
+            nranks=cluster.nranks,
+        )
+        assert violations == []
+
+    def test_crash_restart_passes_invariant_oracle(self):
+        # Crash+restart recomputes work, so skip conservation (the
+        # recompute legitimately re-credits flops) but keep the rest.
+        cluster = ge_configuration(2)
+        base = run_app_under_faults(
+            "ge", cluster, 120, FaultSchedule(), baseline=False
+        )
+        schedule = FaultSchedule((
+            NodeCrash(rank=1, at=0.3 * base.makespan,
+                      restart_delay=0.1 * base.makespan),
+        ))
+        faulty = run_app_under_faults("ge", cluster, 120, schedule)
+        violations = check_invariants(
+            faulty.faulted.run, psi=faulty.psi, nranks=cluster.nranks,
+        )
+        assert violations == []
+
+    def test_oracle_flags_broken_psi(self):
+        cluster = ge_configuration(2)
+        faulty = run_app_under_faults("ge", cluster, 120, FaultSchedule())
+        violations = check_invariants(faulty.faulted.run, psi=1.7)
+        assert [v.kind for v in violations] == ["psi-bounds"]
+        assert "1.7" in str(violations[0])
+
     def test_schedule_validated_against_cluster(self):
         from repro.faults.errors import FaultScheduleError
 
@@ -160,3 +202,16 @@ class TestSlowdownSweep:
         assert "severity" in text and "psi" in text
         assert "0.60" in text
         assert "Scalability under faults" in text
+
+    def test_sweep_passes_invariant_oracle(self, rows):
+        assert check_sweep_invariants(rows) == []
+
+    def test_sweep_oracle_flags_psi_inversion(self, rows):
+        from dataclasses import replace
+
+        # Forge a row where a *harsher* severity improved psi: the
+        # monotonicity invariant must fire.
+        broken = list(rows)
+        broken[-1] = replace(broken[-1], psi=broken[0].psi + 0.1)
+        kinds = {v.kind for v in check_sweep_invariants(broken)}
+        assert "monotonicity" in kinds or "psi-bounds" in kinds

@@ -1,0 +1,48 @@
+"""Shared fuzz fixtures: tiny scenarios and deliberately broken networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    ClusterModel,
+    Scenario,
+    register_network_wrapper,
+    unregister_network_wrapper,
+)
+
+
+@pytest.fixture
+def tiny_cluster():
+    """Two blades + one V210: 4 ranks, heterogeneous, fast to simulate."""
+    return ClusterModel(groups=(("blade", 2), ("v210", 1)), network="bus")
+
+
+@pytest.fixture
+def clean_scenario(tiny_cluster):
+    """A fault-free scenario that passes every invariant."""
+    return Scenario(app="ge", n=64, cluster=tiny_cluster)
+
+
+class _TimeWarpNetwork:
+    """A hostile network model: every message arrives the instant it is
+    sent, regardless of what the real model says.  Passes the engine's
+    cheap guards (arrival == start is not retrograde) but makes faulted
+    runs *beat* their fault-free baseline -- exactly the class of bug the
+    oracle's baseline-dominance and psi-bounds checks exist to catch."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def transfer(self, src, dst, nbytes, start):
+        sender_done, _arrival = self._inner.transfer(src, dst, nbytes, start)
+        return sender_done, start
+
+
+@pytest.fixture
+def time_warp_wrapper():
+    """Register the time-warp wrapper for the test's duration."""
+    name = "test-time-warp"
+    register_network_wrapper(name, _TimeWarpNetwork, replace=True)
+    yield name
+    unregister_network_wrapper(name)

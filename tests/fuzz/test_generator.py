@@ -1,0 +1,90 @@
+"""Property-based scenario generation: determinism and validity."""
+
+import pytest
+
+from repro.fuzz import (
+    APP_SIZES,
+    FuzzError,
+    ScenarioGenerator,
+    ScenarioSpace,
+    app_workload,
+    estimate_horizon,
+)
+
+
+class TestScenarioSpace:
+    def test_defaults_are_valid(self):
+        space = ScenarioSpace()
+        assert space.min_ranks >= 2
+        assert space.max_ranks >= space.min_ranks
+        for app in space.apps:
+            assert app in APP_SIZES
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(FuzzError):
+            ScenarioSpace(min_ranks=5, max_ranks=3)
+        with pytest.raises(FuzzError):
+            ScenarioSpace(severity_range=(0.9, 0.1))
+        with pytest.raises(FuzzError):
+            ScenarioSpace(apps=())
+
+
+class TestWorkloadAndHorizon:
+    def test_app_workload_positive_and_growing(self):
+        for app in ("ge", "mm", "stencil"):
+            assert 0 < app_workload(app, 48) < app_workload(app, 96)
+        assert 0 < app_workload("fft", 64) < app_workload("fft", 256)
+
+    def test_estimate_horizon_positive(self, tiny_cluster):
+        horizon = estimate_horizon("ge", 64, tiny_cluster)
+        assert horizon > 0
+        # A pessimistic efficiency guess stretches the horizon.
+        assert estimate_horizon(
+            "ge", 64, tiny_cluster, efficiency_guess=0.1
+        ) > horizon
+
+
+class TestScenarioGenerator:
+    def test_same_seed_same_scenarios(self):
+        a = ScenarioGenerator(seed=11).scenarios(6)
+        b = ScenarioGenerator(seed=11).scenarios(6)
+        assert [s.scenario_hash() for s in a] == \
+            [s.scenario_hash() for s in b]
+
+    def test_index_addressable_stream(self):
+        # scenario(i) must not depend on which indices were drawn before.
+        gen = ScenarioGenerator(seed=5)
+        direct = gen.scenario(4)
+        batch = ScenarioGenerator(seed=5).scenarios(6)
+        assert batch[4].scenario_hash() == direct.scenario_hash()
+
+    def test_different_seeds_diverge(self):
+        a = ScenarioGenerator(seed=1).scenarios(8)
+        b = ScenarioGenerator(seed=2).scenarios(8)
+        assert [s.scenario_hash() for s in a] != \
+            [s.scenario_hash() for s in b]
+
+    def test_scenarios_are_structurally_valid(self):
+        space = ScenarioSpace()
+        for scenario in ScenarioGenerator(space=space, seed=3).scenarios(20):
+            assert space.min_ranks <= scenario.nranks
+            assert scenario.app in space.apps
+            assert scenario.n in APP_SIZES[scenario.app]
+            assert scenario.cluster.network in space.networks
+            # Constructing the Scenario already ran validate_for, but be
+            # explicit: the schedule fits the cluster it ships with.
+            scenario.schedule.validate_for(scenario.nranks)
+
+    def test_restricted_space_is_honored(self):
+        space = ScenarioSpace(
+            apps=("mm",), networks=("switch",),
+            node_groups=("blade",), max_ranks=4,
+            max_crashes=0, max_link_faults=0,
+        )
+        for scenario in ScenarioGenerator(space=space, seed=9).scenarios(10):
+            assert scenario.app == "mm"
+            assert scenario.cluster.network == "switch"
+            assert all(g == "blade" for g, _ in scenario.cluster.groups)
+            assert scenario.nranks <= 4
+            assert not scenario.schedule.all_crashes()
+            assert not scenario.schedule.link_faults()

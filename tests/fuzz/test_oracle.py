@@ -1,0 +1,144 @@
+"""The invariant oracle: clean scenarios pass, planted bugs are caught."""
+
+import json
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule, NodeSlowdown
+from repro.fuzz import (
+    CheckConfig,
+    Scenario,
+    check_bit_identity,
+    check_scenario,
+    dump_violation,
+    run_scenario,
+)
+
+#: Trace + one monotonicity probe, no process pool -- the per-test budget.
+FAST = CheckConfig(trace=True, monotonicity_factors=(0.5,),
+                   bit_identity=False)
+
+
+def mild_schedule(nranks):
+    return FaultSchedule((
+        NodeSlowdown(rank=0, onset=0.0, duration=None, severity=0.4),
+    ))
+
+
+class TestRunScenario:
+    def test_clean_run_yields_full_faulty_surface(self, clean_scenario):
+        faulty = run_scenario(clean_scenario)
+        assert faulty.makespan > 0
+        assert faulty.baseline is not None
+        assert 0 < faulty.psi <= 1.0 + 1e-9
+
+    def test_executor_path_matches_direct_path(self, clean_scenario):
+        from repro.experiments.executor import SweepExecutor
+
+        scenario = clean_scenario.with_schedule(
+            mild_schedule(clean_scenario.nranks)
+        )
+        direct = run_scenario(scenario)
+        via_exec = run_scenario(scenario, executor=SweepExecutor())
+        assert via_exec.makespan == direct.makespan
+        assert via_exec.psi == direct.psi
+
+    def test_wrapper_scenarios_use_registered_factory(
+        self, clean_scenario, time_warp_wrapper
+    ):
+        warped = Scenario(
+            app=clean_scenario.app, n=clean_scenario.n,
+            cluster=clean_scenario.cluster,
+            schedule=mild_schedule(clean_scenario.nranks),
+            network_wrapper=time_warp_wrapper,
+        )
+        honest = run_scenario(Scenario(
+            app=warped.app, n=warped.n, cluster=warped.cluster,
+            schedule=warped.schedule,
+        ))
+        # Free communication: the warped run must be faster than honest.
+        assert run_scenario(warped).makespan < honest.makespan
+
+
+class TestCheckScenario:
+    def test_clean_scenario_passes(self, clean_scenario):
+        report = check_scenario(clean_scenario, FAST)
+        assert report.ok
+        assert report.psi == pytest.approx(1.0)
+        assert "invariants:faulted" in report.checks
+        assert "trace-causality" in report.checks
+
+    def test_faulted_scenario_passes(self, clean_scenario):
+        scenario = clean_scenario.with_schedule(
+            mild_schedule(clean_scenario.nranks)
+        )
+        report = check_scenario(scenario, FAST)
+        assert report.ok
+        assert report.psi < 1.0
+        assert any(c.startswith("monotonicity") for c in report.checks)
+
+    def test_time_warp_bug_is_detected(self, clean_scenario,
+                                       time_warp_wrapper):
+        # The acceptance scenario: a network model that teleports
+        # messages passes the engine's cheap guards but must trip the
+        # oracle -- the faulted run beats its baseline (psi > 1).
+        warped = Scenario(
+            app=clean_scenario.app, n=clean_scenario.n,
+            cluster=clean_scenario.cluster,
+            schedule=mild_schedule(clean_scenario.nranks),
+            network_wrapper=time_warp_wrapper,
+        )
+        report = check_scenario(warped, FAST)
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert kinds & {"psi-bounds", "monotonicity"}
+
+    def test_detection_is_deterministic(self, clean_scenario,
+                                        time_warp_wrapper):
+        warped = Scenario(
+            app=clean_scenario.app, n=clean_scenario.n,
+            cluster=clean_scenario.cluster,
+            schedule=mild_schedule(clean_scenario.nranks),
+            network_wrapper=time_warp_wrapper,
+        )
+        first = check_scenario(warped, FAST)
+        second = check_scenario(warped, FAST)
+        assert [v.kind for v in first.violations] == \
+            [v.kind for v in second.violations]
+        assert first.psi == second.psi
+
+    def test_report_payload_is_json_clean(self, clean_scenario):
+        report = check_scenario(clean_scenario, FAST)
+        payload = report.to_payload()
+        json.dumps(payload)  # must not raise
+        assert payload["ok"] is True
+        assert payload["scenario_hash"] == clean_scenario.scenario_hash()
+
+
+class TestBitIdentity:
+    def test_serial_pool_and_cache_agree(self, clean_scenario):
+        scenario = clean_scenario.with_schedule(
+            mild_schedule(clean_scenario.nranks)
+        )
+        assert check_bit_identity(scenario) == []
+
+
+class TestDumpViolation:
+    def test_artifacts_written(self, clean_scenario, time_warp_wrapper,
+                               tmp_path):
+        warped = Scenario(
+            app=clean_scenario.app, n=clean_scenario.n,
+            cluster=clean_scenario.cluster,
+            schedule=mild_schedule(clean_scenario.nranks),
+            network_wrapper=time_warp_wrapper,
+        )
+        report = check_scenario(warped, FAST)
+        assert not report.ok
+        doc = dump_violation(report, directory=tmp_path / "artifacts")
+        assert doc.is_file()
+        raw = json.loads(doc.read_text())
+        assert raw["kind"] == "fuzz-violation"
+        assert raw["violations"]
+        # The flight ring dump lands alongside the violation document.
+        dumps = list((tmp_path / "artifacts").glob("*flight*.json"))
+        assert dumps

@@ -1,0 +1,149 @@
+"""CLI tests: `repro faults attack` and `repro fuzz run|replay`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import RunLedger
+
+
+@pytest.fixture
+def tiny_cluster():
+    from repro.fuzz import ClusterModel
+
+    return ClusterModel(groups=(("blade", 2), ("v210", 1)), network="bus")
+
+
+class _TimeWarp:
+    """Hostile network model: messages arrive the instant they are sent."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def transfer(self, src, dst, nbytes, start):
+        sender_done, _arrival = self._inner.transfer(src, dst, nbytes, start)
+        return sender_done, start
+
+
+class TestFaultsAttack:
+    def test_smoke_curve_ledger_and_replayable_corpus(self, capsys,
+                                                      tmp_path,
+                                                      monkeypatch):
+        # The ISSUE acceptance path: --smoke produces a worst-case
+        # resilience curve recorded in the ledger, saves the worst
+        # scenario as a corpus case, and immediately replays it
+        # bit-identically.
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        monkeypatch.chdir(tmp_path)
+        code = main(["faults", "attack", "--smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Worst-case resilience curve" in out
+        assert "worst case: psi=" in out
+        assert "replay is bit-identical" in out
+        entries = RunLedger(tmp_path / "ledger").history(source="attack")
+        assert len(entries) == 2  # one run per smoke budget
+        record = RunLedger(tmp_path / "ledger").load(entries[0].run_id)
+        assert "attack_budget" in record["metrics"]
+        assert "attack_score" in record["metrics"]
+        assert record["fault"]["schedule"]["events"]
+        corpus = list((tmp_path / ".repro" / "fuzz" / "corpus").glob("*.json"))
+        assert len(corpus) == 1
+
+    def test_curve_json_out(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out_path = tmp_path / "curve.json"
+        code = main([
+            "faults", "attack", "--app", "mm", "--size", "48",
+            "--cluster", "blade:2", "--budgets", "0.3",
+            "--iterations", "2", "--out", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["app"] == "mm"
+        assert payload["cluster"]["groups"] == [["blade", 2]]
+        assert len(payload["curve"]) == 1
+        assert 0 < payload["curve"][0]["psi"] <= 1.0
+
+    def test_bad_cluster_spec_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["faults", "attack", "--cluster", "blade:lots"])
+        with pytest.raises(SystemExit):
+            main(["faults", "attack", "--cluster", "cray:2"])
+
+
+class TestFuzzRun:
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["fuzz", "run", "--count", "3", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: 3 scenario(s), 0 violating -- OK" in out
+
+    def test_violations_exit_nonzero_with_artifacts(self, capsys, tmp_path,
+                                                    monkeypatch):
+        from repro.fuzz import (
+            register_network_wrapper,
+            unregister_network_wrapper,
+        )
+
+        monkeypatch.chdir(tmp_path)
+        register_network_wrapper("cli-warp", _TimeWarp, replace=True)
+        try:
+            code = main([
+                "fuzz", "run", "--count", "2", "--seed", "0",
+                "--network-wrapper", "cli-warp",
+                "--corpus", str(tmp_path / "corpus"),
+                "--artifacts", str(tmp_path / "artifacts"),
+            ])
+        finally:
+            unregister_network_wrapper("cli-warp")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "corpus case:" in out
+        assert list((tmp_path / "corpus").glob("*.json"))
+        assert list((tmp_path / "artifacts").glob("violation-*.json"))
+
+
+class TestFuzzReplay:
+    def test_empty_corpus_is_ok(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["fuzz", "replay", "--corpus", str(tmp_path / "none")])
+        assert code == 0
+        assert "no corpus cases" in capsys.readouterr().out
+
+    def test_replays_saved_case(self, capsys, tmp_path, monkeypatch,
+                                tiny_cluster):
+        from repro.faults.schedule import FaultSchedule, NodeSlowdown
+        from repro.fuzz import Scenario, make_case, save_case
+
+        monkeypatch.chdir(tmp_path)
+        scenario = Scenario(
+            app="ge", n=64, cluster=tiny_cluster,
+            schedule=FaultSchedule((
+                NodeSlowdown(rank=0, onset=0.0, duration=None,
+                             severity=0.4),
+            )),
+        )
+        save_case(make_case(scenario), tmp_path / "corpus")
+        code = main(["fuzz", "replay", "--corpus", str(tmp_path / "corpus")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 case(s), 0 failing" in out
+
+    def test_drifted_expectation_fails_replay(self, capsys, tmp_path,
+                                              monkeypatch, tiny_cluster):
+        from repro.fuzz import Scenario, make_case, save_case
+
+        monkeypatch.chdir(tmp_path)
+        case = make_case(Scenario(app="ge", n=64, cluster=tiny_cluster))
+        case.expected["makespan"] *= 1.01  # simulate engine drift
+        save_case(case, tmp_path / "corpus")
+        code = main(["fuzz", "replay", "--corpus", str(tmp_path / "corpus")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "mismatch: makespan" in out

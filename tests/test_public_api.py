@@ -10,6 +10,8 @@ PACKAGES = [
     "repro.apps",
     "repro.core",
     "repro.experiments",
+    "repro.faults",
+    "repro.fuzz",
     "repro.machine",
     "repro.mpi",
     "repro.network",
