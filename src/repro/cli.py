@@ -431,8 +431,10 @@ def _build_executor(args: argparse.Namespace):
         raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
     cache = None if getattr(args, "no_cache", False) else RunCache()
     telemetry = bool(getattr(args, "profile", False))
+    keep_pool = not getattr(args, "no_keep_pool", False)
     return SweepExecutor(jobs=jobs, cache=cache, telemetry=telemetry,
-                         progress=_build_progress(args))
+                         progress=_build_progress(args),
+                         keep_pool=keep_pool)
 
 
 def _build_progress(args: argparse.Namespace):
@@ -883,6 +885,11 @@ def build_faults_parser() -> argparse.ArgumentParser:
              "processes (default 1: serial)",
     )
     sweep.add_argument(
+        "--no-keep-pool", action="store_true",
+        help="spawn a throwaway worker pool per batch instead of "
+             "reusing the process-wide warm pool (legacy behavior)",
+    )
+    sweep.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent run cache ($REPRO_CACHE_DIR or "
              ".repro/cache)",
@@ -961,6 +968,11 @@ def build_faults_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--jobs", type=int, default=1, metavar="J",
         help="worker processes for scenario evaluation (default 1)",
+    )
+    attack.add_argument(
+        "--no-keep-pool", action="store_true",
+        help="spawn a throwaway worker pool per batch instead of "
+             "reusing the process-wide warm pool (legacy behavior)",
     )
     attack.add_argument(
         "--no-cache", action="store_true",
@@ -1089,6 +1101,8 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--jobs", type=int, default=1, metavar="J",
                      help="worker processes (default 1)")
+    run.add_argument("--no-keep-pool", action="store_true",
+                     help="throwaway worker pool per batch (legacy)")
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the persistent run cache")
     run.set_defaults(func=cmd_fuzz_run)
@@ -1103,6 +1117,8 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--jobs", type=int, default=1, metavar="J",
                         help="worker processes (default 1)")
+    replay.add_argument("--no-keep-pool", action="store_true",
+                        help="throwaway worker pool per batch (legacy)")
     replay.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent run cache")
     replay.set_defaults(func=cmd_fuzz_replay)
@@ -1163,9 +1179,16 @@ def cmd_sweep_profile(args: argparse.Namespace) -> int:
             from .obs.ledger import RunLedger
 
             stack.enter_context(ledger_recording(RunLedger(args.ledger)))
+        keep_pool = not args.no_keep_pool
+        if args.warm_pool and keep_pool:
+            # Pay the one-off worker spawn before the profiled window,
+            # so the report shows the steady-state (warm-pool) sweep.
+            from .experiments.pool import shared_pool
+
+            shared_pool(args.jobs).warm_up()
         executor = SweepExecutor(
             jobs=args.jobs, cache=cache, telemetry=True,
-            progress=_build_progress(args),
+            progress=_build_progress(args), keep_pool=keep_pool,
         )
         efficiency_curve(app, cluster, sizes, executor=executor)
         timeline = executor.timeline
@@ -1241,6 +1264,17 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--no-serial", action="store_true",
         help="skip the serial reference sweep (no speedup comparison "
              "in the report)",
+    )
+    profile.add_argument(
+        "--warm-pool", action="store_true",
+        help="pre-spawn the shared worker pool before the profiled "
+             "sweep, so the report shows the steady-state warm-pool "
+             "phase table (no spawn cost in the window)",
+    )
+    profile.add_argument(
+        "--no-keep-pool", action="store_true",
+        help="profile the legacy throwaway pool-per-batch path instead "
+             "of the persistent warm pool",
     )
     profile.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -1560,6 +1594,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="J",
         help="fan independent sweep points over J worker processes "
              "(default 1: serial, bit-identical to the legacy path)",
+    )
+    parser.add_argument(
+        "--no-keep-pool", action="store_true",
+        help="spawn a throwaway worker pool per batch instead of "
+             "reusing the process-wide warm pool (legacy behavior; "
+             "useful to benchmark what the warm pool saves)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",

@@ -4,9 +4,15 @@ Scalability studies (efficiency curves, required-size bisections, fault
 sweeps) sample many independent ``(app, cluster, N)`` simulation points.
 :class:`SweepExecutor` removes the two dominant costs of that regime:
 
-* **Parallelism** -- independent points fan out over a
-  ``concurrent.futures.ProcessPoolExecutor`` (``jobs=``; the default of 1
-  executes in-process, preserving the legacy serial path bit for bit).
+* **Parallelism** -- independent points fan out over a persistent warm
+  :class:`~repro.experiments.pool.WorkerPool` (``jobs=``; the default of
+  1 executes in-process, preserving the legacy serial path bit for
+  bit).  The pool is spawned once per process and reused by every
+  batch, sweep and bisection probe; tasks are dispatched in adaptive
+  chunks and reference interned cluster/fault-schedule specs by hash
+  instead of shipping them per task (see :mod:`repro.experiments.pool`).
+  ``keep_pool=False`` restores the legacy throwaway pool-per-batch
+  behavior (useful to benchmark exactly what the warm pool saves).
 * **Caching** -- a persistent :class:`RunCache` under ``.repro/cache/``
   stores finished runs as versioned JSON documents keyed by a
   deterministic profile hash (app, N, cluster spec hash, run kwargs such
@@ -28,7 +34,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -43,6 +48,7 @@ from ..obs.telemetry import BUSY_PHASES, ROOT_SPAN, SweepTimeline
 from ..sim.engine import RunResult
 from ..sim.trace import RankStats
 from . import runner as _runner
+from .pool import WorkerPool, publish_spec, resolve_spec, shared_pool, spec_key
 from .persistence import (
     measurement_from_dict,
     measurement_to_dict,
@@ -295,6 +301,50 @@ class RunCache:
 
 # -- worker-side execution ----------------------------------------------------
 
+def _encode_task(point: SweepPoint, pool: WorkerPool) -> tuple:
+    """Compact pool-task form of a point: specs travel by intern hash.
+
+    The cluster spec and fault schedule are replaced by
+    ``(spec_hash, payload)`` references (payload ``None`` when the
+    workers already hold the spec -- published before the pool spawned),
+    so a typical task ships only ``(app, N, kwargs, spec_hash)``.
+    """
+    return (
+        point.app,
+        point.n,
+        point.kwargs,
+        point.local,
+        pool.encode_spec(point.cluster),
+        pool.encode_spec(point.schedule)
+        if point.schedule is not None else None,
+    )
+
+
+def _decode_task(task: tuple) -> SweepPoint:
+    """Worker-side inverse of :func:`_encode_task` (interns on miss)."""
+    app, n, kwargs, local, cluster_ref, schedule_ref = task
+    return SweepPoint(
+        app=app,
+        cluster=resolve_spec(cluster_ref),
+        n=n,
+        kwargs=kwargs,
+        local=local,
+        schedule=(resolve_spec(schedule_ref)
+                  if schedule_ref is not None else None),
+    )
+
+
+def _publish_batch_specs(batch: Sequence[SweepPoint]) -> None:
+    """Publish every spec of a batch *before* the pool (re)spawns, so a
+    cold spawn's initializer snapshot already carries them and no task
+    of the very first batch ships a spec inline."""
+    for point in batch:
+        for obj in (point.cluster, point.schedule):
+            key = spec_key(obj)
+            if key is not None:
+                publish_spec(key, obj)
+
+
 def _run_point(point: SweepPoint) -> tuple[RunRecord, Any]:
     """Execute one point; returns ``(record, injector-or-None)``."""
     kwargs = point.run_kwargs()
@@ -313,12 +363,15 @@ def _run_point(point: SweepPoint) -> tuple[RunRecord, Any]:
     return record, injector
 
 
-def _pool_worker(point: SweepPoint) -> dict[str, Any]:
+def _pool_worker(task: tuple) -> dict[str, Any]:
     """Process-pool entry: run a point and return its JSON-ready payload.
 
-    Ambient observers (ledger, trace collector) inherited through fork
-    are suspended -- the parent executor is the recording authority.
+    ``task`` is the compact :func:`_encode_task` form (specs by intern
+    hash).  Ambient observers (ledger, trace collector) inherited
+    through fork are suspended -- the parent executor is the recording
+    authority.
     """
+    point = _decode_task(task)
     prev_ledger, _runner._ACTIVE_LEDGER = _runner._ACTIVE_LEDGER, None
     prev_coll, _runner._ACTIVE_COLLECTOR = _runner._ACTIVE_COLLECTOR, None
     try:
@@ -329,21 +382,21 @@ def _pool_worker(point: SweepPoint) -> dict[str, Any]:
         _runner._ACTIVE_COLLECTOR = prev_coll
 
 
-def _telemetry_pool_worker(
-    task: tuple[SweepPoint, float],
-) -> dict[str, Any]:
+def _telemetry_pool_worker(task: tuple[tuple, float]) -> dict[str, Any]:
     """Telemetry twin of :func:`_pool_worker`.
 
-    ``task`` pairs the point with its parent-side submit timestamp; the
-    worker records a ``queue_wait`` span from it (spawn + pickle + queue
-    latency), an ``engine_run`` span around the simulation and a
-    ``serialize`` span around payload building, then ships its new spans
-    (including the one-time ``spawn`` span the pool initializer
-    recorded) back alongside the payload.
+    ``task`` pairs the compact task with its parent-side submit
+    timestamp; the worker records a ``queue_wait`` span from it (pickle
+    + queue + wait-for-free-worker latency), an ``engine_run`` span
+    around the simulation and a ``serialize`` span around payload
+    building, then ships its new spans (including, once per worker
+    lifetime, the ``spawn`` span the pool initializer recorded) back
+    alongside the payload.
     """
     from ..obs.telemetry import worker_telemetry
 
-    point, submitted_at = task
+    compact, submitted_at = task
+    point = _decode_task(compact)
     worker = worker_telemetry()
     worker.start_task(submitted_at)
     prev_ledger, _runner._ACTIVE_LEDGER = _runner._ACTIVE_LEDGER, None
@@ -375,7 +428,19 @@ class SweepExecutor:
 
     Points carrying side-effect kwargs, and every point while a trace
     collector is active, execute in-process and bypass the cache -- a
-    replayed record cannot produce a trace.
+    replayed record cannot produce a trace.  (The trace-collector case
+    is surfaced with a one-time ``sweep.trace_serial_fallback`` warning
+    when ``jobs > 1`` would otherwise suggest parallel execution.)
+
+    Parallel batches run on a persistent
+    :class:`~repro.experiments.pool.WorkerPool`: with the default
+    ``keep_pool=True`` (and no pinned ``start_method``) the
+    process-global shared pool for ``jobs`` workers, spawned once and
+    reused across batches, sweeps, executors and bisection probes.
+    ``keep_pool=False`` restores the legacy spawn-per-batch behavior;
+    ``start_method="spawn"`` (etc.) pins the multiprocessing start
+    method on an executor-private persistent pool (release it with
+    :meth:`close`).
 
     ``telemetry=True`` additionally records cross-process wall-clock
     spans for every phase of the sweep (spawn, queue-wait, cache probe,
@@ -405,6 +470,8 @@ class SweepExecutor:
         log: Any = None,
         telemetry: bool = False,
         progress: Any = None,
+        keep_pool: bool = True,
+        start_method: str | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -413,6 +480,13 @@ class SweepExecutor:
         self.log = log
         self.telemetry = bool(telemetry)
         self.progress = progress
+        self.keep_pool = bool(keep_pool)
+        self.start_method = start_method
+        #: The pool used by the most recent parallel batch (tests and
+        #: the CLI's profile report read ``pool.spawns`` off it).
+        self.pool: WorkerPool | None = None
+        self._private_pool: WorkerPool | None = None
+        self._warned_trace_serial = False
         self.timeline: SweepTimeline | None = None
         self._setup_spans: list[Span] = []
         if metrics is None:
@@ -420,6 +494,15 @@ class SweepExecutor:
 
             metrics = MetricsRegistry()
         self.metrics = metrics
+
+    def close(self) -> None:
+        """Shut down this executor's private pool, if any.  Shared pools
+        (the ``keep_pool=True`` default) outlive the executor and are
+        torn down at interpreter exit or via
+        :func:`~repro.experiments.pool.shutdown_worker_pools`."""
+        pool, self._private_pool = self._private_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # -- bookkeeping -------------------------------------------------------
     @property
@@ -576,6 +659,8 @@ class SweepExecutor:
         parallelizable: list[int] = []
         keys: list[str | None] = []
         collector_active = _runner._ACTIVE_COLLECTOR is not None
+        if collector_active and self.jobs > 1 and points:
+            self._warn_trace_serial(len(points))
         for idx, point in enumerate(points):
             key = None
             cached = None
@@ -605,19 +690,16 @@ class SweepExecutor:
 
         if self.jobs > 1 and len(parallelizable) > 1:
             batch = [points[i] for i in parallelizable]
-            workers = min(self.jobs, len(batch))
-            if timeline is not None:
-                payloads = self._run_pool_telemetered(
-                    batch, workers, timeline
-                )
-            else:
-                with _make_pool(workers) as pool:
-                    payloads = []
-                    for payload in pool.map(
-                        _pool_worker, batch, chunksize=1
-                    ):
-                        payloads.append(payload)
-                        self._tick()
+            pool = self._acquire_pool()
+            try:
+                if timeline is not None:
+                    payloads = self._run_pool_telemetered(
+                        batch, pool, timeline
+                    )
+                else:
+                    payloads = self._run_pool(batch, pool)
+            finally:
+                self._release_pool(pool, timeline)
             for idx, payload in zip(parallelizable, payloads):
                 with _maybe_span(timeline, "collect", point=idx):
                     record = run_record_from_payload(payload)
@@ -664,35 +746,124 @@ class SweepExecutor:
             timeline.cache_hits = sum(flags)
         return out
 
-    def _run_pool_telemetered(
-        self, batch: list[SweepPoint], workers: int, timeline: SweepTimeline
+    def _acquire_pool(self) -> WorkerPool:
+        """The pool for the next batch.
+
+        ``keep_pool=True`` (default) without a pinned start method uses
+        the process-global :func:`~repro.experiments.pool.shared_pool`
+        for ``jobs`` workers -- spawned once, reused by every batch,
+        sweep and bisection probe in this process.  A pinned
+        ``start_method`` gets an executor-private persistent pool (still
+        warm across this executor's batches; see :meth:`close`).
+        ``keep_pool=False`` reproduces the legacy throwaway
+        pool-per-batch behavior for A/B benchmarking.
+        """
+        if self.keep_pool and self.start_method is None:
+            pool = shared_pool(self.jobs)
+        elif self.keep_pool:
+            if self._private_pool is None:
+                self._private_pool = WorkerPool(
+                    self.jobs, start_method=self.start_method
+                )
+            pool = self._private_pool
+        else:
+            pool = WorkerPool(self.jobs, start_method=self.start_method)
+        self.pool = pool
+        return pool
+
+    def _release_pool(
+        self, pool: WorkerPool, timeline: SweepTimeline | None
+    ) -> None:
+        """After a batch: throwaway pools shut down (the legacy cost,
+        attributed to ``collect``); persistent pools stay warm."""
+        if self.keep_pool:
+            return
+        # Sentinel delivery + worker joins are real legacy-path overhead;
+        # attribute them to collect rather than leaving a coverage hole
+        # at the tail of the sweep window.
+        with _maybe_span(timeline, "collect", shutdown=True):
+            pool.shutdown(wait=True)
+
+    def _run_pool(
+        self, batch: list[SweepPoint], pool: WorkerPool
     ) -> list[dict[str, Any]]:
-        """Fan a batch out with worker telemetry: timestamped submits, a
-        spawn-stamping pool initializer, and shipped-span collection."""
-        created_at = wall_now()
-        with timeline.parent.span("spawn", workers=workers):
-            pool = _make_pool(workers, telemetry_created_at=created_at)
+        """Fan a batch out over the (warm) pool, untelemetered."""
+        _publish_batch_specs(batch)
+        pool.ensure()
+        tasks = [_encode_task(point, pool) for point in batch]
         payloads: list[dict[str, Any]] = []
-        try:
-            tasks = [(point, wall_now()) for point in batch]
-            for item in pool.map(_telemetry_pool_worker, tasks, chunksize=1):
-                timeline.add_worker_spans(item["spans"])
-                if self.progress is not None:
-                    # Live worker utilization: credit the busy-phase
-                    # (engine_run/serialize) seconds this result shipped.
-                    self.progress.note_busy_seconds(sum(
-                        d["end"] - d["start"] for d in item["spans"]
-                        if d["name"] in BUSY_PHASES
-                    ))
-                self._tick()
-                payloads.append(item["payload"])
-        finally:
-            # Sentinel delivery + worker joins are real parallel-path
-            # overhead; attribute them to collect rather than leaving a
-            # coverage hole at the tail of the sweep window.
-            with timeline.parent.span("collect", shutdown=True):
-                pool.shutdown(wait=True)
+        for payload in pool.map(_pool_worker, tasks):
+            payloads.append(payload)
+            self._tick()
         return payloads
+
+    def _run_pool_telemetered(
+        self, batch: list[SweepPoint], pool: WorkerPool,
+        timeline: SweepTimeline,
+    ) -> list[dict[str, Any]]:
+        """Telemetry twin of :meth:`_run_pool`: timestamped submits,
+        warm-vs-cold spawn attribution, and shipped-span collection.
+
+        A cold batch records a parent ``spawn`` span around the pool
+        handle creation (workers fork lazily at first submit; their real
+        startup cost arrives as worker-side ``spawn`` spans stamped from
+        the pool-creation timestamp).  A warm batch records *no* spawn
+        span and sets :attr:`SweepTimeline.pool_reuse` -- and spawn
+        spans a long-lived worker already shipped to an earlier batch
+        are filtered by the batch epoch so reuse is visible in the
+        phase table, not double-counted.
+        """
+        epoch = wall_now()
+        _publish_batch_specs(batch)
+        if pool.needs_spawn():
+            with timeline.parent.span("spawn", workers=pool.workers):
+                pool.ensure()
+            timeline.pool_spawns += 1
+        else:
+            timeline.pool_reuse = True
+        tasks = [(_encode_task(point, pool), wall_now()) for point in batch]
+        payloads: list[dict[str, Any]] = []
+        for item in pool.map(_telemetry_pool_worker, tasks):
+            spans = [
+                d for d in item["spans"]
+                if not (d["name"] == "spawn" and d["end"] < epoch)
+            ]
+            timeline.stale_spawn_spans += len(item["spans"]) - len(spans)
+            timeline.add_worker_spans(spans)
+            if self.progress is not None:
+                # Live worker utilization: credit the busy-phase
+                # (engine_run/serialize) seconds this result shipped.
+                self.progress.note_busy_seconds(sum(
+                    d["end"] - d["start"] for d in spans
+                    if d["name"] in BUSY_PHASES
+                ))
+            self._tick()
+            payloads.append(item["payload"])
+        return payloads
+
+    def _warn_trace_serial(self, npoints: int) -> None:
+        """Explain (once) why a ``--jobs`` sweep went serial: an active
+        :class:`~repro.experiments.runner.TraceCollector` needs every
+        run's tracer in-process, which neither a worker nor a cached
+        replay can provide."""
+        if self._warned_trace_serial:
+            return
+        self._warned_trace_serial = True
+        log = self.log
+        if log is None:
+            from ..obs.structlog import stderr_logger
+
+            log = stderr_logger()
+        log.warn_once(
+            "sweep.trace_serial_fallback",
+            "sweep.trace_serial_fallback",
+            jobs=self.jobs,
+            points=npoints,
+            reason=(
+                "an active TraceCollector needs in-process tracers; "
+                "points run serial and uncached while it is collecting"
+            ),
+        )
 
     def _cache_put(
         self, key: str, point: SweepPoint, payload: dict[str, Any]
@@ -706,30 +877,6 @@ class SweepExecutor:
         except OSError:
             if self.log is not None:
                 self.log.event("sweep.cache_write_failed", key=key)
-
-
-def _make_pool(
-    workers: int, telemetry_created_at: float | None = None
-) -> ProcessPoolExecutor:
-    """A process pool preferring fork (inherits warm marked-speed caches).
-
-    With ``telemetry_created_at`` every worker runs the telemetry
-    initializer at startup, recording its own ``spawn`` span from that
-    parent-side pool-creation timestamp.
-    """
-    import multiprocessing
-
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork
-        ctx = multiprocessing.get_context()
-    kwargs: dict[str, Any] = {}
-    if telemetry_created_at is not None:
-        from ..obs.telemetry import init_worker_telemetry
-
-        kwargs["initializer"] = init_worker_telemetry
-        kwargs["initargs"] = (telemetry_created_at,)
-    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx, **kwargs)
 
 
 @contextmanager

@@ -1,0 +1,328 @@
+"""Persistent warm worker pools and shared-once spec interning.
+
+PR 6's cross-process telemetry pinned why a cold ``--jobs 2`` sweep was
+*slower* than serial (``BENCH_sweep.json`` recorded 0.61x): every batch
+paid a fresh ``ProcessPoolExecutor`` spawn, every task shipped its full
+cluster spec and fault schedule, and ``chunksize=1`` dispatch put a
+queue round-trip behind every ~35 ms simulation.  This module removes
+the per-batch costs:
+
+* :class:`WorkerPool` -- a lazily-spawned process pool that *survives*
+  across batches and sweeps.  :func:`shared_pool` hands out one
+  process-global pool per worker count (spawned once per process,
+  reused by every executor, bisection probe batch and CLI command in
+  that process; shut down at interpreter exit or explicitly via
+  :func:`shutdown_worker_pools`).  Fork-safety is guarded: a pool
+  handle inherited into a forked child is detected by pid and
+  re-spawned rather than used, and a broken pool is discarded so the
+  next batch gets a fresh one.
+
+* **Shared-once specs** -- cluster specs and fault schedules are
+  interned in workers under a deterministic spec hash
+  (:func:`spec_key`).  Specs published before the pool spawns travel
+  once through the pool initializer (fork inherits them for free; the
+  ``spawn`` start method pickles them once per worker), so each task
+  ships only ``(app, N, kwargs, spec_hash)``.  Specs first seen while
+  the pool is already warm ride along inline exactly once per task and
+  are interned on arrival; repeated hashes then hit the per-worker
+  cache (:func:`spec_cache_stats`).
+
+The pool is transport only: workers run the same ``_run_point`` code on
+value-equal specs (fork-inherited objects are bit-identical; pickled
+ones round-trip exactly), so results are bit-identical to the serial
+path -- test-enforced.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Iterator
+
+from ..obs.spans import wall_now
+
+__all__ = [
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_worker_pools",
+    "spec_key",
+    "publish_spec",
+    "resolve_spec",
+    "spec_cache_stats",
+]
+
+
+# -- spec interning ------------------------------------------------------------
+
+#: Per-process intern table: spec hash -> spec object.  In the parent it
+#: is the publication registry (snapshot shipped to workers at spawn);
+#: in a worker it is the cache that lets tasks reference specs by hash.
+_SPECS: dict[str, Any] = {}
+
+#: Per-process cache accounting for :func:`resolve_spec`.
+_SPEC_STATS = {"hits": 0, "misses": 0}
+
+
+def spec_key(obj: Any) -> str | None:
+    """Deterministic intern key of a shareable spec, or ``None``.
+
+    Cluster specs key on :func:`~repro.obs.ledger.cluster_spec_hash`
+    (everything that determines timing); fault schedules on their
+    ``profile_hash()``.  Anything else has no key and is shipped inline
+    with each task, uninterned.
+    """
+    if obj is None:
+        return None
+    from ..machine.cluster import ClusterSpec
+
+    if isinstance(obj, ClusterSpec):
+        from ..obs.ledger import cluster_spec_hash
+
+        return f"cluster:{cluster_spec_hash(obj)}"
+    profile = getattr(obj, "profile_hash", None)
+    if callable(profile):
+        return f"schedule:{profile()}"
+    return None
+
+
+def publish_spec(key: str, value: Any) -> None:
+    """Register a spec in this process's intern table.
+
+    In the parent, published specs are snapshotted into the initializer
+    of every pool spawned afterwards, so workers resolve their hash
+    without the spec ever riding a task payload.
+    """
+    _SPECS[key] = value
+
+
+def resolve_spec(ref: tuple[str | None, Any]) -> Any:
+    """Worker-side lookup of a ``(key, payload)`` spec reference.
+
+    ``key=None`` means the value is uninterned and rides inline.  A
+    known key returns the cached spec (a *hit*: the payload, if any,
+    is ignored); an unknown key with an inline payload interns it (a
+    *miss*) so the next task referencing the same hash hits.
+    """
+    key, payload = ref
+    if key is None:
+        return payload
+    cached = _SPECS.get(key)
+    if cached is not None:
+        _SPEC_STATS["hits"] += 1
+        return cached
+    _SPEC_STATS["misses"] += 1
+    if payload is None:
+        raise KeyError(
+            f"spec {key!r} is not interned in this process and the task "
+            "shipped no inline payload"
+        )
+    _SPECS[key] = payload
+    return payload
+
+
+def spec_cache_stats() -> dict[str, int]:
+    """This process's intern-cache hit/miss counters (diagnostics)."""
+    return dict(_SPEC_STATS)
+
+
+def _reset_spec_cache() -> None:
+    """Testing hook: clear the intern table and counters."""
+    _SPECS.clear()
+    _SPEC_STATS["hits"] = 0
+    _SPEC_STATS["misses"] = 0
+
+
+def _init_worker(pool_created_at: float, specs: dict[str, Any]) -> None:
+    """Pool initializer run once in every worker at startup.
+
+    Installs the worker's telemetry (stamping a ``spawn`` span from the
+    parent-side pool-creation timestamp -- under *both* the fork and
+    spawn start methods, since the timestamp travels through
+    ``initargs`` rather than relying on fork inheritance) and seeds the
+    spec intern table with the parent's published snapshot.
+    """
+    from ..obs.telemetry import init_worker_telemetry
+
+    init_worker_telemetry(pool_created_at)
+    _SPECS.update(specs)
+
+
+# -- the persistent pool -------------------------------------------------------
+
+class WorkerPool:
+    """A lazily-spawned process pool that survives across batches.
+
+    The pool is created empty; :meth:`ensure` spawns the underlying
+    ``ProcessPoolExecutor`` on first use and is a cheap no-op while the
+    pool stays healthy, so callers simply ``ensure()`` before every
+    batch.  :attr:`spawns` counts cold spawns over the pool's lifetime
+    (the pool-reuse telemetry marker and CI assertions read it).
+
+    Fork-safety: the owning pid is recorded at spawn; a handle
+    inherited into a forked child is silently discarded and re-spawned
+    there rather than corrupting the parent's queues.  A
+    ``BrokenProcessPool`` poisons only the current batch -- the dead
+    executor is dropped so the next ``ensure()`` starts fresh.
+
+    ``start_method`` pins the multiprocessing start method (tests force
+    ``"spawn"`` to cover the no-fork platforms); the default prefers
+    fork, which inherits warm marked-speed caches and published specs
+    for free.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.start_method = start_method
+        self.spawns = 0
+        self.created_at: float | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pid: int | None = None
+        self._published: frozenset[str] = frozenset()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True when a usable executor exists in *this* process."""
+        return self._pool is not None and self._pid == os.getpid()
+
+    def needs_spawn(self) -> bool:
+        """Would the next :meth:`ensure` call cold-spawn workers?"""
+        return not self.alive
+
+    def ensure(self) -> bool:
+        """Spawn the pool if needed; returns True on a cold spawn."""
+        if self._pool is not None and self._pid != os.getpid():
+            # Inherited across fork: the handle's queues belong to the
+            # parent.  Drop it (the parent's copy stays valid there).
+            self._pool = None
+        if self._pool is None:
+            self._spawn()
+            return True
+        return False
+
+    def _spawn(self) -> None:
+        import multiprocessing
+
+        if self.start_method is not None:
+            ctx = multiprocessing.get_context(self.start_method)
+        else:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork
+                ctx = multiprocessing.get_context()
+        self.created_at = wall_now()
+        snapshot = dict(_SPECS)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.created_at, snapshot),
+        )
+        self._pid = os.getpid()
+        self._published = frozenset(snapshot)
+        self.spawns += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Terminate the workers; the next :meth:`ensure` re-spawns."""
+        pool, self._pool = self._pool, None
+        self._published = frozenset()
+        if pool is not None and self._pid == os.getpid():
+            pool.shutdown(wait=wait)
+        self._pid = None
+
+    def warm_up(self) -> None:
+        """Force every worker to exist *now* (spawn is otherwise lazy:
+        ``ProcessPoolExecutor`` forks workers at first submit).  Used to
+        take the one-off spawn cost outside a measured window."""
+        self.ensure()
+        list(self.map(_warmup_probe, range(self.workers)))
+
+    # -- spec publication --------------------------------------------------
+    def encode_spec(self, obj: Any) -> tuple[str | None, Any]:
+        """A ``(key, payload)`` reference for shipping ``obj`` to a task.
+
+        Publishes the spec so pools spawned later inherit it.  Specs the
+        workers already hold (published before this pool spawned) ship
+        as ``(key, None)`` -- the hash alone; later-published specs ride
+        inline once per task and are interned on arrival.
+        """
+        key = spec_key(obj)
+        if key is None:
+            return (None, obj)
+        if key not in _SPECS:
+            publish_spec(key, obj)
+        if key in self._published:
+            return (key, None)
+        return (key, obj)
+
+    # -- dispatch ----------------------------------------------------------
+    def chunksize_for(self, tasks: int) -> int:
+        """Adaptive chunking: ~4 chunks per worker balances scheduling
+        freedom against per-task queue round-trips."""
+        return max(1, tasks // (4 * self.workers))
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        chunksize: int | None = None,
+    ) -> Iterator[Any]:
+        """Ordered map over the live pool (ensure first).
+
+        A ``BrokenProcessPool`` drops the dead executor before
+        re-raising, so the pool heals on its next use.
+        """
+        self.ensure()
+        if chunksize is None:
+            tasks = list(tasks)
+            chunksize = self.chunksize_for(len(tasks))
+        try:
+            yield from self._pool.map(fn, tasks, chunksize=chunksize)
+        except BrokenProcessPool:
+            self._pool = None
+            self._published = frozenset()
+            self._pid = None
+            raise
+
+
+def _warmup_probe(_: int) -> int:
+    """No-op task used by :meth:`WorkerPool.warm_up`."""
+    return os.getpid()
+
+
+# -- process-global shared pools ----------------------------------------------
+
+#: One persistent pool per worker count (a ``jobs=2`` executor must not
+#: fan wider than 2, so differently-sized requests get separate pools).
+_POOLS: dict[int, WorkerPool] = {}
+_ATEXIT_REGISTERED = False
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-global persistent pool for ``workers`` workers.
+
+    Spawned lazily on first use and reused by every executor in the
+    process -- consecutive sweeps, bracket-doubling/bisection probe
+    batches and CLI commands all share it.  Shut down at interpreter
+    exit (or explicitly with :func:`shutdown_worker_pools`).
+    """
+    global _ATEXIT_REGISTERED
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = WorkerPool(workers)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_worker_pools)
+            _ATEXIT_REGISTERED = True
+    return pool
+
+
+def shutdown_worker_pools(wait: bool = True) -> None:
+    """Terminate every shared pool (tests, explicit cleanup, atexit)."""
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)

@@ -155,6 +155,14 @@ class SweepTimeline:
         self.cache_hits = 0
         self.parent = SpanRecorder(worker="parent")
         self.worker_spans: list[Span] = []
+        #: Warm-vs-cold pool attribution: True when the parallel batch
+        #: reused an already-spawned persistent pool (no spawn cost paid).
+        self.pool_reuse = False
+        #: Cold pool spawns this sweep paid for (0 on a warm sweep).
+        self.pool_spawns = 0
+        #: Worker spawn spans shipped this sweep but belonging to an
+        #: earlier batch's cold spawn (filtered out of the phase table).
+        self.stale_spawn_spans = 0
 
     # -- accumulation ------------------------------------------------------
     def add_worker_spans(
@@ -285,6 +293,11 @@ class SweepTimeline:
             "phase_counts": self.phase_counts(),
             "setup_spans": self.setup_totals(),
             "workers": self.worker_summaries(),
+            "pool": {
+                "reuse": self.pool_reuse,
+                "spawns": self.pool_spawns,
+                "stale_spawn_spans": self.stale_spawn_spans,
+            },
         }
 
     def flat_metrics(self) -> dict[str, float]:
@@ -295,6 +308,8 @@ class SweepTimeline:
             "jobs": float(self.jobs),
             "telemetry_coverage": self.coverage(),
             "worker_utilization_mean": self.mean_utilization(),
+            "pool_reuse": 1.0 if self.pool_reuse else 0.0,
+            "pool_spawns": float(self.pool_spawns),
         }
         for phase, seconds in self.phase_totals().items():
             metrics[f"phase_{phase}_seconds"] = seconds
@@ -357,6 +372,18 @@ class SweepTimeline:
             f"{self.jobs}; phase coverage of wall: "
             f"{100.0 * self.coverage():.1f}%"
         )
+        if self.pool_reuse:
+            lines.append(
+                "worker pool: reused warm (no spawn paid"
+                + (f"; {self.stale_spawn_spans} stale spawn span(s) "
+                   "filtered" if self.stale_spawn_spans else "")
+                + ")"
+            )
+        elif self.pool_spawns:
+            lines.append(
+                f"worker pool: cold ({self.pool_spawns} spawn(s) paid "
+                "this sweep; subsequent sweeps in this process reuse it)"
+            )
         summaries = self.worker_summaries()
         if summaries:
             lines.append(

@@ -31,9 +31,16 @@ class TestAcceptance:
         self, ge2_cluster, tmp_path
     ):
         """The headline gate: cold, jobs=2, every phase observed and
-        >=95% of the wall explained by named phase spans."""
+        >=95% of the wall explained by named phase spans.
+
+        ``keep_pool=False`` forces a genuinely cold (throwaway) pool --
+        the process-wide shared pool may already be warm from an
+        earlier test, and a warm sweep legitimately has no spawn phase
+        (covered by ``TestPoolReuse``).
+        """
         exe = SweepExecutor(
-            jobs=2, cache=fresh_cache(tmp_path), telemetry=True
+            jobs=2, cache=fresh_cache(tmp_path), telemetry=True,
+            keep_pool=False,
         )
         efficiency_curve("ge", ge2_cluster, SIZES, executor=exe)
         timeline = exe.timeline
@@ -44,6 +51,8 @@ class TestAcceptance:
             assert totals[phase] > 0.0, f"phase {phase} unobserved: {totals}"
         assert timeline.wall_seconds > 0.0
         assert timeline.coverage() >= 0.95
+        assert timeline.pool_spawns == 1
+        assert timeline.pool_reuse is False
 
     def test_worker_summaries_cover_the_pool(self, ge2_cluster, tmp_path):
         exe = SweepExecutor(

@@ -14,9 +14,12 @@ from repro.cli import main
 from repro.obs.ledger import RunLedger
 from repro.obs.telemetry import PHASES
 
+# --no-keep-pool forces a genuinely cold (throwaway) pool so the spawn
+# phase is observed even when earlier tests already warmed the shared
+# pool in this process; TestWarmPool covers the reuse path.
 PROFILE_ARGS = [
     "sweep", "profile", "--app", "ge", "--nodes", "2",
-    "--sizes", "60", "90", "120", "--jobs", "2",
+    "--sizes", "60", "90", "120", "--jobs", "2", "--no-keep-pool",
 ]
 
 
@@ -51,6 +54,25 @@ class TestSweepProfile:
         assert payload["speedup"] == pytest.approx(
             payload["serial_seconds"] / payload["parallel_seconds"]
         )
+
+    def test_warm_pool_profile_pays_no_spawn(self, capsys, tmp_path):
+        """--warm-pool pre-spawns the shared pool outside the profiled
+        window: the report shows reuse and a spawn-free phase table."""
+        out_path = tmp_path / "warm.json"
+        args = [
+            "sweep", "profile", "--app", "ge", "--nodes", "2",
+            "--sizes", "60", "90", "120", "--jobs", "2",
+            "--warm-pool", "--no-serial", "--out", str(out_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "reused warm" in out
+        payload = json.loads(out_path.read_text())
+        telemetry = payload["telemetry"]
+        assert telemetry["pool"]["reuse"] is True
+        assert telemetry["pool"]["spawns"] == 0
+        assert telemetry["phases"]["spawn"] == 0.0
+        assert telemetry["coverage"] >= 0.95
 
     def test_trace_out_has_labeled_worker_tracks(self, capsys, tmp_path):
         trace_path = tmp_path / "timeline.json"
