@@ -55,7 +55,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
 
 
 def cmd_table2(args: argparse.Namespace) -> None:
-    rows = tables.table2_ge_two_nodes()
+    rows = tables.table2_ge_two_nodes(network_kind=_network_kind(args))
     _print(
         format_table(
             ["rank N", "workload W (flops)", "time T (s)",
@@ -79,7 +79,9 @@ def _node_counts(args: argparse.Namespace) -> tuple[int, ...]:
 
 
 def cmd_table3(args: argparse.Namespace) -> list[tables.RequiredRankRow]:
-    rows = tables.table3_required_rank(node_counts=_node_counts(args))
+    rows = tables.table3_required_rank(
+        node_counts=_node_counts(args), network_kind=_network_kind(args)
+    )
     _print(
         format_table(
             ["nodes", "processes", "rank N", "workload W",
@@ -111,7 +113,9 @@ def cmd_table4(args: argparse.Namespace) -> None:
 
 
 def cmd_table5(args: argparse.Namespace) -> None:
-    rows = tables.table5_mm_required_rank(node_counts=_node_counts(args))
+    rows = tables.table5_mm_required_rank(
+        node_counts=_node_counts(args), network_kind=_network_kind(args)
+    )
     curve = tables.table5_mm_scalability(rows)
     _print(
         format_table(
@@ -126,7 +130,9 @@ def cmd_table5(args: argparse.Namespace) -> None:
 
 
 def cmd_table6(args: argparse.Namespace) -> list[tables.PredictedRankRow]:
-    rows = tables.table6_predicted_rank(node_counts=_node_counts(args))
+    rows = tables.table6_predicted_rank(
+        node_counts=_node_counts(args), network_kind=_network_kind(args)
+    )
     _print(
         format_table(
             ["nodes", "processes", "predicted rank N"],
@@ -150,7 +156,7 @@ def cmd_table7(args: argparse.Namespace) -> None:
 
 
 def cmd_fig1(args: argparse.Namespace) -> None:
-    fig = figures.figure1_ge_two_nodes()
+    fig = figures.figure1_ge_two_nodes(network_kind=_network_kind(args))
     _print(
         format_series(
             "rank N", "speed-efficiency", fig.series.points,
@@ -167,7 +173,8 @@ def cmd_fig1(args: argparse.Namespace) -> None:
 
 def cmd_fig2(args: argparse.Namespace) -> None:
     fig = figures.figure2_mm_curves(
-        node_counts=_node_counts(args), samples=args.samples
+        node_counts=_node_counts(args), samples=args.samples,
+        network_kind=_network_kind(args),
     )
     for series in fig.series:
         _print(
@@ -186,19 +193,35 @@ def cmd_fig2(args: argparse.Namespace) -> None:
     )
 
 
-def _cluster_for(app: str, nodes: int):
+def _network_kind(args: argparse.Namespace) -> str:
+    """Validated network spec from ``--network`` (default: the paper's
+    shared bus)."""
+    from .network.ethernet import known_network_spec
+
+    spec = getattr(args, "network", None) or "bus"
+    if not known_network_spec(spec):
+        raise SystemExit(
+            f"error: unknown network spec {spec!r} (flat kinds: bus, "
+            "switch, zero; hierarchical: fat-tree[:nodes_per_edge"
+            "[:oversubscription[:edges_per_pod]]], torus[:width[:height]], "
+            "tiered[:nodes_per_rack[:racks_per_zone[:oversubscription]]])"
+        )
+    return spec
+
+
+def _cluster_for(app: str, nodes: int, network_kind: str = "bus"):
     """App-specific Sunwulf configuration (canonical app name)."""
     from .machine import ge_configuration, mm_configuration
 
     if app == "mm":
-        return mm_configuration(nodes)
-    return ge_configuration(nodes)
+        return mm_configuration(nodes, network_kind)
+    return ge_configuration(nodes, network_kind)
 
 
 def _app_cluster(args: argparse.Namespace, nodes: int):
     from .experiments.runner import resolve_app
 
-    return _cluster_for(resolve_app(args.app), nodes)
+    return _cluster_for(resolve_app(args.app), nodes, _network_kind(args))
 
 
 def cmd_predict(args: argparse.Namespace) -> None:
@@ -263,7 +286,7 @@ def cmd_profile(args: argparse.Namespace) -> None:
         app = resolve_app(args.app_name if args.app_name else args.app)
     except KeyError as err:
         raise SystemExit(f"error: {err.args[0]}") from None
-    cluster = _cluster_for(app, _node_counts(args)[0])
+    cluster = _cluster_for(app, _node_counts(args)[0], _network_kind(args))
     try:
         report = profile_app(app, cluster, args.size, out_dir=args.out)
     except OSError as err:
@@ -494,7 +517,7 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         app = resolve_app(args.app)
     except KeyError as err:
         raise SystemExit(f"error: {err.args[0]}") from None
-    cluster = _cluster_for(app, args.nodes)
+    cluster = _cluster_for(app, args.nodes, _network_kind(args))
 
     baseline: RunRecord | bool = not args.no_baseline
     if args.smoke:
@@ -575,7 +598,8 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     if tracer is not None:
         from .obs.chrome_trace import write_chrome_trace
 
-        count = write_chrome_trace(args.trace_out, tracer)
+        count = write_chrome_trace(args.trace_out, tracer,
+                                   topology=cluster.topology())
         suffix = (
             f" ({tracer.dropped} records dropped past the tracer limit)"
             if tracer.dropped else ""
@@ -617,7 +641,7 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"error: severities must be in [0, 1), got {severity}"
             )
-    cluster = _cluster_for(app, args.nodes)
+    cluster = _cluster_for(app, args.nodes, _network_kind(args))
     executor = _build_executor(args)
     with ExitStack() as stack:
         if args.ledger is not None:
@@ -816,6 +840,11 @@ def build_faults_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--nodes", type=int, default=2,
                      help="Sunwulf node count (default 2)")
+    run.add_argument(
+        "--network", default="bus", metavar="SPEC",
+        help="interconnect model: bus (default), switch, or a "
+             "hierarchical spec such as fat-tree:8:2, tiered:4",
+    )
     run.add_argument("--size", type=int, default=300,
                      help="problem size N (default 300)")
     run.add_argument(
@@ -865,6 +894,11 @@ def build_faults_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--nodes", type=int, default=2,
                        help="Sunwulf node count (default 2)")
+    sweep.add_argument(
+        "--network", default="bus", metavar="SPEC",
+        help="interconnect model: bus (default), switch, or a "
+             "hierarchical spec such as fat-tree:8:2, tiered:4",
+    )
     sweep.add_argument("--size", type=int, default=300,
                        help="problem size N (default 300)")
     sweep.add_argument(
@@ -928,8 +962,10 @@ def build_faults_parser() -> argparse.ArgumentParser:
              "default: blade:2,v210:1",
     )
     attack.add_argument(
-        "--network", choices=["bus", "switch"], default="bus",
-        help="network kind for the cluster (default: bus)",
+        "--network", default="bus", metavar="SPEC",
+        help="network spec for the cluster: bus, switch, or a "
+             "hierarchical spec such as fat-tree:8:2, torus, tiered:4 "
+             "(default: bus)",
     )
     attack.add_argument("--size", type=int, default=None,
                         help="problem size N (default 96; 64 with --smoke)")
@@ -1155,7 +1191,7 @@ def cmd_sweep_profile(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {err.args[0]}") from None
     if args.jobs < 1:
         raise SystemExit(f"error: --jobs must be >= 1, got {args.jobs}")
-    cluster = _cluster_for(app, args.nodes)
+    cluster = _cluster_for(app, args.nodes, _network_kind(args))
     sizes = [int(n) for n in args.sizes]
 
     serial_seconds = None
@@ -1252,6 +1288,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--nodes", type=int, default=2,
                          help="Sunwulf node count (default 2)")
+    profile.add_argument(
+        "--network", default="bus", metavar="SPEC",
+        help="interconnect model: bus (default), switch, or a "
+             "hierarchical spec such as fat-tree:8:2, tiered:4",
+    )
     profile.add_argument(
         "--sizes", type=int, nargs="+", default=[120, 160, 200, 240],
         help="problem sizes of the sweep (default: 120 160 200 240)",
@@ -1559,6 +1600,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true",
         help="restrict studies to 2-8 nodes (fast smoke run)",
+    )
+    parser.add_argument(
+        "--network", default="bus", metavar="SPEC",
+        help="interconnect model for every simulated cluster: bus "
+             "(paper default), switch, or a hierarchical spec such as "
+             "fat-tree:8:2, torus:16:8, tiered:8:4:2",
     )
     parser.add_argument(
         "--samples", type=int, default=6,

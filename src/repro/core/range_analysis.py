@@ -83,7 +83,18 @@ def crossing_step(
             "combination A starts no faster and scales no better; it never "
             "overtakes B"
         )
-    return math.log(time_a / time_b) / math.log(psi_a / psi_b)
+    k = math.log(time_a / time_b) / math.log(psi_a / psi_b)
+    # When the crossing lands exactly on an integer step, float rounding
+    # can put ``k`` just below the integer -- then ``floor(k) + 1`` is the
+    # *tie* step (equal scaled times), not a strictly-faster one.  Nudge
+    # ``k`` up to the tie step so ``floor(k) + 1`` always satisfies
+    # :func:`faster_at_scale`; the loop terminates because the time ratio
+    # shrinks geometrically by ``psi_b / psi_a < 1`` per step.
+    steps = int(k) + 1
+    while not faster_at_scale(time_a, psi_a, time_b, psi_b, steps):
+        k = float(steps)
+        steps += 1
+    return k
 
 
 def ranking_is_scalability_ranking(

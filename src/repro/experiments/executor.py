@@ -44,6 +44,7 @@ from ..core.types import MetricError
 from ..machine.cluster import ClusterSpec
 from ..mpi.communicator import CollectiveConfig
 from ..obs.spans import Span, wall_now
+from ..obs.streaming import summarize_rank_stats
 from ..obs.telemetry import BUSY_PHASES, ROOT_SPAN, SweepTimeline
 from ..sim.engine import RunResult
 from ..sim.trace import RankStats
@@ -73,6 +74,24 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 SIDE_EFFECT_KWARGS = frozenset(
     {"tracer", "metrics", "log", "launcher", "flight"}
 )
+
+#: Above this rank count a serialized run drops its O(ranks) per-rank
+#: lists (``stats``/``finish_times``) and carries a streaming
+#: ``rank_summary`` block instead; overridable for tests and for sweeps
+#: that need full per-rank data at scale (at a memory/disk cost).
+RANK_SUMMARY_THRESHOLD_ENV = "REPRO_RANK_SUMMARY_THRESHOLD"
+DEFAULT_RANK_SUMMARY_THRESHOLD = 4096
+
+
+def rank_summary_threshold() -> int:
+    """Rank count above which cached runs store only a rank summary."""
+    raw = os.environ.get(RANK_SUMMARY_THRESHOLD_ENV)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_RANK_SUMMARY_THRESHOLD
 
 
 class _Uncacheable(Exception):
@@ -188,20 +207,38 @@ def run_record_to_payload(
     ``injector`` optionally attaches the observed fault state
     (downtime/fail-stop/drops and the fault event list) so a cached
     faulted run rehydrates with its full degraded-metric surface.
+
+    Above :func:`rank_summary_threshold` ranks the payload replaces the
+    per-rank ``stats``/``finish_times`` lists with a streaming
+    ``rank_summary`` block (quantiles + top-k outliers), keeping cache
+    entries O(1) in rank count; the rehydrated
+    :class:`~repro.sim.engine.RunResult` then has empty per-rank lists
+    and reports its makespan from the summary.
     """
     run = record.run
-    payload: dict[str, Any] = {
-        "measurement": measurement_to_dict(record.measurement),
-        "run": {
+    run_block: dict[str, Any]
+    if len(run.stats) > rank_summary_threshold():
+        run_block = {
+            "nranks": len(run.stats),
+            "rank_summary": run.rank_summary
+            or summarize_rank_stats(run.stats, run.makespan),
+        }
+    else:
+        run_block = {
             "finish_times": list(run.finish_times),
             "stats": [asdict(s) for s in run.stats],
-            "events": run.events,
-            "undelivered_messages": run.undelivered_messages,
-            "wall_seconds": run.wall_seconds,
-            "heap_pushes": run.heap_pushes,
-            "stale_pops": run.stale_pops,
-            "heap_pops": run.heap_pops,
-        },
+        }
+    run_block.update(
+        events=run.events,
+        undelivered_messages=run.undelivered_messages,
+        wall_seconds=run.wall_seconds,
+        heap_pushes=run.heap_pushes,
+        stale_pops=run.stale_pops,
+        heap_pops=run.heap_pops,
+    )
+    payload: dict[str, Any] = {
+        "measurement": measurement_to_dict(record.measurement),
+        "run": run_block,
     }
     if injector is not None:
         payload["fault"] = {
@@ -218,8 +255,8 @@ def run_record_from_payload(payload: dict[str, Any]) -> RunRecord:
     """Rebuild a :class:`RunRecord` (tracer/app_result are ``None``)."""
     run_data = payload["run"]
     run = RunResult(
-        finish_times=[float(t) for t in run_data["finish_times"]],
-        stats=[RankStats(**s) for s in run_data["stats"]],
+        finish_times=[float(t) for t in run_data.get("finish_times", ())],
+        stats=[RankStats(**s) for s in run_data.get("stats", ())],
         events=int(run_data["events"]),
         tracer=None,
         return_values=[],
@@ -228,6 +265,7 @@ def run_record_from_payload(payload: dict[str, Any]) -> RunRecord:
         heap_pushes=int(run_data.get("heap_pushes", 0)),
         stale_pops=int(run_data.get("stale_pops", 0)),
         heap_pops=int(run_data.get("heap_pops", 0)),
+        rank_summary=run_data.get("rank_summary"),
     )
     return RunRecord(
         measurement=measurement_from_dict(payload["measurement"]),

@@ -55,10 +55,11 @@ def figure1_ge_two_nodes(
     sizes: tuple[int, ...] = (80, 120, 170, 230, 300, 380, 470, 570),
     target: float = GE_TARGET_EFFICIENCY,
     degree: int = 2,
+    network_kind: str = "bus",
 ) -> Figure1:
     """Figure 1: sample E_S(N), fit the trend, read the required N for the
     target efficiency, and verify by running that N."""
-    cluster = ge_configuration(2)
+    cluster = ge_configuration(2, network_kind)
     curve = efficiency_curve("ge", cluster, sizes)
     trend = curve.trend(degree=degree)
     required = trend.required_size(target)
@@ -97,6 +98,7 @@ def figure2_mm_curves(
     samples: int = 6,
     degree: int = 2,
     target: float = MM_TARGET_EFFICIENCY,
+    network_kind: str = "bus",
 ) -> Figure2:
     """Figure 2: one speed-efficiency curve per MM configuration.
 
@@ -106,7 +108,7 @@ def figure2_mm_curves(
     """
     figure = Figure2(target=target)
     for nodes in node_counts:
-        cluster = mm_configuration(nodes)
+        cluster = mm_configuration(nodes, network_kind)
         # Span roughly an order of magnitude around the efficiency knee,
         # which moves right proportionally to ensemble size.
         lo = max(8, 10 * nodes)

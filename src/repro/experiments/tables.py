@@ -77,10 +77,11 @@ DEFAULT_TABLE2_SIZES = (100, 150, 200, 250, 310, 400, 500)
 
 def table2_ge_two_nodes(
     sizes: tuple[int, ...] = DEFAULT_TABLE2_SIZES,
+    network_kind: str = "bus",
 ) -> list[Measurement]:
     """Workload, execution time, achieved speed and speed-efficiency of GE
     at several matrix sizes on the two-node configuration."""
-    cluster = ge_configuration(2)
+    cluster = ge_configuration(2, network_kind)
     marked = marked_speed_of(cluster)
     return [
         run_app("ge", cluster, n, marked=marked).measurement for n in sizes
@@ -271,13 +272,22 @@ def table3_required_rank(
     target: float = GE_TARGET_EFFICIENCY,
     compute_efficiency: float = GE_COMPUTE_EFFICIENCY,
     params: MachineParameters | None = None,
+    network_kind: str = "bus",
 ) -> list[RequiredRankRow]:
     """Required rank N to obtain the target speed-efficiency for GE across
-    the paper's system configurations (Table 3)."""
-    params = params if params is not None else base_machine_parameters()
+    the paper's system configurations (Table 3).
+
+    ``network_kind`` selects the interconnect model for every
+    configuration (machine parameters are then fit on a matching
+    two-node base case), so the paper's flat-Ethernet study and its
+    rack-scale ablations share one code path.
+    """
+    params = params if params is not None else base_machine_parameters(
+        ge_configuration(2, network_kind)
+    )
     rows: list[RequiredRankRow] = []
     for nodes in node_counts:
-        cluster = ge_configuration(nodes)
+        cluster = ge_configuration(nodes, network_kind)
         model = _ge_model(cluster, params, compute_efficiency)
         n_star, record = required_rank_hybrid(
             "ge", cluster, target, model, compute_efficiency
@@ -323,14 +333,15 @@ def table5_mm_required_rank(
     target: float = MM_TARGET_EFFICIENCY,
     compute_efficiency: float = MM_COMPUTE_EFFICIENCY,
     params: MachineParameters | None = None,
+    network_kind: str = "bus",
 ) -> list[RequiredRankRow]:
     """Iso-efficient points of MM on the mixed SunBlade/V210 ensembles."""
     params = params if params is not None else base_machine_parameters(
-        mm_configuration(2), compute_efficiency
+        mm_configuration(2, network_kind), compute_efficiency
     )
     rows: list[RequiredRankRow] = []
     for nodes in node_counts:
-        cluster = mm_configuration(nodes)
+        cluster = mm_configuration(nodes, network_kind)
         model = _mm_model(cluster, params, compute_efficiency)
         n_star, record = required_rank_hybrid(
             "mm", cluster, target, model, compute_efficiency
@@ -377,13 +388,16 @@ def table6_predicted_rank(
     target: float = GE_TARGET_EFFICIENCY,
     compute_efficiency: float = GE_COMPUTE_EFFICIENCY,
     params: MachineParameters | None = None,
+    network_kind: str = "bus",
 ) -> list[PredictedRankRow]:
     """Predicted required rank for constant speed-efficiency (Table 6),
     from machine parameters measured on the two-node base case."""
-    params = params if params is not None else base_machine_parameters()
+    params = params if params is not None else base_machine_parameters(
+        ge_configuration(2, network_kind)
+    )
     rows: list[PredictedRankRow] = []
     for nodes in node_counts:
-        cluster = ge_configuration(nodes)
+        cluster = ge_configuration(nodes, network_kind)
         model = _ge_model(cluster, params, compute_efficiency)
         n_pred = predict_required_size(model, target)
         rows.append(

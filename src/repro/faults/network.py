@@ -56,6 +56,13 @@ class FaultyNetworkModel:
         if hasattr(inner, "multicast"):
             self.multicast = self._multicast
 
+    @property
+    def topology(self) -> Any:
+        """The inner model's topology (``None`` for topology-free models),
+        so the engine's bind-time rank-count validation sees through the
+        wrapper."""
+        return getattr(self.inner, "topology", None)
+
     # -- engine protocol ---------------------------------------------------
     def reset(self) -> None:
         if hasattr(self.inner, "reset"):

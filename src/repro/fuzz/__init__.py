@@ -62,6 +62,7 @@ from .oracle import (
 )
 from .scenario import (
     FUZZ_SCENARIO_KIND,
+    HIERARCHICAL_NETWORK_SPECS,
     NETWORK_KINDS,
     NODE_PALETTE,
     ClusterModel,
@@ -70,6 +71,7 @@ from .scenario import (
     registered_network_wrappers,
     resolve_network_wrapper,
     unregister_network_wrapper,
+    valid_scenario_network,
 )
 from .search import (
     AttackResult,
@@ -95,6 +97,7 @@ __all__ = [
     "FUZZ_CASE_KIND",
     "FUZZ_SCENARIO_KIND",
     "FuzzError",
+    "HIERARCHICAL_NETWORK_SPECS",
     "NETWORK_KINDS",
     "NODE_PALETTE",
     "ReplayResult",
@@ -128,5 +131,6 @@ __all__ = [
     "save_case",
     "shrink_scenario",
     "unregister_network_wrapper",
+    "valid_scenario_network",
     "violation_kinds",
 ]

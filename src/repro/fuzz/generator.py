@@ -31,7 +31,13 @@ from ..experiments.runner import (
 from ..faults.run import APP_COMPUTE_EFFICIENCY
 from ..faults.schedule import random_schedule
 from .errors import ScenarioError
-from .scenario import NETWORK_KINDS, NODE_PALETTE, ClusterModel, Scenario
+from .scenario import (
+    NETWORK_KINDS,
+    NODE_PALETTE,
+    ClusterModel,
+    Scenario,
+    valid_scenario_network,
+)
 
 #: Default problem sizes per application -- small enough that a scenario
 #: simulates in well under a second, large enough that communication and
@@ -96,7 +102,7 @@ class ScenarioSpace:
             if group not in NODE_PALETTE:
                 raise ScenarioError(f"unknown node group {group!r}")
         for kind in self.networks:
-            if kind not in NETWORK_KINDS:
+            if not valid_scenario_network(kind):
                 raise ScenarioError(f"unknown network kind {kind!r}")
         if not 2 <= self.min_ranks <= self.max_ranks:
             raise ScenarioError(

@@ -29,6 +29,7 @@ from ..faults.schedule import FaultSchedule
 from ..machine.cluster import ClusterSpec
 from ..machine.presets import GENERIC_NODE
 from ..machine.sunwulf import SERVER_NODE, SUNBLADE_NODE, V210_NODE
+from ..network.ethernet import known_network_spec
 from .errors import ScenarioError
 
 FUZZ_SCENARIO_KIND = "fuzz-scenario"
@@ -44,10 +45,23 @@ NODE_PALETTE: dict[str, Any] = {
     "generic": GENERIC_NODE,   # calibration-free generic node
 }
 
-#: Network kinds scenarios may use.  ``zero`` (the idealized free
-#: network) is deliberately excluded: it collapses communication time to
-#: nothing and makes overhead-based invariants vacuous.
+#: Default network kinds scenarios sample from.  ``zero`` (the idealized
+#: free network) is deliberately excluded: it collapses communication
+#: time to nothing and makes overhead-based invariants vacuous.  The
+#: default set stays flat so historical corpus seeds replay identically;
+#: spaces may opt into :data:`HIERARCHICAL_NETWORK_SPECS` (or any spec
+#: accepted by :func:`~repro.network.ethernet.known_network_spec`, e.g.
+#: ``fat-tree:8:2``) for rack-scale fuzzing.
 NETWORK_KINDS = ("bus", "switch")
+
+#: Representative hierarchical specs for opt-in rack-scale fuzzing.
+HIERARCHICAL_NETWORK_SPECS = ("fat-tree:4:2", "torus", "tiered:4")
+
+
+def valid_scenario_network(spec: str) -> bool:
+    """True when ``spec`` is usable by a scenario (any parseable network
+    spec except the invariant-vacuous ``zero``)."""
+    return spec != "zero" and known_network_spec(spec)
 
 
 @dataclass(frozen=True)
@@ -77,10 +91,11 @@ class ClusterModel:
                     f"node count for {name!r} must be a positive int, "
                     f"got {count!r}"
                 )
-        if self.network not in NETWORK_KINDS:
+        if not valid_scenario_network(self.network):
             raise ScenarioError(
-                f"unknown network kind {self.network!r}; "
-                f"choose from {NETWORK_KINDS}"
+                f"unknown network kind {self.network!r}; use one of "
+                f"{NETWORK_KINDS}, or a hierarchical spec such as "
+                f"{HIERARCHICAL_NETWORK_SPECS}"
             )
         if self.nranks < 2:
             raise ScenarioError(

@@ -35,15 +35,35 @@ class ClusterSpec:
     link: LinkParams = ETHERNET_100M
     intranode: LinkParams = SHARED_MEMORY
     node_memory_mb: tuple[float, ...] = ()
+    node_racks: tuple = ()
+    node_zones: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.slots:
             raise InvalidOperationError("a cluster needs at least one slot")
         object.__setattr__(self, "slots", tuple(self.slots))
         object.__setattr__(self, "node_memory_mb", tuple(self.node_memory_mb))
+        object.__setattr__(self, "node_racks", tuple(self.node_racks))
+        object.__setattr__(self, "node_zones", tuple(self.node_zones))
         for mb in self.node_memory_mb:
             if mb <= 0:
                 raise InvalidOperationError("node memory must be positive")
+        if self.node_racks or self.node_zones:
+            max_node = max(slot.node_id for slot in self.slots)
+            if self.node_racks and len(self.node_racks) <= max_node:
+                raise InvalidOperationError(
+                    f"node_racks covers {len(self.node_racks)} nodes but "
+                    f"slots reference node id {max_node}"
+                )
+            if self.node_zones and not self.node_racks:
+                raise InvalidOperationError(
+                    "node_zones requires node_racks (a zone groups racks)"
+                )
+            if self.node_zones and len(self.node_zones) <= max_node:
+                raise InvalidOperationError(
+                    f"node_zones covers {len(self.node_zones)} nodes but "
+                    f"slots reference node id {max_node}"
+                )
 
     def memory_of_node(self, node_id: int) -> float | None:
         """Node memory in MB, or None when not recorded."""
@@ -66,8 +86,23 @@ class ClusterSpec:
         """Per-rank processor type, in rank order."""
         return [slot.ptype for slot in self.slots]
 
+    @property
+    def nracks(self) -> int:
+        if not self.node_racks:
+            return 1
+        return len({self.node_racks[s.node_id] for s in self.slots})
+
     def topology(self) -> Topology:
-        return Topology.from_sequence([slot.node_id for slot in self.slots])
+        node_seq = tuple(slot.node_id for slot in self.slots)
+        if not self.node_racks:
+            return Topology.from_sequence(node_seq, nranks=self.nranks)
+        racks = tuple(self.node_racks[nid] for nid in node_seq)
+        zones = (
+            tuple(self.node_zones[nid] for nid in node_seq)
+            if self.node_zones
+            else ()
+        )
+        return Topology(node_seq, racks, zones)
 
     def is_homogeneous(self) -> bool:
         """True when every slot is the same processor type."""
@@ -121,6 +156,66 @@ class ClusterSpec:
             link=link,
             intranode=intranode,
             node_memory_mb=tuple(memories),
+        )
+
+    @staticmethod
+    def from_racks(
+        name: str,
+        racks: Sequence[Sequence[tuple[NodeType, int]]],
+        network_kind: str = "tiered",
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+        racks_per_zone: int = 0,
+    ) -> "ClusterSpec":
+        """Build a tier-aware cluster from racks of ``(node_type,
+        cpus_used)`` pairs.
+
+        Each inner sequence is one rack (its nodes may be heterogeneous);
+        node ids are assigned globally in declaration order and the
+        rack/zone grouping is recorded on the spec, so
+        :meth:`topology` yields a hierarchical
+        :class:`~repro.network.topology.Topology` that the tiered /
+        fat-tree network models read directly.  ``racks_per_zone=0``
+        keeps a single zone (one availability zone / pod).
+        """
+        if not racks:
+            raise InvalidOperationError("need at least one rack")
+        if racks_per_zone < 0:
+            raise InvalidOperationError("racks_per_zone must be >= 0")
+        slots: list[ProcessorSlot] = []
+        memories: list[float] = []
+        node_racks: list[int] = []
+        node_zones: list[int] = []
+        node_id = 0
+        for rack_id, rack in enumerate(racks):
+            if not rack:
+                raise InvalidOperationError(
+                    f"rack {rack_id} is empty; every rack needs a node"
+                )
+            zone = rack_id // racks_per_zone if racks_per_zone else 0
+            for node, cpus_used in rack:
+                if cpus_used <= 0 or cpus_used > node.cpus:
+                    raise InvalidOperationError(
+                        f"node {node.name!r} has {node.cpus} CPUs; "
+                        f"cannot use {cpus_used}"
+                    )
+                slots.extend(
+                    ProcessorSlot(node.processor, node_id)
+                    for _ in range(cpus_used)
+                )
+                memories.append(node.memory_mb)
+                node_racks.append(rack_id)
+                node_zones.append(zone)
+                node_id += 1
+        return ClusterSpec(
+            name=name,
+            slots=tuple(slots),
+            network_kind=network_kind,
+            link=link,
+            intranode=intranode,
+            node_memory_mb=tuple(memories),
+            node_racks=tuple(node_racks),
+            node_zones=tuple(node_zones) if racks_per_zone else (),
         )
 
 

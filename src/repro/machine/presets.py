@@ -48,3 +48,30 @@ def mixed_pairs(pairs: int, network_kind: str = "bus") -> ClusterSpec:
     return ClusterSpec.from_nodes(
         f"mixed-{2 * pairs}", members, network_kind=network_kind
     )
+
+
+def rack_scale(
+    racks: int,
+    nodes_per_rack: int = 8,
+    network_kind: str = "tiered",
+    racks_per_zone: int = 0,
+) -> ClusterSpec:
+    """Racks alternating between SunBlade and V210 nodes under a
+    hierarchical network -- the rack-scale heterogeneous testbed for the
+    large-rank ψ sweeps (even racks are SunBlade, odd racks V210, so
+    heterogeneity appears *between* racks the way mixed generations do in
+    a real machine room)."""
+    if racks <= 0:
+        raise InvalidOperationError("racks must be positive")
+    if nodes_per_rack <= 0:
+        raise InvalidOperationError("nodes_per_rack must be positive")
+    layout = [
+        [(SUNBLADE_NODE if r % 2 == 0 else V210_NODE, 1)] * nodes_per_rack
+        for r in range(racks)
+    ]
+    return ClusterSpec.from_racks(
+        f"rackscale-{racks}x{nodes_per_rack}",
+        layout,
+        network_kind=network_kind,
+        racks_per_zone=racks_per_zone,
+    )

@@ -1,7 +1,13 @@
 """Network substrate: topologies and cost models for the simulated cluster."""
 
-from .ethernet import SharedBusEthernet, make_network
+from .ethernet import (
+    SharedBusEthernet,
+    known_network_spec,
+    make_network,
+    parse_network_spec,
+)
 from .heterogeneous import HeterogeneousSwitchedNetwork, per_rank_links
+from .hierarchy import FatTreeNetwork, TieredNetwork, TorusNetwork
 from .model import (
     ETHERNET_100M,
     SHARED_MEMORY,
@@ -16,14 +22,19 @@ from .topology import Topology
 __all__ = [
     "ETHERNET_100M",
     "SHARED_MEMORY",
+    "FatTreeNetwork",
     "HeterogeneousSwitchedNetwork",
     "LinkParams",
     "NetworkModel",
     "SharedBusEthernet",
     "SwitchedNetwork",
+    "TieredNetwork",
     "Topology",
+    "TorusNetwork",
     "UniformCostNetwork",
     "ZeroCostNetwork",
+    "known_network_spec",
     "make_network",
+    "parse_network_spec",
     "per_rank_links",
 ]

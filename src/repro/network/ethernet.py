@@ -106,19 +106,118 @@ class SharedBusEthernet(NetworkModel):
         return sender_done, sender_done + self._link_latency
 
 
+#: Flat network kinds (no spec parameters allowed).
+_FLAT_KINDS = ("bus", "switch", "zero")
+#: Hierarchical kinds accepting colon-separated numeric parameters.
+_HIERARCHICAL_KINDS = ("fat-tree", "torus", "tiered")
+
+
+def parse_network_spec(spec: str) -> tuple[str, tuple[float, ...]]:
+    """Split a network spec string into ``(kind, numeric_params)``.
+
+    Flat kinds are bare names (``bus``, ``switch``, ``zero``).
+    Hierarchical kinds take colon-separated numbers, all optional::
+
+        fat-tree[:nodes_per_edge[:oversubscription[:edges_per_pod]]]
+        torus[:width[:height]]
+        tiered[:nodes_per_rack[:racks_per_zone[:oversubscription]]]
+
+    ``fat-tree:8:2`` therefore reads "8 nodes per edge switch, 2:1 core
+    oversubscription".  Raises :class:`InvalidOperationError` on an
+    unknown kind or a malformed parameter.
+    """
+    parts = str(spec).split(":")
+    kind = parts[0]
+    raw = parts[1:]
+    if kind in _FLAT_KINDS:
+        if raw:
+            raise InvalidOperationError(
+                f"network kind {kind!r} takes no parameters, got {spec!r}"
+            )
+        return kind, ()
+    if kind not in _HIERARCHICAL_KINDS:
+        raise InvalidOperationError(
+            f"unknown network kind {spec!r}; choose from "
+            f"{_FLAT_KINDS + _HIERARCHICAL_KINDS}"
+        )
+    params = []
+    for piece in raw:
+        try:
+            params.append(float(piece))
+        except ValueError:
+            raise InvalidOperationError(
+                f"malformed network spec {spec!r}: {piece!r} is not a number"
+            ) from None
+        if params[-1] <= 0:
+            raise InvalidOperationError(
+                f"network spec {spec!r} parameters must be positive"
+            )
+    max_params = {"fat-tree": 3, "torus": 2, "tiered": 3}[kind]
+    if len(params) > max_params:
+        raise InvalidOperationError(
+            f"network kind {kind!r} takes at most {max_params} "
+            f"parameters, got {spec!r}"
+        )
+    return kind, tuple(params)
+
+
+def known_network_spec(spec: str) -> bool:
+    """True when ``spec`` parses as a valid network selection."""
+    try:
+        parse_network_spec(spec)
+    except InvalidOperationError:
+        return False
+    return True
+
+
 def make_network(
     kind: str,
     topology: Topology,
     link: LinkParams = ETHERNET_100M,
     intranode: LinkParams = SHARED_MEMORY,
 ) -> NetworkModel:
-    """Factory used by cluster presets: ``kind`` in {'bus', 'switch', 'zero'}."""
+    """Factory used by cluster presets.
+
+    ``kind`` is a network spec string: one of the flat kinds (``bus``,
+    ``switch``, ``zero``) or a hierarchical selection such as
+    ``fat-tree:8:2``, ``torus:16:8`` or ``tiered:8:4:2`` (see
+    :func:`parse_network_spec`).  Hierarchical kinds derive missing
+    rack/zone levels from the topology by grouping nodes in
+    first-appearance order.
+    """
+    from .hierarchy import FatTreeNetwork, TieredNetwork, TorusNetwork
     from .model import SwitchedNetwork
 
-    if kind == "bus":
+    base, params = parse_network_spec(kind)
+    if base == "bus":
         return SharedBusEthernet(topology, link, intranode)
-    if kind == "switch":
+    if base == "switch":
         return SwitchedNetwork(topology, link, intranode)
-    if kind == "zero":
+    if base == "zero":
         return ZeroCostNetwork()
-    raise InvalidOperationError(f"unknown network kind {kind!r}")
+    if base == "fat-tree":
+        nodes_per_edge = int(params[0]) if len(params) > 0 else 8
+        oversubscription = params[1] if len(params) > 1 else 1.0
+        edges_per_pod = int(params[2]) if len(params) > 2 else 4
+        topo = topology
+        if not topo.rack_ids:
+            topo = topo.with_rack_blocks(nodes_per_edge, edges_per_pod)
+        return FatTreeNetwork(
+            topo, link, intranode, oversubscription=oversubscription
+        )
+    if base == "torus":
+        width = int(params[0]) if len(params) > 0 else None
+        height = int(params[1]) if len(params) > 1 else None
+        return TorusNetwork(
+            topology, link, intranode, width=width, height=height
+        )
+    # tiered
+    nodes_per_rack = int(params[0]) if len(params) > 0 else 8
+    racks_per_zone = int(params[1]) if len(params) > 1 else 0
+    oversubscription = params[2] if len(params) > 2 else 1.0
+    topo = topology
+    if not topo.rack_ids:
+        topo = topo.with_rack_blocks(nodes_per_rack, racks_per_zone)
+    return TieredNetwork(
+        topo, link, intranode, oversubscription=oversubscription
+    )

@@ -1,0 +1,263 @@
+"""Hierarchical network cost models: fat-tree, torus, and tiered fabrics.
+
+The paper's flat shared-Ethernet testbed stops making sense past a few
+dozen nodes; modern clusters reach 10^5 ranks through *hierarchy*:
+racks of nodes under an edge switch, pods of racks under aggregation,
+zones of pods under an (often oversubscribed) core.  Each model here is a
+pure, stateless :class:`~repro.network.model.NetworkModel` -- O(1) memory
+and O(1) per-transfer work regardless of rank count -- driven by the
+hierarchy levels a :class:`~repro.network.topology.Topology` carries
+(``rank -> (node, rack, zone)``).
+
+Because they implement only the standard ``transfer`` protocol they
+compose with :class:`~repro.faults.network.FaultyNetworkModel` exactly
+like the flat models do (degradation, deterministic loss), and the engine
+treats multicast as serialized unicasts, so an oversubscribed uplink
+makes a broadcast strictly slower -- the monotonicity the scalability
+studies need.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import InvalidOperationError
+from .model import ETHERNET_100M, SHARED_MEMORY, LinkParams, NetworkModel
+from .topology import Topology
+
+
+def _require_hierarchy(topology: Topology, model: str) -> None:
+    if topology.nranks == 0:
+        raise InvalidOperationError(
+            f"{model} needs a non-empty topology (got 0 ranks)"
+        )
+
+
+class FatTreeNetwork(NetworkModel):
+    """Switched fat-tree with configurable core oversubscription.
+
+    Three traffic classes by placement: same *rack* (edge switch only),
+    same *zone* (pod: edge -> aggregation -> edge), and cross-zone (core).
+    Edge-local traffic runs at full link bandwidth with one link latency;
+    traffic climbing into aggregation or core pays one extra link latency
+    per level and sees its bandwidth divided by ``oversubscription``
+    (the classic k-ary fat-tree taper: 1 = full bisection, 2 = 2:1, ...).
+
+    Stateless and full-duplex like :class:`SwitchedNetwork` -- concurrent
+    transfers never queue on each other; oversubscription models the
+    *provisioned* uplink share, not transient contention.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+        oversubscription: float = 1.0,
+    ):
+        _require_hierarchy(topology, "fat-tree")
+        if oversubscription < 1.0:
+            raise InvalidOperationError(
+                f"oversubscription must be >= 1, got {oversubscription}"
+            )
+        self.topology = topology
+        self.link = link
+        self.intranode = intranode
+        self.oversubscription = float(oversubscription)
+        # Hot-path caches (transfer() runs once per simulated message).
+        self._nodes = topology.node_ids
+        self._racks = topology.rack_ids or topology.node_ids
+        self._zones = topology.zone_ids or (0,) * topology.nranks
+        self._overhead = link.software_overhead
+        self._edge_inv_bw = 1.0 / link.bandwidth
+        self._up_inv_bw = self.oversubscription / link.bandwidth
+        self._latency = link.latency
+        self._intra_overhead = intranode.software_overhead
+        self._intra_inv_bw = 1.0 / intranode.bandwidth
+        self._intra_latency = intranode.latency
+
+    def hops(self, src: int, dst: int) -> int:
+        """Switch levels a message climbs: 0 intra-node, 1 edge, 2
+        aggregation, 3 core."""
+        if self._nodes[src] == self._nodes[dst]:
+            return 0
+        if self._racks[src] == self._racks[dst]:
+            return 1
+        if self._zones[src] == self._zones[dst]:
+            return 2
+        return 3
+
+    def transfer(self, src, dst, nbytes, start):
+        if src == dst:
+            return start, start
+        if self._nodes[src] == self._nodes[dst]:
+            injected = start + self._intra_overhead + nbytes * self._intra_inv_bw
+            return injected, injected + self._intra_latency
+        if self._racks[src] == self._racks[dst]:
+            inv_bw = self._edge_inv_bw
+            levels = 1
+        else:
+            inv_bw = self._up_inv_bw
+            levels = 2 if self._zones[src] == self._zones[dst] else 3
+        injected = start + self._overhead + nbytes * inv_bw
+        return injected, injected + levels * self._latency
+
+
+class TorusNetwork(NetworkModel):
+    """2-D torus (wraparound mesh) hop-count model.
+
+    Nodes are laid out row-major on a ``width x height`` grid in
+    first-appearance order of the topology's node ids; the cost of a
+    message is one serialization at full link bandwidth (wormhole
+    routing) plus one link latency per hop of the shortest wraparound
+    Manhattan route.  Hop counts are symmetric by construction
+    (``hops(a, b) == hops(b, a)``).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+        width: int | None = None,
+        height: int | None = None,
+    ):
+        _require_hierarchy(topology, "torus")
+        nnodes = topology.nnodes
+        if width is None:
+            width = max(1, int(nnodes ** 0.5))
+            while width * width < nnodes and (nnodes % width):
+                width += 1
+        if height is None:
+            height = -(-nnodes // width)  # ceil division
+        if width <= 0 or height <= 0:
+            raise InvalidOperationError(
+                f"torus dimensions must be positive, got {width}x{height}"
+            )
+        if width * height < nnodes:
+            raise InvalidOperationError(
+                f"a {width}x{height} torus cannot place {nnodes} nodes"
+            )
+        self.topology = topology
+        self.link = link
+        self.intranode = intranode
+        self.width = width
+        self.height = height
+        index: dict = {}
+        for node in topology.node_ids:
+            if node not in index:
+                index[node] = len(index)
+        self._coords = tuple(
+            (index[node] % width, index[node] // width)
+            for node in topology.node_ids
+        )
+        self._nodes = topology.node_ids
+        self._overhead = link.software_overhead
+        self._inv_bw = 1.0 / link.bandwidth
+        self._latency = link.latency
+        self._intra_overhead = intranode.software_overhead
+        self._intra_inv_bw = 1.0 / intranode.bandwidth
+        self._intra_latency = intranode.latency
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest wraparound Manhattan distance between the hosts."""
+        ax, ay = self._coords[src]
+        bx, by = self._coords[dst]
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def transfer(self, src, dst, nbytes, start):
+        if src == dst:
+            return start, start
+        if self._nodes[src] == self._nodes[dst]:
+            injected = start + self._intra_overhead + nbytes * self._intra_inv_bw
+            return injected, injected + self._intra_latency
+        hops = self.hops(src, dst)
+        injected = start + self._overhead + nbytes * self._inv_bw
+        return injected, injected + hops * self._latency
+
+
+class TieredNetwork(NetworkModel):
+    """Cloud AZ-style tiers: shared memory -> rack switch -> uplink.
+
+    The link class is chosen purely by placement relation: ranks on one
+    node use ``intranode`` (shared memory), ranks under one rack use the
+    rack switch ``link``, ranks in different racks of one zone use the
+    ``uplink``, and cross-zone traffic uses ``interzone``.  Defaults
+    derive the upper tiers from the rack link: the uplink keeps the rack
+    link's per-message overhead but doubles latency and divides bandwidth
+    by ``oversubscription``; the cross-zone link doubles the uplink
+    latency again at the same tapered bandwidth.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkParams = ETHERNET_100M,
+        intranode: LinkParams = SHARED_MEMORY,
+        uplink: LinkParams | None = None,
+        interzone: LinkParams | None = None,
+        oversubscription: float = 1.0,
+    ):
+        _require_hierarchy(topology, "tiered network")
+        if oversubscription < 1.0:
+            raise InvalidOperationError(
+                f"oversubscription must be >= 1, got {oversubscription}"
+            )
+        if uplink is None:
+            uplink = LinkParams(
+                latency=2.0 * link.latency,
+                bandwidth=link.bandwidth / oversubscription,
+                software_overhead=link.software_overhead,
+            )
+        if interzone is None:
+            interzone = LinkParams(
+                latency=2.0 * uplink.latency,
+                bandwidth=uplink.bandwidth,
+                software_overhead=uplink.software_overhead,
+            )
+        self.topology = topology
+        self.link = link
+        self.intranode = intranode
+        self.uplink = uplink
+        self.interzone = interzone
+        self.oversubscription = float(oversubscription)
+        self._nodes = topology.node_ids
+        self._racks = topology.rack_ids or topology.node_ids
+        self._zones = topology.zone_ids or (0,) * topology.nranks
+        # (overhead, 1/bandwidth, latency) per tier, hot-path cached.
+        self._tiers = tuple(
+            (p.software_overhead, 1.0 / p.bandwidth, p.latency)
+            for p in (intranode, link, uplink, interzone)
+        )
+
+    def tier_of(self, src: int, dst: int) -> int:
+        """0 intra-node, 1 intra-rack, 2 inter-rack, 3 inter-zone."""
+        if self._nodes[src] == self._nodes[dst]:
+            return 0
+        if self._racks[src] == self._racks[dst]:
+            return 1
+        if self._zones[src] == self._zones[dst]:
+            return 2
+        return 3
+
+    def params_for(self, src: int, dst: int) -> LinkParams:
+        """The :class:`LinkParams` governing one rank pair."""
+        return (self.intranode, self.link, self.uplink, self.interzone)[
+            self.tier_of(src, dst)
+        ]
+
+    def transfer(self, src, dst, nbytes, start):
+        if src == dst:
+            return start, start
+        nodes = self._nodes
+        if nodes[src] == nodes[dst]:
+            tier = 0
+        elif self._racks[src] == self._racks[dst]:
+            tier = 1
+        elif self._zones[src] == self._zones[dst]:
+            tier = 2
+        else:
+            tier = 3
+        overhead, inv_bw, latency = self._tiers[tier]
+        injected = start + overhead + nbytes * inv_bw
+        return injected, injected + latency

@@ -4,6 +4,14 @@ The paper maps one MPI process per processor (the HoHe strategy of
 Kalinov & Lastovetsky), so several ranks can share a physical node (the
 SunFire server has four CPUs, the V210 two).  Intra-node traffic goes
 through shared memory; only inter-node traffic touches the LAN.
+
+Beyond the flat node map the topology can carry a *hierarchy*: each rank
+optionally belongs to a rack (edge switch / leaf) and a zone (pod,
+availability zone, or core tier).  Hierarchical network models
+(:mod:`repro.network.hierarchy`) read the placement through
+:meth:`Topology.placement` -- ``rank -> (node, rack, zone)`` -- while the
+flat models keep seeing only ``node_ids``, so existing behaviour is
+untouched when the extra levels are absent.
 """
 
 from __future__ import annotations
@@ -16,13 +24,50 @@ from ..sim.errors import InvalidOperationError
 
 @dataclass(frozen=True)
 class Topology:
-    """Maps each rank to the physical node hosting it.
+    """Maps each rank to the physical node (and optionally rack/zone)
+    hosting it.
 
     ``node_ids[rank]`` is an arbitrary hashable node identifier; ranks with
-    equal identifiers communicate via shared memory.
+    equal identifiers communicate via shared memory.  ``rack_ids`` and
+    ``zone_ids`` are optional per-rank hierarchy levels: empty tuples mean
+    "single rack" / "single zone" (the flat-cluster degenerate case).
+    When present they must be per-rank (same length as ``node_ids``) and
+    consistent with the lower levels: ranks sharing a node share a rack,
+    ranks sharing a rack share a zone.
     """
 
     node_ids: tuple = field(default_factory=tuple)
+    rack_ids: tuple = field(default_factory=tuple)
+    zone_ids: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_ids", tuple(self.node_ids))
+        object.__setattr__(self, "rack_ids", tuple(self.rack_ids))
+        object.__setattr__(self, "zone_ids", tuple(self.zone_ids))
+        n = len(self.node_ids)
+        for name, ids in (("rack_ids", self.rack_ids),
+                          ("zone_ids", self.zone_ids)):
+            if ids and len(ids) != n:
+                raise InvalidOperationError(
+                    f"{name} has {len(ids)} entries for {n} ranks"
+                )
+        if self.rack_ids:
+            node_rack: dict = {}
+            for node, rack in zip(self.node_ids, self.rack_ids):
+                if node_rack.setdefault(node, rack) != rack:
+                    raise InvalidOperationError(
+                        f"node {node!r} spans racks "
+                        f"{node_rack[node]!r} and {rack!r}"
+                    )
+        if self.zone_ids:
+            rack_zone: dict = {}
+            racks = self.rack_ids or self.node_ids
+            for rack, zone in zip(racks, self.zone_ids):
+                if rack_zone.setdefault(rack, zone) != zone:
+                    raise InvalidOperationError(
+                        f"rack {rack!r} spans zones "
+                        f"{rack_zone[rack]!r} and {zone!r}"
+                    )
 
     @staticmethod
     def single_node(nranks: int) -> "Topology":
@@ -35,8 +80,94 @@ class Topology:
         return Topology(tuple(range(nranks)))
 
     @staticmethod
-    def from_sequence(node_ids: Sequence) -> "Topology":
-        return Topology(tuple(node_ids))
+    def from_sequence(node_ids: Sequence, nranks: int | None = None) -> "Topology":
+        """A flat topology from a per-rank node-id sequence.
+
+        ``nranks`` optionally pins the expected rank count; a mismatch
+        (including an empty sequence) raises
+        :class:`InvalidOperationError` instead of being discovered later
+        as an opaque ``IndexError`` inside a network model.
+        """
+        ids = tuple(node_ids)
+        if not ids:
+            raise InvalidOperationError(
+                "topology needs at least one rank; got an empty "
+                "node_ids sequence"
+            )
+        if nranks is not None and len(ids) != nranks:
+            raise InvalidOperationError(
+                f"topology node_ids has {len(ids)} entries for "
+                f"{nranks} ranks"
+            )
+        return Topology(ids)
+
+    @staticmethod
+    def rack_blocks(
+        nranks: int,
+        ranks_per_node: int = 1,
+        nodes_per_rack: int = 8,
+        racks_per_zone: int = 0,
+    ) -> "Topology":
+        """Contiguous blocks: ranks fill nodes, nodes fill racks, racks
+        fill zones.  ``racks_per_zone=0`` collapses the zone level (one
+        zone)."""
+        if nranks <= 0:
+            raise InvalidOperationError("nranks must be positive")
+        if ranks_per_node <= 0 or nodes_per_rack <= 0 or racks_per_zone < 0:
+            raise InvalidOperationError(
+                "ranks_per_node and nodes_per_rack must be positive "
+                "(racks_per_zone may be 0 for a single zone)"
+            )
+        nodes = tuple(r // ranks_per_node for r in range(nranks))
+        racks = tuple(n // nodes_per_rack for n in nodes)
+        if racks_per_zone:
+            zones = tuple(k // racks_per_zone for k in racks)
+        else:
+            zones = ()
+        return Topology(nodes, racks, zones)
+
+    @staticmethod
+    def fat_tree(
+        nranks: int,
+        ranks_per_node: int = 1,
+        nodes_per_edge: int = 8,
+        edges_per_pod: int = 4,
+    ) -> "Topology":
+        """Fat-tree placement: node -> edge switch (rack) -> pod (zone)."""
+        if edges_per_pod <= 0:
+            raise InvalidOperationError("edges_per_pod must be positive")
+        return Topology.rack_blocks(
+            nranks,
+            ranks_per_node=ranks_per_node,
+            nodes_per_rack=nodes_per_edge,
+            racks_per_zone=edges_per_pod,
+        )
+
+    def with_rack_blocks(
+        self, nodes_per_rack: int, racks_per_zone: int = 0
+    ) -> "Topology":
+        """Derive rack/zone levels by grouping this topology's nodes.
+
+        Distinct node ids are numbered in first-appearance (rank) order
+        and grouped ``nodes_per_rack`` to a rack, then ``racks_per_zone``
+        racks to a zone (0 = single zone).  Used by the network factory to
+        lift a flat cluster topology into a hierarchical model.
+        """
+        if nodes_per_rack <= 0 or racks_per_zone < 0:
+            raise InvalidOperationError(
+                "nodes_per_rack must be positive "
+                "(racks_per_zone may be 0 for a single zone)"
+            )
+        index: dict = {}
+        for node in self.node_ids:
+            if node not in index:
+                index[node] = len(index)
+        racks = tuple(index[node] // nodes_per_rack for node in self.node_ids)
+        if racks_per_zone:
+            zones = tuple(k // racks_per_zone for k in racks)
+        else:
+            zones = ()
+        return Topology(self.node_ids, racks, zones)
 
     @property
     def nranks(self) -> int:
@@ -46,6 +177,14 @@ class Topology:
     def nnodes(self) -> int:
         return len(set(self.node_ids))
 
+    @property
+    def nracks(self) -> int:
+        return len(set(self.rack_ids)) if self.rack_ids else 1
+
+    @property
+    def nzones(self) -> int:
+        return len(set(self.zone_ids)) if self.zone_ids else 1
+
     def node_of(self, rank: int) -> object:
         if not 0 <= rank < len(self.node_ids):
             raise InvalidOperationError(
@@ -54,9 +193,35 @@ class Topology:
             )
         return self.node_ids[rank]
 
+    def rack_of(self, rank: int) -> object:
+        """The rack hosting ``rank`` (0 when no rack level is declared)."""
+        self.node_of(rank)  # range check
+        return self.rack_ids[rank] if self.rack_ids else 0
+
+    def zone_of(self, rank: int) -> object:
+        """The zone hosting ``rank`` (0 when no zone level is declared)."""
+        self.node_of(rank)  # range check
+        return self.zone_ids[rank] if self.zone_ids else 0
+
+    def placement(self, rank: int) -> tuple:
+        """``(node, rack, zone)`` of one rank -- the hierarchical models'
+        single lookup."""
+        node = self.node_of(rank)
+        rack = self.rack_ids[rank] if self.rack_ids else 0
+        zone = self.zone_ids[rank] if self.zone_ids else 0
+        return node, rack, zone
+
     def same_node(self, a: int, b: int) -> bool:
         """True when both ranks are hosted on the same physical node."""
         return self.node_of(a) == self.node_of(b)
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """True when both ranks sit under the same rack/edge switch."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def same_zone(self, a: int, b: int) -> bool:
+        """True when both ranks share a zone (pod / availability zone)."""
+        return self.zone_of(a) == self.zone_of(b)
 
     def ranks_on(self, node_id: object) -> list[int]:
         """All ranks placed on the given node, in rank order."""

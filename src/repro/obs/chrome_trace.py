@@ -53,8 +53,25 @@ def _runs(trace: TraceInput) -> list[tuple[str, Tracer]]:
     return runs
 
 
+def _rank_track_name(rank: int, topology: Any) -> str:
+    """Thread-track label for a rank, annotated with its placement when a
+    topology is supplied (``rank 3 [node 1/rack 0]``)."""
+    if topology is None:
+        return f"rank {rank}"
+    try:
+        node, rack, zone = topology.placement(rank)
+    except Exception:
+        return f"rank {rank}"
+    where = f"node {node}/rack {rack}"
+    if getattr(topology, "nzones", 1) > 1:
+        where += f"/zone {zone}"
+    return f"rank {rank} [{where}]"
+
+
 def chrome_trace_events(
-    trace: TraceInput, time_scale: float = MICROSECONDS
+    trace: TraceInput,
+    time_scale: float = MICROSECONDS,
+    topology: Any = None,
 ) -> list[dict[str, Any]]:
     """Convert traced runs to a list of Chrome trace-event dicts.
 
@@ -62,7 +79,10 @@ def chrome_trace_events(
     tracer)`` pairs (e.g. :class:`~repro.experiments.runner.TraceCollector`
     ``.runs``); each run gets its own ``pid`` starting at 1.  Metadata
     events name the processes after the run labels and the threads
-    ``rank <r>``.
+    ``rank <r>``.  When ``topology`` (a
+    :class:`~repro.network.topology.Topology`) is given, each rank track
+    carries its node/rack(/zone) placement so hierarchical-network traces
+    group visually by tier.
     """
     events: list[dict[str, Any]] = []
     for pid, (label, tracer) in enumerate(_runs(trace), start=1):
@@ -79,8 +99,8 @@ def chrome_trace_events(
                     "name": "thread_name", "ph": "M", "ts": 0, "dur": 0,
                     "pid": pid, "tid": tid,
                     "args": {
-                        "name": f"rank {rec.rank}" if rec.rank >= 0
-                        else "network",
+                        "name": _rank_track_name(rec.rank, topology)
+                        if rec.rank >= 0 else "network",
                     },
                 })
             ts = rec.start * time_scale
@@ -119,14 +139,18 @@ def chrome_trace_events(
 
 
 def write_chrome_trace(
-    path: str | Path, trace: TraceInput, time_scale: float = MICROSECONDS
+    path: str | Path,
+    trace: TraceInput,
+    time_scale: float = MICROSECONDS,
+    topology: Any = None,
 ) -> int:
     """Write the trace-event array to ``path``; returns the event count.
 
     The file is a bare JSON array (the canonical Chrome trace format), so
     it loads directly in ``chrome://tracing`` and Perfetto.
     """
-    events = chrome_trace_events(trace, time_scale=time_scale)
+    events = chrome_trace_events(trace, time_scale=time_scale,
+                                 topology=topology)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(events, indent=1) + "\n")

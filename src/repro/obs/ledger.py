@@ -89,6 +89,12 @@ def cluster_spec_hash(cluster: "ClusterSpec") -> str:
                       cluster.intranode.software_overhead),
         "node_memory_mb": list(cluster.node_memory_mb),
     }
+    # Tier grouping folds in only when present so hashes of flat clusters
+    # recorded before hierarchical topologies existed stay stable.
+    if cluster.node_racks:
+        spec["node_racks"] = list(cluster.node_racks)
+    if cluster.node_zones:
+        spec["node_zones"] = list(cluster.node_zones)
     blob = json.dumps(spec, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -132,7 +138,12 @@ def _run_metrics(
         "speed_efficiency": m.speed_efficiency,
         "work": m.work,
         "marked_speed": m.marked_speed,
-        "imbalance_index": imbalance_index(run.stats),
+        # Above the executor's rank-summary threshold a rehydrated run
+        # carries no per-rank stats; the flat metric degrades to 0.0
+        # (the summary block still holds the distribution).
+        "imbalance_index": (
+            imbalance_index(run.stats) if len(run.stats) else 0.0
+        ),
         "theorem1_ideal_compute": decomp.ideal_compute,
         "theorem1_t0": decomp.t0,
         "theorem1_overhead": decomp.overhead,
@@ -283,7 +294,14 @@ class RunLedger:
         if compute_efficiency is None:
             compute_efficiency = _app_compute_efficiency(app)
         metrics = _run_metrics(record, compute_efficiency)
-        summary = summarize_rank_stats(record.run.stats, record.run.makespan)
+        if record.run.stats or record.run.rank_summary is None:
+            summary = summarize_rank_stats(
+                record.run.stats, record.run.makespan
+            )
+        else:
+            # Large-rank run rehydrated from the executor cache: the
+            # streaming summary computed at run time *is* the record.
+            summary = record.run.rank_summary
         metrics.update(_summary_metrics(summary))
         if extra_metrics:
             metrics.update(extra_metrics)

@@ -383,24 +383,43 @@ def summarize_rank_stats(
     independent of rank count.  ``stats`` is any sequence with the
     :class:`~repro.sim.trace.RankStats` surface (``utilization``,
     ``idle_time``, ``flops``, ``rank``).
+
+    Edge cases: a non-positive makespan (all-idle / zero-length run)
+    reports utilization 0 and idle 0 for every rank without ever dividing
+    by the makespan, and the busiest/idlest lists are always *disjoint* —
+    with fewer than ``2 * top_k`` ranks the idlest list only draws from
+    ranks not already listed as busiest, so a 1-rank run yields one
+    busiest entry and no idlest entries rather than the same rank twice.
     """
+    # Guard here rather than relying on each stat object's own guard:
+    # ``stats`` may be any duck-typed sequence (e.g. rehydrated records).
+    if makespan > 0:
+        _util = lambda st: st.utilization(makespan)
+        _idle = lambda st: st.idle_time(makespan)
+    else:
+        _util = lambda st: 0.0
+        _idle = lambda st: 0.0
+
     utilization = QuantileSketch()
     idle = QuantileSketch()
     flops = QuantileSketch()
     for st in stats:
-        utilization.push(st.utilization(makespan))
-        idle.push(st.idle_time(makespan))
+        utilization.push(_util(st))
+        idle.push(_idle(st))
         flops.push(st.flops)
 
     k = max(0, min(top_k, len(stats)))
-    busiest = heapq.nlargest(k, stats, key=lambda st: st.utilization(makespan))
-    idlest = heapq.nsmallest(k, stats, key=lambda st: st.utilization(makespan))
+    busiest = heapq.nlargest(k, stats, key=_util)
+    listed = {st.rank for st in busiest}
+    idlest = heapq.nsmallest(
+        k, (st for st in stats if st.rank not in listed), key=_util
+    )
 
     def _rank_entry(st: Any) -> dict[str, float]:
         return {
             "rank": st.rank,
-            "utilization": st.utilization(makespan),
-            "idle_seconds": st.idle_time(makespan),
+            "utilization": _util(st),
+            "idle_seconds": _idle(st),
             "flops": st.flops,
         }
 

@@ -36,7 +36,7 @@ from .events import ANY_SOURCE, ANY_TAG, Compute, Log, Message, Multicast, Now, 
 from .instrument import Instrumentation
 from .mailbox import MailboxSet
 from .scheduler import Scheduler
-from .trace import RankStats, Tracer, TraceRecord
+from .trace import RankStats, RankStatsArray, Tracer, TraceRecord
 
 __all__ = [
     "ANY_SOURCE",
@@ -60,6 +60,7 @@ __all__ = [
     "ProgramFactory",
     "ProtocolError",
     "RankStats",
+    "RankStatsArray",
     "Recv",
     "RunContext",
     "RunResult",

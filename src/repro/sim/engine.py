@@ -74,7 +74,7 @@ from .events import (
 from .instrument import Instrumentation
 from .mailbox import MailboxSet
 from .scheduler import Scheduler
-from .trace import RankStats, Tracer
+from .trace import RankStats, RankStatsArray, Tracer
 
 #: Sentinel arrival time a network model returns for a message lost in
 #: transit (the engine then never delivers it).
@@ -88,10 +88,20 @@ ProgramFactory = Callable[[int], Program]
 
 @dataclass
 class RunResult:
-    """Outcome of one simulated execution."""
+    """Outcome of one simulated execution.
+
+    ``stats`` is a sequence with the :class:`RankStats` surface: a plain
+    list for rehydrated runs, a column-backed
+    :class:`~repro.sim.trace.RankStatsArray` (lazily materializing
+    dataclass views) for engine-produced results.  Above the large-rank
+    serialization threshold a cached run carries only ``rank_summary``
+    (the streaming :func:`~repro.obs.streaming.summarize_rank_stats`
+    block) with empty ``finish_times``/``stats``; ``makespan`` then falls
+    back to the summary's recorded value.
+    """
 
     finish_times: list[float]
-    stats: list[RankStats]
+    stats: Sequence[RankStats]
     events: int
     tracer: Tracer | None = None
     return_values: list[Any] = field(default_factory=list)
@@ -100,11 +110,16 @@ class RunResult:
     heap_pushes: int = 0
     stale_pops: int = 0
     heap_pops: int = 0
+    rank_summary: dict | None = None
 
     @property
     def makespan(self) -> float:
         """Virtual time at which the last process finished (the run time T)."""
-        return max(self.finish_times) if self.finish_times else 0.0
+        if self.finish_times:
+            return max(self.finish_times)
+        if self.rank_summary is not None:
+            return float(self.rank_summary.get("makespan", 0.0))
+        return 0.0
 
     @property
     def events_per_second(self) -> float:
@@ -120,11 +135,17 @@ class RunResult:
     @property
     def total_bytes(self) -> float:
         """Total bytes injected into the network across all ranks."""
+        total = getattr(self.stats, "total_bytes_sent", None)
+        if total is not None:
+            return total  # column sum, no per-rank views materialized
         return sum(s.bytes_sent for s in self.stats)
 
     @property
     def messages_lost(self) -> int:
         """Messages dropped in transit by the network model (all ranks)."""
+        total = getattr(self.stats, "total_messages_lost", None)
+        if total is not None:
+            return total
         return sum(s.messages_lost for s in self.stats)
 
 
@@ -171,7 +192,7 @@ class RunContext:
         self,
         engine: "Engine",
         procs: list[_Proc],
-        stats: list[RankStats],
+        stats: RankStatsArray,
         scheduler: Scheduler,
         mailboxes: MailboxSet,
         instr: Instrumentation | None,
@@ -200,6 +221,11 @@ class RunContext:
         push = scheduler.push_resume
         deposit = mailboxes.deposit
         frec = self.flight_append
+        # Stats columns, bound once per run: handler closures accumulate
+        # into flat arrays instead of per-rank objects.
+        recv_wait_time = stats.recv_wait_time
+        bytes_received = stats.bytes_received
+        messages_received = stats.messages_received
 
         def complete_recv(proc: _Proc, msg: Message, posted_at: float) -> None:
             t = proc.time
@@ -207,10 +233,10 @@ class RunContext:
             if arrival > t:
                 t = arrival
             proc.time = t
-            st = stats[proc.rank]
-            st.recv_wait_time += t - posted_at
-            st.bytes_received += msg.nbytes
-            st.messages_received += 1
+            rank = proc.rank
+            recv_wait_time[rank] += t - posted_at
+            bytes_received[rank] += msg.nbytes
+            messages_received[rank] += 1
             if frec is not None:
                 frec((proc.rank, "recv", posted_at, t, msg.src, msg.tag,
                       msg.nbytes))
@@ -311,6 +337,19 @@ class Engine:
                 raise InvalidOperationError(
                     f"flops_per_second[{rank}] must be positive, got {speed}"
                 )
+        # Bind-time topology validation: a network model built from an
+        # empty or length-mismatched node-id sequence would otherwise
+        # surface later as an opaque IndexError inside transfer().
+        topology = getattr(network, "topology", None)
+        if topology is not None:
+            topo_ranks = getattr(topology, "nranks", None)
+            if topo_ranks is not None and topo_ranks != nranks:
+                raise InvalidOperationError(
+                    f"network topology maps {topo_ranks} ranks but the "
+                    f"engine is running {nranks}; build the topology from "
+                    f"one node id per rank (Topology.from_sequence(ids, "
+                    f"nranks=...) validates this at construction)"
+                )
         self.nranks = nranks
         self.network = network
         self.flops_per_second = [float(s) for s in flops_per_second]
@@ -339,7 +378,7 @@ class Engine:
             self.log.event("engine.run_start", nranks=self.nranks)
 
         procs = [_Proc(rank, gen) for rank, gen in enumerate(gens)]
-        stats = [RankStats(rank) for rank in range(self.nranks)]
+        stats = RankStatsArray(self.nranks)
         scheduler = Scheduler()
         mailboxes = MailboxSet(self.nranks)
         instr = Instrumentation.build(self.tracer, self.metrics)
@@ -363,6 +402,8 @@ class Engine:
         # integer increment is measurably cheaper.
         pop = scheduler.pop
         push = scheduler.push_resume
+        finish_time_col = stats.finish_time
+        recv_wait_col = stats.recv_wait_time
         pops = 0
         stale = 0
 
@@ -395,7 +436,7 @@ class Engine:
                     except StopIteration as stop:
                         proc.done = True
                         proc.value = stop.value
-                        stats[rank].finish_time = proc.time
+                        finish_time_col[rank] = proc.time
                         live -= 1
                         continue
 
@@ -416,7 +457,7 @@ class Engine:
                     op = proc.waiting
                     posted_at = proc.block_start
                     proc.time = entry_time
-                    stats[rank].recv_wait_time += entry_time - posted_at
+                    recv_wait_col[rank] += entry_time - posted_at
                     if frec is not None:
                         frec((rank, "recv-timeout", posted_at, entry_time,
                               op.src, op.tag, op.timeout))
@@ -530,6 +571,10 @@ def _send_factory(ctx: RunContext):
     nranks = ctx.nranks
     transfer = ctx.transfer
     stats = ctx.stats
+    send_time = stats.send_time
+    bytes_sent = stats.bytes_sent
+    messages_sent = stats.messages_sent
+    messages_lost = stats.messages_lost
     instr = ctx.instr
     frec = ctx.flight_append
     procs = ctx.procs
@@ -556,17 +601,16 @@ def _send_factory(ctx: RunContext):
                 f"(start={start}, done={sender_done}, arrival={arrival})"
             )
         proc.time = sender_done
-        st = stats[rank]
-        st.send_time += sender_done - start
-        st.bytes_sent += nbytes
-        st.messages_sent += 1
+        send_time[rank] += sender_done - start
+        bytes_sent[rank] += nbytes
+        messages_sent[rank] += 1
         if frec is not None:
             frec((rank, "send", start, sender_done, dst, tag, nbytes))
         if instr is not None:
             instr.send(rank, start, sender_done, dst, tag, nbytes)
         if arrival == _INF:
             # Lost in transit: sender paid, nothing is delivered.
-            st.messages_lost += 1
+            messages_lost[rank] += 1
         else:
             # ctx.deliver inlined (point-to-point sends dominate traffic):
             # hand the message to an eligible blocked receive, else mailbox.
@@ -622,6 +666,8 @@ def _recv_factory(ctx: RunContext):
 def _compute_factory(ctx: RunContext):
     fps = ctx.flops_per_second
     stats = ctx.stats
+    flops_col = stats.flops
+    compute_time = stats.compute_time
     instr = ctx.instr
     frec = ctx.flight_append
     push = ctx.scheduler.push_resume
@@ -635,12 +681,11 @@ def _compute_factory(ctx: RunContext):
             duration = seconds  # fixed cost or explicit override
         else:
             duration = flops / fps[rank]
-        st = stats[rank]
         if flops is not None:
-            st.flops += flops
+            flops_col[rank] += flops
         end = start + duration
         proc.time = end
-        st.compute_time += duration
+        compute_time[rank] += duration
         if frec is not None:
             frec((rank, "compute", start, end, flops))
         if instr is not None:
@@ -656,6 +701,10 @@ def _multicast_factory(ctx: RunContext):
     transfer = ctx.transfer
     native = ctx.native_multicast
     stats = ctx.stats
+    send_time = stats.send_time
+    bytes_sent = stats.bytes_sent
+    messages_sent = stats.messages_sent
+    messages_lost = stats.messages_lost
     instr = ctx.instr
     frec = ctx.flight_append
     deliver = ctx.deliver
@@ -712,11 +761,10 @@ def _multicast_factory(ctx: RunContext):
                 f"multicast start (start={start}, done={sender_done})"
             )
         proc.time = sender_done
-        st = stats[rank]
-        st.send_time += sender_done - start
-        st.bytes_sent += nbytes  # one physical transmission
-        st.messages_sent += 1
-        st.messages_lost += lost
+        send_time[rank] += sender_done - start
+        bytes_sent[rank] += nbytes  # one physical transmission
+        messages_sent[rank] += 1
+        messages_lost[rank] += lost
         if frec is not None:
             frec((rank, "multicast", start, sender_done, len(remote),
                   op.tag, nbytes))

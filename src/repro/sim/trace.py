@@ -14,7 +14,9 @@ so truncated traces are detectable downstream.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 
 @dataclass
@@ -63,6 +65,109 @@ class RankStats:
         return min(1.0, self.busy_time / makespan)
 
 
+#: Column layout of :class:`RankStatsArray`: every ``float`` field of
+#: :class:`RankStats` except ``rank`` (which is the array index).
+_FLOAT_COLUMNS = (
+    "compute_time",
+    "send_time",
+    "recv_wait_time",
+    "bytes_sent",
+    "bytes_received",
+    "flops",
+    "finish_time",
+)
+#: Integer columns (message counters).
+_INT_COLUMNS = ("messages_sent", "messages_received", "messages_lost")
+
+
+class RankStatsArray:
+    """Flat, preallocated column store for per-rank aggregates.
+
+    One C ``double``/``int64`` array per :class:`RankStats` field instead
+    of one Python object (with an instance ``__dict__``) per rank --
+    ~80 bytes/rank total versus ~400, and zero allocation in the engine
+    hot path.  The engine's handlers write the columns directly
+    (``compute_time[rank] += dt``); every *read* access goes through the
+    sequence protocol, which lazily materializes ordinary
+    :class:`RankStats` dataclass views, so downstream consumers
+    (``asdict``, field access, equality) see exactly the objects they
+    always did.  Values are bit-identical to the per-object
+    representation: both store IEEE doubles and the accumulation
+    arithmetic is unchanged.
+    """
+
+    __slots__ = ("nranks",) + _FLOAT_COLUMNS + _INT_COLUMNS
+
+    def __init__(self, nranks: int):
+        if nranks < 0:
+            raise ValueError(f"nranks must be >= 0, got {nranks}")
+        self.nranks = nranks
+        zeros = bytes(8 * nranks)  # both column dtypes are 8 bytes wide
+        for name in _FLOAT_COLUMNS:
+            setattr(self, name, array("d", zeros))
+        for name in _INT_COLUMNS:
+            setattr(self, name, array("q", zeros))
+
+    def __len__(self) -> int:
+        return self.nranks
+
+    def __getitem__(self, index: int | slice) -> "RankStats | list[RankStats]":
+        if isinstance(index, slice):
+            return [
+                self._materialize(i)
+                for i in range(*index.indices(self.nranks))
+            ]
+        i = index
+        if i < 0:
+            i += self.nranks
+        if not 0 <= i < self.nranks:
+            raise IndexError(index)
+        return self._materialize(i)
+
+    def __iter__(self) -> Iterator["RankStats"]:
+        for i in range(self.nranks):
+            yield self._materialize(i)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, RankStatsArray):
+            return self.nranks == other.nranks and all(
+                getattr(self, name) == getattr(other, name)
+                for name in _FLOAT_COLUMNS + _INT_COLUMNS
+            )
+        if isinstance(other, (list, tuple)):
+            return self.materialize() == list(other)
+        return NotImplemented
+
+    def _materialize(self, rank: int) -> "RankStats":
+        return RankStats(
+            rank=rank,
+            compute_time=self.compute_time[rank],
+            send_time=self.send_time[rank],
+            recv_wait_time=self.recv_wait_time[rank],
+            bytes_sent=self.bytes_sent[rank],
+            bytes_received=self.bytes_received[rank],
+            messages_sent=self.messages_sent[rank],
+            messages_received=self.messages_received[rank],
+            messages_lost=self.messages_lost[rank],
+            flops=self.flops[rank],
+            finish_time=self.finish_time[rank],
+        )
+
+    def materialize(self) -> list["RankStats"]:
+        """All ranks as plain dataclass objects (small-run convenience)."""
+        return [self._materialize(i) for i in range(self.nranks)]
+
+    @property
+    def total_bytes_sent(self) -> float:
+        """Column sum without materializing views."""
+        return sum(self.bytes_sent)
+
+    @property
+    def total_messages_lost(self) -> int:
+        """Column sum without materializing views."""
+        return sum(self.messages_lost)
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One engine event, recorded only when tracing is enabled."""
@@ -78,19 +183,37 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` objects during a run.
 
-    ``limit`` bounds memory use; once reached, further records are counted in
-    ``dropped`` instead of stored.
+    ``limit`` bounds memory use; once reached, further records spill to a
+    streaming per-kind duration summary (``spill``, a
+    :class:`~repro.obs.streaming.StreamingGroupStats` created on first
+    overflow) and are counted in ``dropped`` instead of stored -- a
+    truncated trace stays detectable *and* keeps an aggregate view of the
+    tail it could not retain.
     """
 
     limit: int = 1_000_000
     records: list[TraceRecord] = field(default_factory=list)
     dropped: int = 0
+    spill: Any = None
 
     def record(self, rank: int, kind: str, start: float, end: float, detail: str = "") -> None:
         if len(self.records) >= self.limit:
             self.dropped += 1
+            spill = self.spill
+            if spill is None:
+                # Deferred import: repro.obs depends on repro.sim at module
+                # load, so the reverse edge must stay runtime-only.
+                from ..obs.streaming import StreamingGroupStats
+
+                spill = self.spill = StreamingGroupStats()
+            spill.observe(kind, end - start)
             return
         self.records.append(TraceRecord(rank, kind, start, end, detail))
+
+    def spill_summary(self) -> dict[str, dict[str, float]]:
+        """Per-kind duration statistics of the overflowed records
+        (empty when the trace never hit ``limit``)."""
+        return self.spill.to_dict() if self.spill is not None else {}
 
     def by_kind(self, kind: str) -> list[TraceRecord]:
         """All records of one kind ('compute', 'send', 'recv', 'multicast',

@@ -398,3 +398,43 @@ class TestProgress:
         assert f"{len(SIZES)}/{len(SIZES)} points" in out
         assert "elapsed" in out
         assert reporter.done == len(SIZES)
+
+
+class TestRankSummaryThreshold:
+    def test_default_threshold_keeps_full_stats(self, ge2_cluster):
+        record = run_app("ge", ge2_cluster, 80)
+        payload = run_record_to_payload(record)
+        assert "stats" in payload["run"]
+        assert "rank_summary" not in payload["run"]
+
+    def test_large_runs_store_summary_only(self, ge2_cluster, monkeypatch):
+        from repro.experiments.executor import rank_summary_threshold
+
+        monkeypatch.setenv("REPRO_RANK_SUMMARY_THRESHOLD", "1")
+        assert rank_summary_threshold() == 1
+        record = run_app("ge", ge2_cluster, 80)
+        payload = run_record_to_payload(record)
+        run_block = payload["run"]
+        assert "stats" not in run_block and "finish_times" not in run_block
+        assert run_block["nranks"] == len(record.run.stats)
+        summary = run_block["rank_summary"]
+        assert summary["ranks"] == len(record.run.stats)
+        assert summary["makespan"] == pytest.approx(record.run.makespan)
+
+    def test_summary_payload_rehydrates_and_records(
+        self, ge2_cluster, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RANK_SUMMARY_THRESHOLD", "1")
+        record = run_app("ge", ge2_cluster, 80)
+        payload = json.loads(json.dumps(run_record_to_payload(record)))
+        loaded = run_record_from_payload(payload)
+        # Per-rank lists are gone, but the headline metrics survive.
+        assert list(loaded.run.stats) == []
+        assert loaded.run.makespan == pytest.approx(record.run.makespan)
+        assert loaded.run.events == record.run.events
+        assert loaded.measurement == record.measurement
+        # The ledger accepts a summary-only record (reuses its block).
+        ledger = RunLedger(tmp_path / "ledger")
+        run_id = ledger.record_run("ge", ge2_cluster, loaded)
+        stored = ledger.load(run_id)
+        assert stored["rank_summary"] == loaded.run.rank_summary

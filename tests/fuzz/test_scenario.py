@@ -14,6 +14,7 @@ from repro.fuzz import (
     registered_network_wrappers,
     resolve_network_wrapper,
     unregister_network_wrapper,
+    valid_scenario_network,
 )
 
 
@@ -171,3 +172,35 @@ class TestWrapperRegistry:
                                      replace=True)
         finally:
             unregister_network_wrapper("test-dup")
+
+
+class TestHierarchicalNetworks:
+    def test_hierarchical_spec_builds_and_runs(self):
+        from repro.fuzz import HIERARCHICAL_NETWORK_SPECS
+        from repro.network.hierarchy import FatTreeNetwork
+
+        assert all(
+            valid_scenario_network(s) for s in HIERARCHICAL_NETWORK_SPECS
+        )
+        model = ClusterModel(
+            groups=(("blade", 4),), network="fat-tree:2:2:2"
+        )
+        cluster = model.build()
+        assert isinstance(cluster.build_network(), FatTreeNetwork)
+
+    def test_zero_network_rejected_for_scenarios(self):
+        assert not valid_scenario_network("zero")
+        with pytest.raises(ScenarioError):
+            ClusterModel(groups=(("blade", 2),), network="zero")
+
+    def test_space_accepts_hierarchical_networks(self):
+        from repro.fuzz.generator import ScenarioGenerator, ScenarioSpace
+
+        space = ScenarioSpace(networks=("tiered:2",))
+        scenario = ScenarioGenerator(space, seed=7).scenario(0)
+        assert scenario.cluster.network == "tiered:2"
+        assert scenario.cluster.build().nranks >= 2
+
+    def test_default_sampling_set_stays_flat(self):
+        # Corpus seed stability: the default draw set must not grow.
+        assert NETWORK_KINDS == ("bus", "switch")

@@ -81,3 +81,63 @@ def test_slots_are_immutable_tuple():
     assert isinstance(cluster.slots, tuple)
     slot = cluster.slots[0]
     assert isinstance(slot, ProcessorSlot)
+
+
+class TestFromRacks:
+    def test_rack_and_zone_assignment(self):
+        cluster = ClusterSpec.from_racks(
+            "racked",
+            [[(SUNBLADE_NODE, 1)] * 2, [(V210_NODE, 2)] * 2],
+            racks_per_zone=1,
+        )
+        # Rack 0: two 1-cpu blades; rack 1: two 2-cpu V210s.
+        assert cluster.nranks == 6
+        assert cluster.nnodes == 4
+        assert cluster.node_racks == (0, 0, 1, 1)
+        assert cluster.node_zones == (0, 0, 1, 1)
+        assert cluster.nracks == 2
+
+    def test_topology_carries_hierarchy(self):
+        cluster = ClusterSpec.from_racks(
+            "racked", [[(SUNBLADE_NODE, 1)] * 2] * 4, racks_per_zone=2
+        )
+        topo = cluster.topology()
+        assert topo.nracks == 4
+        assert topo.nzones == 2
+        assert topo.same_rack(0, 1)
+        assert not topo.same_rack(0, 2)
+
+    def test_default_network_is_tiered(self):
+        from repro.network.hierarchy import TieredNetwork
+
+        cluster = ClusterSpec.from_racks(
+            "racked", [[(SUNBLADE_NODE, 1)] * 2] * 2
+        )
+        assert isinstance(cluster.build_network(), TieredNetwork)
+
+    def test_validation(self):
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec.from_racks("empty", [])
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec.from_racks(
+                "over", [[(SUNBLADE_NODE, 99)]]
+            )
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec.from_racks(
+                "neg", [[(SUNBLADE_NODE, 1)]], racks_per_zone=-1
+            )
+
+    def test_hierarchy_fields_validated(self):
+        base = homogeneous_cluster("flat", SUNBLADE_NODE, 2)
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec(
+                name="bad", slots=base.slots,
+                node_memory_mb=base.node_memory_mb,
+                node_racks=(0,),  # does not cover node 1
+            )
+        with pytest.raises(InvalidOperationError):
+            ClusterSpec(
+                name="bad", slots=base.slots,
+                node_memory_mb=base.node_memory_mb,
+                node_zones=(0, 0),  # zones without racks
+            )

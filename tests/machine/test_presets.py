@@ -7,6 +7,7 @@ from repro.machine.presets import (
     homogeneous_blades,
     homogeneous_generic,
     mixed_pairs,
+    rack_scale,
 )
 from repro.machine.sunwulf import SUNBLADE_CPU, V210_CPU
 from repro.sim.errors import InvalidOperationError
@@ -43,3 +44,25 @@ def test_mixed_pairs_validates_count():
 def test_generic_cpu_covers_suite():
     for kernel in ("ep", "mg", "cg", "ft", "bt", "lu"):
         assert GENERIC_CPU.sustained_mflops(kernel) > 0
+
+
+class TestRackScale:
+    def test_alternating_rack_generations(self):
+        cluster = rack_scale(4, nodes_per_rack=2)
+        assert cluster.name == "rackscale-4x2"
+        assert cluster.nnodes == 8
+        assert cluster.nracks == 4
+        # Even racks SunBlade, odd racks V210: heterogeneity between racks.
+        clocks = {slot.ptype.name for slot in cluster.slots}
+        assert len(clocks) == 2
+        assert not cluster.is_homogeneous()
+
+    def test_zoned_variant(self):
+        cluster = rack_scale(4, nodes_per_rack=2, racks_per_zone=2)
+        assert cluster.topology().nzones == 2
+
+    def test_validates_counts(self):
+        with pytest.raises(InvalidOperationError):
+            rack_scale(0)
+        with pytest.raises(InvalidOperationError):
+            rack_scale(2, nodes_per_rack=0)

@@ -41,3 +41,78 @@ def test_node_of_validates_rank():
 def test_ranks_on_unknown_node_is_empty():
     topo = Topology.one_per_node(2)
     assert topo.ranks_on("nope") == []
+
+
+def test_from_sequence_rejects_empty_and_mismatched():
+    with pytest.raises(InvalidOperationError):
+        Topology.from_sequence([])
+    with pytest.raises(InvalidOperationError):
+        Topology.from_sequence(["a", "b"], nranks=3)
+    # Matching explicit count is fine.
+    assert Topology.from_sequence(["a", "b"], nranks=2).nranks == 2
+
+
+def test_flat_topology_degenerates_to_single_rack_and_zone():
+    topo = Topology.one_per_node(4)
+    assert topo.nracks == 1
+    assert topo.nzones == 1
+    assert topo.placement(3) == (3, 0, 0)
+    assert topo.same_rack(0, 3)
+    assert topo.same_zone(0, 3)
+
+
+def test_rack_blocks_groups_nodes_into_racks_and_zones():
+    topo = Topology.rack_blocks(
+        16, ranks_per_node=2, nodes_per_rack=2, racks_per_zone=2
+    )
+    assert topo.nranks == 16
+    assert topo.nnodes == 8
+    assert topo.nracks == 4
+    assert topo.nzones == 2
+    assert topo.same_node(0, 1)
+    assert topo.same_rack(0, 2) and not topo.same_node(0, 2)
+    assert topo.same_zone(0, 4) and not topo.same_rack(0, 4)
+    assert not topo.same_zone(0, 8)
+    node, rack, zone = topo.placement(15)
+    assert (node, rack, zone) == (7, 3, 1)
+
+
+def test_fat_tree_pods_become_zones():
+    topo = Topology.fat_tree(
+        16, ranks_per_node=2, nodes_per_edge=2, edges_per_pod=2
+    )
+    assert topo.nracks == 4  # edge switches
+    assert topo.nzones == 2  # pods
+    assert topo.rack_of(0) == topo.rack_of(3)
+    assert topo.zone_of(0) == topo.zone_of(7)
+    assert topo.zone_of(0) != topo.zone_of(8)
+
+
+def test_with_rack_blocks_lifts_flat_topology():
+    flat = Topology.from_sequence([0, 0, 1, 1, 2, 2, 3, 3])
+    lifted = flat.with_rack_blocks(2, racks_per_zone=1)
+    assert lifted.node_ids == flat.node_ids
+    assert lifted.nracks == 2
+    assert lifted.nzones == 2
+
+
+def test_inconsistent_hierarchy_rejected():
+    # A node may not span two racks.
+    with pytest.raises(InvalidOperationError):
+        Topology(node_ids=(0, 0), rack_ids=(0, 1))
+    # A rack may not span two zones.
+    with pytest.raises(InvalidOperationError):
+        Topology(node_ids=(0, 1, 2), rack_ids=(0, 0, 1),
+                 zone_ids=(0, 1, 1))
+    # Level lengths must match the rank count.
+    with pytest.raises(InvalidOperationError):
+        Topology(node_ids=(0, 1, 2), rack_ids=(0, 0))
+
+
+def test_engine_rejects_mismatched_topology_at_bind_time():
+    from repro.network.ethernet import make_network
+    from repro.sim.engine import Engine
+
+    network = make_network("tiered:2", Topology.one_per_node(4))
+    with pytest.raises(InvalidOperationError):
+        Engine(nranks=6, network=network, flops_per_second=[1e9] * 6)

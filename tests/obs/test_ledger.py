@@ -115,8 +115,14 @@ class TestRecordRun:
         assert set(util) >= {"count", "mean", "p50", "p90", "p99"}
         assert 0.0 <= util["p50"] <= 1.0
         assert len(summary["top_busiest"]) == min(3, summary["ranks"])
-        assert summary["top_busiest"][0]["utilization"] >= \
-            summary["top_idlest"][0]["utilization"]
+        # Busiest/idlest never list the same rank twice; with few ranks
+        # the idlest list simply has fewer (possibly zero) entries.
+        busiest_ranks = {e["rank"] for e in summary["top_busiest"]}
+        idlest_ranks = {e["rank"] for e in summary["top_idlest"]}
+        assert not busiest_ranks & idlest_ranks
+        if summary["top_idlest"]:
+            assert summary["top_busiest"][0]["utilization"] >= \
+                summary["top_idlest"][0]["utilization"]
 
         # The flat mirror is what the regression gate can compare.
         metrics = loaded["metrics"]

@@ -207,6 +207,43 @@ def test_summarize_rank_stats_empty():
     assert summary["utilization"]["count"] == 0
 
 
+def test_summarize_rank_stats_single_rank():
+    from repro.sim.trace import RankStats
+
+    stats = [RankStats(rank=0, compute_time=1.0, finish_time=2.0)]
+    summary = summarize_rank_stats(stats, 2.0)
+    # One rank: exactly one busiest entry, no idlest echo of the same rank.
+    assert [e["rank"] for e in summary["top_busiest"]] == [0]
+    assert summary["top_idlest"] == []
+    assert summary["top_busiest"][0]["utilization"] == pytest.approx(0.5)
+
+
+def test_summarize_rank_stats_two_ranks_disjoint():
+    from repro.sim.trace import RankStats
+
+    stats = [
+        RankStats(rank=0, compute_time=3.0),
+        RankStats(rank=1, compute_time=1.0),
+    ]
+    summary = summarize_rank_stats(stats, 4.0)
+    busiest = {e["rank"] for e in summary["top_busiest"]}
+    idlest = {e["rank"] for e in summary["top_idlest"]}
+    assert not busiest & idlest
+    assert busiest | idlest == {0, 1}
+
+
+def test_summarize_rank_stats_zero_makespan_all_idle():
+    from repro.sim.trace import RankStats
+
+    stats = [RankStats(rank=r) for r in range(4)]
+    summary = summarize_rank_stats(stats, 0.0)
+    assert summary["utilization"]["max"] == 0.0
+    assert summary["idle_seconds"]["max"] == 0.0
+    for entry in summary["top_busiest"] + summary["top_idlest"]:
+        assert entry["utilization"] == 0.0
+        assert entry["idle_seconds"] == 0.0
+
+
 # -- ProgressReporter ---------------------------------------------------------
 
 class FakeClock:
